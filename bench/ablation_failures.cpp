@@ -1,0 +1,75 @@
+// Ablation: ISL fabric resilience under laser-terminal failures.
+//
+// Optical terminals fail routinely at constellation scale; this sweep
+// measures what fraction of satellite pairs stay connected, how much paths
+// stretch, and what it does to SpaceCDN duty-cycle latencies.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "data/datasets.hpp"
+#include "lsn/starlink.hpp"
+#include "spacecdn/duty_cycle.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace spacecdn;
+  bench::banner("Ablation: ISL fabric under laser-terminal failures",
+                "resilience sweep (DESIGN.md, failure injection)");
+
+  des::Rng rng(26);
+  const orbit::WalkerConstellation shell(orbit::starlink_shell1());
+  const orbit::EphemerisSnapshot snapshot(shell, Milliseconds{0.0});
+
+  std::vector<geo::GeoPoint> clients;
+  for (const char* name : {"London", "Sao Paulo", "Tokyo", "Nairobi", "Denver"}) {
+    clients.push_back(data::location(data::city(name)));
+  }
+
+  ConsoleTable table({"failed fraction", "healthy reachable", "mean path (ms)",
+                      "p99 path (ms)", "duty-50% median RTT (ms)"});
+  for (const double fraction : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    const auto count = static_cast<std::uint32_t>(fraction * shell.size());
+    const auto failed = rng.sample_without_replacement(shell.size(), count);
+    const lsn::IslNetwork isl(shell, snapshot, {}, failed);
+
+    // Reachability + path-length statistics from a sample of sources.
+    des::SampleSet paths;
+    std::uint64_t reachable = 0, pairs = 0;
+    for (std::uint32_t src = 3; src < shell.size(); src += 97) {
+      if (isl.is_failed(src)) continue;
+      const auto dist = isl.latencies_from(src);
+      for (std::uint32_t dst = 0; dst < shell.size(); dst += 13) {
+        if (dst == src || isl.is_failed(dst)) continue;
+        ++pairs;
+        if (!std::isinf(dist[dst].value())) {
+          ++reachable;
+          paths.add(dist[dst].value());
+        }
+      }
+    }
+
+    // Duty-cycle latency on a degraded constellation.
+    lsn::StarlinkConfig net_cfg;
+    net_cfg.failed_satellites = failed;
+    const lsn::StarlinkNetwork network(net_cfg);
+    space::SatelliteFleet fleet(shell.size(), space::FleetConfig{});
+    space::DutyCycleConfig duty_cfg;
+    duty_cfg.cache_fraction = 0.5;
+    space::DutyCycleSimulation sim(network, fleet, duty_cfg);
+    des::Rng duty_rng(27);
+    const auto rtts = sim.run(clients, 4, 4, duty_rng);
+
+    table.add_row({ConsoleTable::format_fixed(fraction * 100.0, 0) + "%",
+                   ConsoleTable::format_fixed(100.0 * reachable / pairs, 2) + "%",
+                   ConsoleTable::format_fixed(paths.mean(), 1),
+                   ConsoleTable::format_fixed(paths.quantile(0.99), 1),
+                   rtts.empty() ? "-" : ConsoleTable::format_fixed(rtts.median(), 1)});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nExpected shape: the 4-connected +grid degrades gracefully -- "
+               "reachability stays near 100% and paths stretch only mildly "
+               "until failures reach tens of percent.\n";
+  return 0;
+}

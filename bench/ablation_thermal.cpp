@@ -1,0 +1,49 @@
+// Ablation: thermal-aware duty-cycle scheduling vs the paper's random
+// first cut (section 5: temperature must remain below 30 C; "intelligent
+// request scheduling" mitigates overheating).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "des/random.hpp"
+#include "spacecdn/thermal.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace spacecdn;
+  bench::banner("Ablation: thermal duty-cycle scheduling (random vs coolest-first)",
+                "Bose et al., HotNets '24, section 5 (thermal feasibility)");
+
+  constexpr std::uint32_t kFleet = 1584;
+  constexpr std::uint32_t kSlots = 96;  // 24 h of 15-minute slots
+  const Milliseconds slot = Milliseconds::from_minutes(15.0);
+
+  ConsoleTable table({"target duty", "policy", "violation sat-slots", "peak temp (C)",
+                      "achieved duty", "shortfall slots"});
+  for (const double fraction : {0.3, 0.5, 0.8}) {
+    for (const auto policy : {space::ThermalScheduler::Policy::kRandom,
+                              space::ThermalScheduler::Policy::kCoolestFirst}) {
+      space::ThermalModel model(kFleet, {});
+      const space::ThermalScheduler scheduler(policy);
+      des::Rng rng(13);
+      const auto report =
+          run_thermal_schedule(model, scheduler, fraction, kSlots, slot, rng);
+      table.add_row(
+          {ConsoleTable::format_fixed(fraction * 100.0, 0) + "%",
+           policy == space::ThermalScheduler::Policy::kRandom ? "random"
+                                                              : "coolest-first",
+           std::to_string(report.violation_slot_count),
+           ConsoleTable::format_fixed(report.peak_temperature_c, 1),
+           ConsoleTable::format_fixed(report.mean_served_fraction * 100.0, 1) + "%",
+           std::to_string(report.total_shortfall)});
+    }
+  }
+  table.render(std::cout);
+
+  std::cout << "\nExpected shape: random scheduling re-picks already-hot "
+               "satellites and racks up >30 C satellite-slots at high duty; "
+               "coolest-first rotates duty and keeps the peak under the "
+               "ceiling until the duty target exceeds the thermally "
+               "sustainable fraction (then shortfall appears instead of "
+               "violations).\n";
+  return 0;
+}

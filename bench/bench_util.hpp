@@ -1,0 +1,56 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "des/stats.hpp"
+#include "util/table.hpp"
+
+namespace spacecdn::bench {
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "reproduces: " << paper_ref << "\n\n";
+}
+
+/// Prints one CDF table: rows are cumulative probabilities, columns are the
+/// named series.
+inline void print_cdf_table(const std::vector<std::string>& series_names,
+                            const std::vector<const des::SampleSet*>& series,
+                            const std::vector<double>& probabilities) {
+  std::vector<std::string> header{"CDF"};
+  header.insert(header.end(), series_names.begin(), series_names.end());
+  ConsoleTable table(std::move(header));
+  for (double p : probabilities) {
+    std::vector<std::string> row;
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%.2f", p);
+    row.emplace_back(buf);
+    for (const des::SampleSet* s : series) {
+      row.push_back(s->empty() ? "-" : ConsoleTable::format_fixed(s->quantile(p), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  table.render(std::cout);
+}
+
+/// Prints box-plot rows (min / P25 / median / P75 / max) per labelled series.
+inline void print_box_table(const std::vector<std::string>& labels,
+                            const std::vector<const des::SampleSet*>& series,
+                            const std::string& unit) {
+  ConsoleTable table({"series", "min", "p25", "median", "p75", "max", "unit"});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto box = series[i]->box_stats();
+    table.add_row({labels[i], ConsoleTable::format_fixed(box.min, 1),
+                   ConsoleTable::format_fixed(box.p25, 1),
+                   ConsoleTable::format_fixed(box.median, 1),
+                   ConsoleTable::format_fixed(box.p75, 1),
+                   ConsoleTable::format_fixed(box.max, 1), unit});
+  }
+  table.render(std::cout);
+}
+
+}  // namespace spacecdn::bench

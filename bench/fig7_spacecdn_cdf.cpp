@@ -1,0 +1,118 @@
+// Figure 7: CDF of the latency to fetch objects from a satellite cache
+// n = 1, 3, 5, 10 ISL hops away, compared against Starlink-to-CDN and
+// terrestrial-ISP-to-CDN latencies from the AIM campaign.
+//
+// Paper's claim: "If objects can be fetched in five ISL hops or fewer, LSNs
+// can offer comparable performance to CDNs connected to terrestrial ISPs
+// ... even 10 ISL hops offers around half the latency [of Starlink today]."
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "data/datasets.hpp"
+#include "geo/propagation.hpp"
+#include "lsn/starlink.hpp"
+#include "measurement/aim.hpp"
+#include "measurement/analysis.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace spacecdn;
+  bench::banner("Figure 7: SpaceCDN fetch-latency CDF vs Starlink/terrestrial CDN",
+                "Bose et al., HotNets '24, Figure 7");
+
+  lsn::StarlinkNetwork network;  // Shell 1, as the paper configures xeoverse
+  des::Rng rng(7);
+
+  const std::vector<std::uint32_t> hop_budgets{1, 3, 5, 10};
+  std::vector<des::SampleSet> space_latency(hop_budgets.size());
+  des::SampleSet first_sat;
+
+  // Sample epochs across a quarter orbit so satellite geometry varies.
+  for (const Milliseconds epoch :
+       {Milliseconds{0.0}, Milliseconds::from_minutes(8.0),
+        Milliseconds::from_minutes(16.0)}) {
+    network.set_time(epoch);
+    const auto& snapshot = network.snapshot();
+    for (const auto& city : data::cities()) {
+      if (std::abs(city.lat_deg) > 56.0) continue;  // Shell 1 coverage band
+      const geo::GeoPoint client = data::location(city);
+      const auto serving = snapshot.serving_satellite(client, 25.0);
+      if (!serving) continue;
+      const Milliseconds uplink = geo::propagation_delay(
+          snapshot.slant_range(client, *serving), geo::Medium::kVacuum);
+
+      // Satellite-cache fetches carge propagation plus a small onboard
+      // service overhead (the xeoverse-style idealisation; the measured
+      // Starlink baselines below keep the full access-layer overhead).
+      const auto service = [&rng] {
+        return Milliseconds{rng.lognormal_median(2.0, 0.3)};
+      };
+
+      // Content on the satellite directly overhead ("1st/Sat").
+      for (int k = 0; k < 4; ++k) {
+        first_sat.add((uplink * 2.0 + service()).value());
+      }
+
+      // Content whose nearest replica is exactly n hops away: ISLs "route
+      // the request to the next closest satellite with the cached content",
+      // i.e. the cheapest member of the n-hop ring.
+      const auto ring = network.isl().within_hops(*serving, hop_budgets.back());
+      const auto isl_latency = network.isl().latencies_from(*serving);
+      for (std::size_t b = 0; b < hop_budgets.size(); ++b) {
+        double best = net::kUnreachable;
+        for (const auto& hd : ring) {
+          if (hd.hops == hop_budgets[b]) {
+            best = std::min(best, isl_latency[hd.node].value());
+          }
+        }
+        if (best == net::kUnreachable) continue;
+        for (int k = 0; k < 4; ++k) {
+          space_latency[b].add(
+              ((uplink + Milliseconds{best}) * 2.0 + service()).value());
+        }
+      }
+    }
+  }
+
+  // AIM baselines (section 3 campaign), as the dashed/dotted curves.
+  network.set_time(Milliseconds{0.0});
+  measurement::AimConfig acfg;
+  acfg.tests_per_city = 15;
+  measurement::AimCampaign campaign(network, acfg);
+  const measurement::AimAnalysis analysis(campaign.run());
+  // The paper: "Table 1 shows the lowest observed latency; here we plot the
+  // whole CDF" -- every sample, not just optimal-site ones.
+  const des::SampleSet starlink_cdn =
+      analysis.idle_rtts(measurement::IspType::kStarlink);
+  const des::SampleSet terrestrial_cdn =
+      analysis.idle_rtts(measurement::IspType::kTerrestrial);
+
+  std::vector<std::string> names{"1st/Sat", "1 ISL", "3 ISLs", "5 ISLs", "10 ISLs",
+                                 "Starlink", "Terrestrial"};
+  std::vector<const des::SampleSet*> series{&first_sat,       &space_latency[0],
+                                            &space_latency[1], &space_latency[2],
+                                            &space_latency[3], &starlink_cdn,
+                                            &terrestrial_cdn};
+  bench::print_cdf_table(names, series,
+                         {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99});
+
+  std::cout << "\nShape checks:\n";
+  std::cout << "  - SpaceCDN @5 hops P95 "
+            << ConsoleTable::format_fixed(space_latency[2].quantile(0.95), 1)
+            << " ms vs terrestrial-CDN P95 "
+            << ConsoleTable::format_fixed(terrestrial_cdn.quantile(0.95), 1)
+            << " / P99 " << ConsoleTable::format_fixed(terrestrial_cdn.quantile(0.99), 1)
+            << " ms (paper: comparable, SpaceCDN wins in the tail)\n";
+  std::cout << "  - SpaceCDN @10 hops median "
+            << ConsoleTable::format_fixed(space_latency[3].median(), 1)
+            << " ms vs Starlink in ISL-served countries (P90 "
+            << ConsoleTable::format_fixed(starlink_cdn.quantile(0.9), 1) << ", P99 "
+            << ConsoleTable::format_fixed(starlink_cdn.quantile(0.99), 1)
+            << " ms) -- the paper's 'around half the latency'\n";
+  std::cout << "  - Content within <=5 hops keeps every fetch under "
+            << ConsoleTable::format_fixed(space_latency[2].quantile(0.99), 1)
+            << " ms; today's Starlink tail reaches "
+            << ConsoleTable::format_fixed(starlink_cdn.quantile(0.99), 1) << " ms\n";
+  return 0;
+}

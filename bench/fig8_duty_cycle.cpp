@@ -1,0 +1,66 @@
+// Figure 8: SpaceCDN latencies when only 30%, 50%, 80% of satellites
+// duty-cycle as caches (the rest relaying), against the median terrestrial
+// ISP-to-CDN latency.
+//
+// Paper's claim: ">= 50% of satellites caching at a time keeps SpaceCDN
+// competitive with terrestrial ISP-CDN latencies."
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "data/datasets.hpp"
+#include "lsn/starlink.hpp"
+#include "measurement/aim.hpp"
+#include "measurement/analysis.hpp"
+#include "spacecdn/duty_cycle.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace spacecdn;
+  bench::banner("Figure 8: duty-cycled satellite caches (30% / 50% / 80%)",
+                "Bose et al., HotNets '24, Figure 8");
+
+  lsn::StarlinkNetwork network;
+  space::SatelliteFleet fleet(network.constellation().size(), space::FleetConfig{});
+  des::Rng rng(8);
+
+  std::vector<geo::GeoPoint> clients;
+  for (const auto& city : data::cities()) {
+    if (std::abs(city.lat_deg) <= 56.0) clients.push_back(data::location(city));
+  }
+
+  std::vector<std::string> labels;
+  std::vector<des::SampleSet> sets;
+  for (const double fraction : {0.8, 0.5, 0.3}) {
+    space::DutyCycleConfig cfg;
+    cfg.cache_fraction = fraction;
+    space::DutyCycleSimulation sim(network, fleet, cfg);
+    sets.push_back(sim.run(clients, 4, 8, rng));
+    labels.push_back(ConsoleTable::format_fixed(fraction * 100.0, 0) + "% caching");
+  }
+
+  // Terrestrial reference line from the AIM campaign.
+  measurement::AimConfig acfg;
+  acfg.tests_per_city = 10;
+  measurement::AimCampaign campaign(network, acfg);
+  const measurement::AimAnalysis analysis(campaign.run());
+  const double terrestrial_median =
+      analysis.idle_rtts(measurement::IspType::kTerrestrial).median();
+
+  std::vector<const des::SampleSet*> series;
+  for (const auto& s : sets) series.push_back(&s);
+  bench::print_box_table(labels, series, "ms");
+
+  std::cout << "\nTerrestrial ISP-to-CDN median latency (vertical line in the "
+               "paper's figure): "
+            << ConsoleTable::format_fixed(terrestrial_median, 1) << " ms\n\n";
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const bool competitive = sets[i].median() <= terrestrial_median * 1.3;
+    std::cout << "  " << labels[i] << ": median "
+              << ConsoleTable::format_fixed(sets[i].median(), 1) << " ms -> "
+              << (competitive ? "competitive" : "not competitive")
+              << " with terrestrial\n";
+  }
+  std::cout << "Paper's shape: 50% and 80% competitive; 30% visibly worse.\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Hot-path microbenchmarks (google-benchmark): propagation, visibility,
+// routing, caching, sampling.  These guard the simulator's throughput --
+// the AIM campaign issues ~10^5 route computations per run.
+#include <benchmark/benchmark.h>
+
+#include "cdn/cache.hpp"
+#include "data/datasets.hpp"
+#include "des/random.hpp"
+#include "geo/distance.hpp"
+#include "lsn/starlink.hpp"
+#include "measurement/aim.hpp"
+#include "net/graph.hpp"
+#include "orbit/ephemeris.hpp"
+#include "spacecdn/lookup.hpp"
+
+namespace {
+
+using namespace spacecdn;
+
+const lsn::StarlinkNetwork& shell1() {
+  static const lsn::StarlinkNetwork network{};
+  return network;
+}
+
+void BM_GreatCircleDistance(benchmark::State& state) {
+  const geo::GeoPoint a{52.52, 13.40, 0.0};
+  const geo::GeoPoint b{-26.20, 28.05, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::great_circle_distance(a, b));
+  }
+}
+BENCHMARK(BM_GreatCircleDistance);
+
+void BM_ConstellationPropagation(benchmark::State& state) {
+  const orbit::WalkerConstellation shell(orbit::starlink_shell1());
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shell.positions_ecef(Milliseconds{t}));
+    t += 1000.0;
+  }
+  state.SetItemsProcessed(state.iterations() * shell.size());
+}
+BENCHMARK(BM_ConstellationPropagation);
+
+void BM_ServingSatelliteSelection(benchmark::State& state) {
+  const auto& snapshot = shell1().snapshot();
+  const geo::GeoPoint client{48.86, 2.35, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snapshot.serving_satellite(client, 25.0));
+  }
+}
+BENCHMARK(BM_ServingSatelliteSelection);
+
+void BM_IslDijkstraFullSweep(benchmark::State& state) {
+  const auto& isl = shell1().isl();
+  std::uint32_t src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isl.latencies_from(src));
+    src = (src + 97) % 1584;
+  }
+}
+BENCHMARK(BM_IslDijkstraFullSweep);
+
+void BM_BfsWithinHops(benchmark::State& state) {
+  const auto& isl = shell1().isl();
+  const auto hops = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isl.within_hops(100, hops));
+  }
+}
+BENCHMARK(BM_BfsWithinHops)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_BentPipeRoute(benchmark::State& state) {
+  const auto& net = shell1();
+  const geo::GeoPoint maputo = data::location(data::city("Maputo"));
+  const auto& mz = data::country("MZ");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.router().route_to_pop(maputo, mz));
+  }
+}
+BENCHMARK(BM_BentPipeRoute);
+
+void BM_LruCacheWorkload(benchmark::State& state) {
+  cdn::LruCache cache(Megabytes{1000.0});
+  des::Rng rng(1);
+  const cdn::ContentItem item{0, Megabytes{2.0}, data::Region::kEurope};
+  for (auto _ : state) {
+    const cdn::ContentId id = rng.uniform_int(0, 2000);
+    if (!cache.access(id, Milliseconds{0.0})) {
+      cdn::ContentItem it = item;
+      it.id = id;
+      benchmark::DoNotOptimize(cache.insert(it, Milliseconds{0.0}));
+    }
+  }
+}
+BENCHMARK(BM_LruCacheWorkload);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const des::ZipfDistribution zipf(100000, 0.9);
+  des::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_ReplicaLookup(benchmark::State& state) {
+  const auto& net = shell1();
+  static space::SatelliteFleet fleet(net.constellation().size(),
+                                     space::FleetConfig{Megabytes{1e6},
+                                                        cdn::CachePolicy::kLru});
+  static bool placed = [] {
+    for (std::uint32_t sat = 0; sat < fleet.size(); sat += 18) {
+      (void)fleet.cache(sat).insert(
+          cdn::ContentItem{1, Megabytes{1.0}, data::Region::kEurope}, Milliseconds{0.0});
+    }
+    return true;
+  }();
+  benchmark::DoNotOptimize(placed);
+  std::uint32_t origin = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space::find_replica(net.isl(), fleet, origin, 1, 10));
+    origin = (origin + 31) % fleet.size();
+  }
+}
+BENCHMARK(BM_ReplicaLookup);
+
+void BM_AimCountryCampaign(benchmark::State& state) {
+  const auto& net = shell1();
+  measurement::AimConfig cfg;
+  cfg.tests_per_city = 5;
+  for (auto _ : state) {
+    measurement::AimCampaign campaign(net, cfg);
+    benchmark::DoNotOptimize(campaign.run_country(data::country("DE")));
+  }
+}
+BENCHMARK(BM_AimCountryCampaign);
+
+}  // namespace
+
+BENCHMARK_MAIN();

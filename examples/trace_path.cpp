@@ -1,0 +1,61 @@
+// Synthetic traceroute: see the PoP-centric Starlink data path the way the
+// measurement community discovered it.
+//
+//   $ ./examples/trace_path                      # Maputo -> Frankfurt
+//   $ ./examples/trace_path --city="Nairobi" --dest="Johannesburg"
+#include <iostream>
+
+#include "data/datasets.hpp"
+#include "lsn/starlink.hpp"
+#include "measurement/traceroute.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print(const char* title, const spacecdn::measurement::Traceroute& trace) {
+  using namespace spacecdn;
+  std::cout << "\n" << title << "\n";
+  ConsoleTable table({"ttl", "kind", "router", "rtt (ms)"});
+  for (const auto& hop : trace.hops) {
+    table.add_row({std::to_string(hop.ttl),
+                   std::string(measurement::to_string(hop.kind)),
+                   hop.responds ? hop.label : "* * * (no response)",
+                   hop.responds ? ConsoleTable::format_fixed(hop.rtt.value(), 1) : "-"});
+  }
+  table.render(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spacecdn;
+  const CliArgs args(argc, argv);
+  const std::string city_name = args.get("city", std::string("Maputo"));
+  const std::string dest_name = args.get("dest", std::string("Frankfurt"));
+  for (const auto& unknown : args.unused()) {
+    std::cerr << "warning: unknown flag --" << unknown << "\n";
+  }
+
+  const auto& client = data::city(city_name);
+  const geo::GeoPoint destination = data::location(data::city(dest_name));
+
+  lsn::StarlinkNetwork network;
+  const measurement::TracerouteSynthesizer synth(network);
+  des::Rng rng(23);
+
+  std::cout << "traceroute from " << client.name << " to " << dest_name << ":\n";
+  const auto star = synth.starlink(client, destination, rng);
+  print("=== over Starlink ===", star);
+  const std::string inferred = synth.infer_pop(star, client);
+  if (!inferred.empty()) {
+    const auto& pop = data::pop(inferred);
+    std::cout << "inferred PoP: " << pop.city << " (" << pop.country_code
+              << ") -- the subscriber's public IP geolocates here, not in "
+              << data::country(client.country_code).name << "\n";
+  }
+
+  const auto terr = synth.terrestrial(client, destination, rng);
+  print("=== over a terrestrial ISP ===", terr);
+  return 0;
+}

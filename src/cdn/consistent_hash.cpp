@@ -1,0 +1,90 @@
+#include "cdn/consistent_hash.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spacecdn::cdn {
+
+ConsistentHashRing::ConsistentHashRing(std::uint32_t vnodes_per_server)
+    : vnodes_per_server_(vnodes_per_server) {
+  SPACECDN_EXPECT(vnodes_per_server > 0, "need at least one virtual node per server");
+}
+
+std::uint64_t ConsistentHashRing::hash(std::uint64_t x) noexcept {
+  // splitmix64 finaliser: fast, well-distributed, dependency-free.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t ConsistentHashRing::hash_name(const std::string& name,
+                                            std::uint32_t vnode) noexcept {
+  // FNV-1a over the name, then mix in the vnode index.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return hash(h ^ (static_cast<std::uint64_t>(vnode) << 32));
+}
+
+void ConsistentHashRing::add_server(const std::string& name) {
+  SPACECDN_EXPECT(!name.empty(), "server name must not be empty");
+  if (std::find(servers_.begin(), servers_.end(), name) != servers_.end()) return;
+  servers_.push_back(name);
+  for (std::uint32_t v = 0; v < vnodes_per_server_; ++v) {
+    ring_.emplace(hash_name(name, v), name);
+  }
+}
+
+bool ConsistentHashRing::remove_server(const std::string& name) {
+  const auto it = std::find(servers_.begin(), servers_.end(), name);
+  if (it == servers_.end()) return false;
+  servers_.erase(it);
+  for (auto ring_it = ring_.begin(); ring_it != ring_.end();) {
+    if (ring_it->second == name) {
+      ring_it = ring_.erase(ring_it);
+    } else {
+      ++ring_it;
+    }
+  }
+  return true;
+}
+
+const std::string& ConsistentHashRing::server_for(ContentId id) const {
+  SPACECDN_EXPECT(!ring_.empty(), "hash ring has no servers");
+  auto it = ring_.lower_bound(hash(id));
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<std::string> ConsistentHashRing::servers_for(ContentId id,
+                                                         std::uint32_t replicas) const {
+  SPACECDN_EXPECT(!ring_.empty(), "hash ring has no servers");
+  std::vector<std::string> out;
+  auto it = ring_.lower_bound(hash(id));
+  // Walk clockwise collecting distinct servers.
+  for (std::size_t steps = 0; steps < ring_.size() && out.size() < replicas; ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+std::map<std::string, double> ConsistentHashRing::ownership_fractions(
+    std::uint64_t sample_size) const {
+  SPACECDN_EXPECT(sample_size > 0, "sample must be non-empty");
+  std::map<std::string, double> counts;
+  for (std::uint64_t id = 0; id < sample_size; ++id) {
+    counts[server_for(id)] += 1.0;
+  }
+  for (auto& [name, count] : counts) count /= static_cast<double>(sample_size);
+  return counts;
+}
+
+}  // namespace spacecdn::cdn

@@ -1,0 +1,60 @@
+// Consistent hashing for within-site server clusters.
+//
+// A CDN site is not one machine: content is sharded across a cluster so
+// each object has one home server (maximising aggregate cache capacity).
+// Consistent hashing with virtual nodes keeps the shard map balanced and
+// minimally disturbed when servers join or fail -- the mechanism behind
+// production CDN clusters since the original Akamai design (paper section 2
+// cites the Akamai platform paper).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cdn/content.hpp"
+
+namespace spacecdn::cdn {
+
+/// A hash ring mapping object ids to named servers.
+class ConsistentHashRing {
+ public:
+  /// @param vnodes_per_server  virtual nodes per server; more = better
+  /// balance at the cost of a larger ring (128-256 is typical).
+  explicit ConsistentHashRing(std::uint32_t vnodes_per_server = 160);
+
+  /// Adds a server; idempotent.  @throws spacecdn::ConfigError on empty name.
+  void add_server(const std::string& name);
+
+  /// Removes a server; returns whether it was present.
+  bool remove_server(const std::string& name);
+
+  [[nodiscard]] std::size_t server_count() const noexcept { return servers_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ring_.empty(); }
+
+  /// The server owning `id`.  @throws spacecdn::ConfigError when the ring is
+  /// empty.
+  [[nodiscard]] const std::string& server_for(ContentId id) const;
+
+  /// The first `replicas` distinct servers clockwise of `id` (primary plus
+  /// within-cluster replica targets).
+  [[nodiscard]] std::vector<std::string> servers_for(ContentId id,
+                                                     std::uint32_t replicas) const;
+
+  /// Fraction of a sample of `sample_size` object ids owned by each server;
+  /// diagnostic for balance tests.
+  [[nodiscard]] std::map<std::string, double> ownership_fractions(
+      std::uint64_t sample_size = 20'000) const;
+
+ private:
+  [[nodiscard]] static std::uint64_t hash(std::uint64_t x) noexcept;
+  [[nodiscard]] static std::uint64_t hash_name(const std::string& name,
+                                               std::uint32_t vnode) noexcept;
+
+  std::uint32_t vnodes_per_server_;
+  std::map<std::uint64_t, std::string> ring_;  // position -> server
+  std::vector<std::string> servers_;
+};
+
+}  // namespace spacecdn::cdn

@@ -1,0 +1,39 @@
+#include "cdn/content.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spacecdn::cdn {
+
+ContentCatalog::ContentCatalog(const CatalogConfig& config, des::Rng& rng) {
+  SPACECDN_EXPECT(config.object_count > 0, "catalog must not be empty");
+  SPACECDN_EXPECT(config.min_size.value() > 0.0 && config.max_size >= config.min_size,
+                  "catalog size bounds must be positive and ordered");
+
+  constexpr data::Region kRegions[] = {
+      data::Region::kNorthAmerica, data::Region::kLatinAmerica, data::Region::kEurope,
+      data::Region::kAfrica,       data::Region::kAsia,         data::Region::kOceania,
+  };
+
+  items_.reserve(config.object_count);
+  double total = 0.0;
+  for (ContentId id = 0; id < config.object_count; ++id) {
+    const double raw = rng.lognormal_median(config.median_size.value(), config.size_sigma);
+    const double mb = std::clamp(raw, config.min_size.value(), config.max_size.value());
+    const auto region =
+        kRegions[rng.uniform_int(0, std::size(kRegions) - 1)];
+    items_.push_back(ContentItem{id, Megabytes{mb}, region});
+    total += mb;
+  }
+  total_ = Megabytes{total};
+}
+
+const ContentItem& ContentCatalog::item(ContentId id) const {
+  if (id >= items_.size()) {
+    throw NotFoundError("content id outside catalog: " + std::to_string(id));
+  }
+  return items_[id];
+}
+
+}  // namespace spacecdn::cdn

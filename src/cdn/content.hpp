@@ -1,0 +1,56 @@
+// Content catalog: the object universe a CDN serves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/types.hpp"
+#include "des/random.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::cdn {
+
+/// Dense object identifier; also the index into the catalog.
+using ContentId = std::uint64_t;
+
+/// One cacheable object.
+struct ContentItem {
+  ContentId id = 0;
+  Megabytes size{1.0};
+  /// Region whose audience this object primarily serves ("a Boca Juniors vs
+  /// River Plate game is popular mostly over South America" -- paper
+  /// section 5, Content Bubbles).
+  data::Region home_region = data::Region::kNorthAmerica;
+};
+
+/// Size distribution of catalog objects (lognormal, clamped).
+struct CatalogConfig {
+  std::uint64_t object_count = 10'000;
+  Megabytes median_size{4.0};
+  double size_sigma = 1.2;
+  Megabytes min_size{0.01};
+  Megabytes max_size{4000.0};
+};
+
+/// Immutable object universe with randomly drawn sizes and home regions.
+class ContentCatalog {
+ public:
+  /// @throws spacecdn::ConfigError on an empty catalog or bad size bounds.
+  ContentCatalog(const CatalogConfig& config, des::Rng& rng);
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return items_.size(); }
+
+  /// @throws spacecdn::NotFoundError when id is outside the catalog.
+  [[nodiscard]] const ContentItem& item(ContentId id) const;
+
+  [[nodiscard]] const std::vector<ContentItem>& items() const noexcept { return items_; }
+
+  /// Sum of all object sizes.
+  [[nodiscard]] Megabytes total_bytes() const noexcept { return total_; }
+
+ private:
+  std::vector<ContentItem> items_;
+  Megabytes total_{0.0};
+};
+
+}  // namespace spacecdn::cdn

@@ -1,0 +1,71 @@
+#include "cdn/deployment.hpp"
+
+#include "geo/distance.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::cdn {
+
+CdnDeployment::CdnDeployment(std::span<const data::CdnSiteInfo> sites,
+                             const DeploymentConfig& config)
+    : config_(config) {
+  SPACECDN_EXPECT(!sites.empty(), "deployment needs at least one site");
+  sites_.reserve(sites.size());
+  caches_.reserve(sites.size());
+  for (const auto& site : sites) {
+    sites_.push_back(&site);
+    caches_.push_back(make_cache(config.policy, config.edge_capacity));
+  }
+}
+
+const data::CdnSiteInfo& CdnDeployment::site(std::size_t index) const {
+  SPACECDN_EXPECT(index < sites_.size(), "site index out of range");
+  return *sites_[index];
+}
+
+geo::GeoPoint CdnDeployment::site_location(std::size_t index) const {
+  return data::location(site(index));
+}
+
+Cache& CdnDeployment::cache(std::size_t index) {
+  SPACECDN_EXPECT(index < caches_.size(), "site index out of range");
+  return *caches_[index];
+}
+
+const Cache& CdnDeployment::cache(std::size_t index) const {
+  SPACECDN_EXPECT(index < caches_.size(), "site index out of range");
+  return *caches_[index];
+}
+
+std::size_t CdnDeployment::nearest_site(const geo::GeoPoint& point) const {
+  std::size_t best = 0;
+  Kilometers best_distance = geo::great_circle_distance(point, site_location(0));
+  for (std::size_t i = 1; i < sites_.size(); ++i) {
+    const Kilometers d = geo::great_circle_distance(point, site_location(i));
+    if (d < best_distance) {
+      best_distance = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+ServeResult CdnDeployment::serve(std::size_t site_index, const ContentItem& item,
+                                 Milliseconds client_site_rtt,
+                                 Milliseconds site_origin_rtt, Milliseconds now) {
+  Cache& edge = cache(site_index);
+  const bool hit = edge.access(item.id, now);
+  if (!hit) {
+    // Origin fetch, then admit; admission failure (object larger than the
+    // cache) still serves the client, just without caching.
+    (void)edge.insert(item, now);
+  }
+  return ServeResult{hit, client_site_rtt + (hit ? Milliseconds{0.0} : site_origin_rtt)};
+}
+
+void CdnDeployment::warm(std::size_t site_index, std::span<const ContentItem> items,
+                         Milliseconds now) {
+  Cache& edge = cache(site_index);
+  for (const auto& item : items) (void)edge.insert(item, now);
+}
+
+}  // namespace spacecdn::cdn

@@ -1,0 +1,64 @@
+// A deployed CDN: edge caches at anycast sites plus an origin.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cdn/cache.hpp"
+#include "cdn/content.hpp"
+#include "data/types.hpp"
+#include "geo/coordinates.hpp"
+
+namespace spacecdn::cdn {
+
+/// Outcome of serving one request through an edge site.
+struct ServeResult {
+  bool hit = false;
+  /// First-byte latency the client observes: RTT to the edge, plus the
+  /// edge-to-origin fetch on a miss.
+  Milliseconds first_byte{0.0};
+};
+
+/// Configuration of a ground CDN deployment.
+struct DeploymentConfig {
+  CachePolicy policy = CachePolicy::kLru;
+  Megabytes edge_capacity{50'000.0};  ///< 50 TB per site
+  geo::GeoPoint origin{39.04, -77.49, 0.0};  ///< origin datacenter (Ashburn)
+};
+
+/// Edge caches at every site of the embedded CDN dataset (or a custom span).
+class CdnDeployment {
+ public:
+  CdnDeployment(std::span<const data::CdnSiteInfo> sites, const DeploymentConfig& config);
+
+  [[nodiscard]] std::size_t site_count() const noexcept { return sites_.size(); }
+  [[nodiscard]] const data::CdnSiteInfo& site(std::size_t index) const;
+  [[nodiscard]] geo::GeoPoint site_location(std::size_t index) const;
+  [[nodiscard]] geo::GeoPoint origin_location() const noexcept { return config_.origin; }
+
+  [[nodiscard]] Cache& cache(std::size_t index);
+  [[nodiscard]] const Cache& cache(std::size_t index) const;
+
+  /// Index of the geographically nearest site to a point.
+  [[nodiscard]] std::size_t nearest_site(const geo::GeoPoint& point) const;
+
+  /// Serves `item` at `site_index`.  `client_site_rtt` and `site_origin_rtt`
+  /// come from whichever network model (terrestrial or LSN) carries the
+  /// request.  On a miss the object is fetched from the origin and admitted.
+  [[nodiscard]] ServeResult serve(std::size_t site_index, const ContentItem& item,
+                                  Milliseconds client_site_rtt,
+                                  Milliseconds site_origin_rtt, Milliseconds now);
+
+  /// Pre-warms one site with the given objects (e.g. a region's top-k).
+  void warm(std::size_t site_index, std::span<const ContentItem> items, Milliseconds now);
+
+  [[nodiscard]] const DeploymentConfig& config() const noexcept { return config_; }
+
+ private:
+  std::vector<const data::CdnSiteInfo*> sites_;
+  std::vector<std::unique_ptr<Cache>> caches_;
+  DeploymentConfig config_;
+};
+
+}  // namespace spacecdn::cdn

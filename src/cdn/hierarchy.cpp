@@ -1,0 +1,121 @@
+#include "cdn/hierarchy.hpp"
+
+#include <map>
+
+#include "data/datasets.hpp"
+#include "geo/distance.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::cdn {
+
+std::string_view to_string(ServedBy tier) noexcept {
+  switch (tier) {
+    case ServedBy::kEdge: return "edge";
+    case ServedBy::kRegional: return "regional";
+    case ServedBy::kOrigin: return "origin";
+  }
+  return "unknown";
+}
+
+CdnHierarchy::CdnHierarchy(std::span<const data::CdnSiteInfo> sites,
+                           const HierarchyConfig& config)
+    : config_(config), backbone_(config.backbone) {
+  SPACECDN_EXPECT(!sites.empty(), "hierarchy needs at least one site");
+
+  // Group sites by world region.
+  std::map<data::Region, std::vector<const data::CdnSiteInfo*>> by_region;
+  for (const auto& site : sites) {
+    by_region[data::country(site.country_code).region].push_back(&site);
+  }
+
+  // The regional parent is the region's most central site (minimum total
+  // great-circle distance to its siblings).
+  std::map<data::Region, std::size_t> regional_index;
+  for (const auto& [region, members] : by_region) {
+    const data::CdnSiteInfo* best = members.front();
+    double best_total = 1e300;
+    for (const data::CdnSiteInfo* candidate : members) {
+      double total = 0.0;
+      for (const data::CdnSiteInfo* other : members) {
+        total += geo::great_circle_distance(data::location(*candidate),
+                                            data::location(*other))
+                     .value();
+      }
+      if (total < best_total) {
+        best_total = total;
+        best = candidate;
+      }
+    }
+    regional_index[region] = regionals_.size();
+    regionals_.push_back(
+        Regional{best, make_cache(config.policy, config.regional_capacity)});
+  }
+
+  for (const auto& site : sites) {
+    const data::Region region = data::country(site.country_code).region;
+    edges_.push_back(Edge{&site, make_cache(config.policy, config.edge_capacity),
+                          regional_index[region]});
+  }
+}
+
+const data::CdnSiteInfo& CdnHierarchy::edge_site(std::size_t index) const {
+  SPACECDN_EXPECT(index < edges_.size(), "edge index out of range");
+  return *edges_[index].site;
+}
+
+std::size_t CdnHierarchy::nearest_edge(const geo::GeoPoint& client) const {
+  std::size_t best = 0;
+  double best_d = 1e300;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const double d =
+        geo::great_circle_distance(client, data::location(*edges_[i].site)).value();
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+const data::CdnSiteInfo& CdnHierarchy::parent_of(std::size_t edge_index) const {
+  SPACECDN_EXPECT(edge_index < edges_.size(), "edge index out of range");
+  return *regionals_[edges_[edge_index].regional_index].site;
+}
+
+HierarchyResult CdnHierarchy::serve(std::size_t edge_index, const ContentItem& item,
+                                    Milliseconds client_rtt, Milliseconds now) {
+  SPACECDN_EXPECT(edge_index < edges_.size(), "edge index out of range");
+  Edge& edge = edges_[edge_index];
+  Regional& regional = regionals_[edge.regional_index];
+
+  HierarchyResult result;
+  result.first_byte = client_rtt;
+
+  if (edge.cache->access(item.id, now)) {
+    ++stats_.edge_hits;
+    result.served_by = ServedBy::kEdge;
+    return result;
+  }
+
+  // Edge miss: ask the regional parent.
+  const Milliseconds edge_regional_rtt = backbone_.rtt(
+      data::location(*edge.site), data::location(*regional.site));
+  result.first_byte += edge_regional_rtt;
+
+  if (regional.cache->access(item.id, now)) {
+    ++stats_.regional_hits;
+    result.served_by = ServedBy::kRegional;
+  } else {
+    // Regional miss: origin fetch.
+    const Milliseconds regional_origin_rtt =
+        backbone_.rtt(data::location(*regional.site), config_.origin);
+    result.first_byte += regional_origin_rtt;
+    ++stats_.origin_fetches;
+    result.served_by = ServedBy::kOrigin;
+    (void)regional.cache->insert(item, now);  // pull-through at the parent
+  }
+  (void)edge.cache->insert(item, now);  // ...and at the edge
+  return result;
+}
+
+}  // namespace spacecdn::cdn

@@ -1,0 +1,95 @@
+// Hierarchical CDN: edge -> regional parent -> origin.
+//
+// "A content delivery network (CDN) is a hierarchy of geo-distributed
+// servers" and "Most internal CDN operations assume a static tree-like
+// topology" (paper section 2).  This module implements that tree: misses at
+// an edge site are fetched from the site's regional parent; regional misses
+// go to the origin; objects are admitted along the whole return path
+// (pull-through).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cdn/cache.hpp"
+#include "data/types.hpp"
+#include "geo/coordinates.hpp"
+#include "terrestrial/backbone.hpp"
+
+namespace spacecdn::cdn {
+
+/// Which tier ultimately supplied the object.
+enum class ServedBy { kEdge, kRegional, kOrigin };
+
+[[nodiscard]] std::string_view to_string(ServedBy tier) noexcept;
+
+/// Outcome of one hierarchical request.
+struct HierarchyResult {
+  ServedBy served_by = ServedBy::kOrigin;
+  /// First-byte latency including the parent/origin fetch legs.
+  Milliseconds first_byte{0.0};
+};
+
+/// Configuration of the tree.
+struct HierarchyConfig {
+  CachePolicy policy = CachePolicy::kLru;
+  Megabytes edge_capacity{20'000.0};
+  Megabytes regional_capacity{200'000.0};
+  geo::GeoPoint origin{39.04, -77.49, 0.0};  ///< Ashburn
+  terrestrial::BackboneConfig backbone = {};
+};
+
+/// A two-level cache tree over the embedded CDN sites: one regional parent
+/// per world region (placed at the region's most central site), every other
+/// site an edge child of its region's parent.
+class CdnHierarchy {
+ public:
+  CdnHierarchy(std::span<const data::CdnSiteInfo> sites, const HierarchyConfig& config);
+
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+  [[nodiscard]] const data::CdnSiteInfo& edge_site(std::size_t index) const;
+
+  /// Index of the geographically nearest edge to a client.
+  [[nodiscard]] std::size_t nearest_edge(const geo::GeoPoint& client) const;
+
+  /// The regional parent serving an edge.
+  [[nodiscard]] const data::CdnSiteInfo& parent_of(std::size_t edge_index) const;
+
+  /// Serves a request arriving at `edge_index` with the client a
+  /// `client_rtt` round trip away.
+  [[nodiscard]] HierarchyResult serve(std::size_t edge_index, const ContentItem& item,
+                                      Milliseconds client_rtt, Milliseconds now);
+
+  /// Per-tier hit counters.
+  struct TierStats {
+    std::uint64_t edge_hits = 0;
+    std::uint64_t regional_hits = 0;
+    std::uint64_t origin_fetches = 0;
+
+    [[nodiscard]] std::uint64_t total() const noexcept {
+      return edge_hits + regional_hits + origin_fetches;
+    }
+  };
+  [[nodiscard]] const TierStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Edge {
+    const data::CdnSiteInfo* site;
+    std::unique_ptr<Cache> cache;
+    std::size_t regional_index;
+  };
+  struct Regional {
+    const data::CdnSiteInfo* site;
+    std::unique_ptr<Cache> cache;
+  };
+
+  HierarchyConfig config_;
+  terrestrial::Backbone backbone_;
+  std::vector<Edge> edges_;
+  std::vector<Regional> regionals_;
+  TierStats stats_;
+};
+
+}  // namespace spacecdn::cdn

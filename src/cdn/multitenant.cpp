@@ -1,0 +1,74 @@
+#include "cdn/multitenant.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace spacecdn::cdn {
+
+std::string_view to_string(TenancyMode mode) noexcept {
+  return mode == TenancyMode::kPartitioned ? "partitioned" : "shared";
+}
+
+MultiTenantCache::MultiTenantCache(Megabytes capacity, std::vector<Tenant> tenants,
+                                   TenancyMode mode, CachePolicy policy)
+    : tenants_(std::move(tenants)), mode_(mode) {
+  SPACECDN_EXPECT(!tenants_.empty(), "need at least one tenant");
+  double total_share = 0.0;
+  for (const auto& t : tenants_) {
+    SPACECDN_EXPECT(t.share > 0.0, "tenant share must be positive");
+    total_share += t.share;
+  }
+  SPACECDN_EXPECT(total_share <= 1.0 + 1e-9, "tenant shares must sum to <= 1");
+
+  stats_.resize(tenants_.size());
+  if (mode_ == TenancyMode::kPartitioned) {
+    for (const auto& t : tenants_) {
+      caches_.push_back(make_cache(policy, capacity * t.share));
+    }
+  } else {
+    caches_.push_back(make_cache(policy, capacity * total_share));
+  }
+}
+
+const Tenant& MultiTenantCache::tenant(std::size_t index) const {
+  SPACECDN_EXPECT(index < tenants_.size(), "tenant index out of range");
+  return tenants_[index];
+}
+
+ContentId MultiTenantCache::scoped_id(std::size_t tenant_index, ContentId id) noexcept {
+  // Reserve the top byte for the tenant; catalogs are far below 2^56.
+  return (static_cast<ContentId>(tenant_index + 1) << 56) | id;
+}
+
+bool MultiTenantCache::serve(std::size_t tenant_index, const ContentItem& item,
+                             Milliseconds now) {
+  SPACECDN_EXPECT(tenant_index < tenants_.size(), "tenant index out of range");
+  Cache& cache =
+      mode_ == TenancyMode::kPartitioned ? *caches_[tenant_index] : *caches_[0];
+
+  ContentItem scoped = item;
+  if (mode_ == TenancyMode::kShared) scoped.id = scoped_id(tenant_index, item.id);
+
+  const bool hit = cache.access(scoped.id, now);
+  if (hit) {
+    ++stats_[tenant_index].hits;
+  } else {
+    ++stats_[tenant_index].misses;
+    if (cache.insert(scoped, now)) ++stats_[tenant_index].insertions;
+  }
+  return hit;
+}
+
+const CacheStats& MultiTenantCache::tenant_stats(std::size_t index) const {
+  SPACECDN_EXPECT(index < stats_.size(), "tenant index out of range");
+  return stats_[index];
+}
+
+Megabytes MultiTenantCache::used() const {
+  Megabytes total{0.0};
+  for (const auto& c : caches_) total += c->used();
+  return total;
+}
+
+}  // namespace spacecdn::cdn

@@ -1,0 +1,69 @@
+// Multi-tenant satellite caches (the paper's MetaCDN-style economics).
+//
+// Paper section 5: "We envision a MetaCDN-like model where the LSNs own and
+// operate their satellite caches ... and allow multiple customers (e.g.
+// streaming services) to cache their content on the satellites."  The
+// operator must then split each satellite's storage between tenants.  This
+// module implements the two canonical designs -- hard partitioning by
+// purchased share vs a fully shared cache -- so the trade-off (isolation vs
+// statistical multiplexing) can be measured.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cdn/cache.hpp"
+
+namespace spacecdn::cdn {
+
+/// A paying CDN customer.
+struct Tenant {
+  std::string name;
+  /// Fraction of the cache purchased; shares across tenants must sum to <=1.
+  double share = 0.0;
+};
+
+/// How tenant storage is organised.
+enum class TenancyMode {
+  kPartitioned,  ///< each tenant gets a dedicated share-sized cache
+  kShared,       ///< one cache; tenants compete under a global policy
+};
+
+[[nodiscard]] std::string_view to_string(TenancyMode mode) noexcept;
+
+/// A multi-tenant object cache with per-tenant accounting.
+class MultiTenantCache {
+ public:
+  /// @throws spacecdn::ConfigError when shares exceed 1 or no tenants given.
+  MultiTenantCache(Megabytes capacity, std::vector<Tenant> tenants, TenancyMode mode,
+                   CachePolicy policy = CachePolicy::kLru);
+
+  [[nodiscard]] std::size_t tenant_count() const noexcept { return tenants_.size(); }
+  [[nodiscard]] const Tenant& tenant(std::size_t index) const;
+  [[nodiscard]] TenancyMode mode() const noexcept { return mode_; }
+
+  /// Serves one request of tenant `tenant_index` for `item`: returns whether
+  /// it hit; on miss the object is admitted into the tenant's storage.
+  bool serve(std::size_t tenant_index, const ContentItem& item, Milliseconds now);
+
+  [[nodiscard]] const CacheStats& tenant_stats(std::size_t index) const;
+
+  /// Total bytes resident across all tenants.
+  [[nodiscard]] Megabytes used() const;
+
+ private:
+  /// Namespaces an object id per tenant so that tenants sharing a cache do
+  /// not alias each other's objects.
+  [[nodiscard]] static ContentId scoped_id(std::size_t tenant_index,
+                                           ContentId id) noexcept;
+
+  std::vector<Tenant> tenants_;
+  TenancyMode mode_;
+  // kPartitioned: one cache per tenant; kShared: caches_[0] only.
+  std::vector<std::unique_ptr<Cache>> caches_;
+  std::vector<CacheStats> stats_;
+};
+
+}  // namespace spacecdn::cdn

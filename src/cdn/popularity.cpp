@@ -1,0 +1,91 @@
+#include "cdn/popularity.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace spacecdn::cdn {
+
+namespace {
+constexpr std::size_t kRegionCount = 6;
+
+std::size_t region_index(data::Region r) { return static_cast<std::size_t>(r); }
+}  // namespace
+
+RegionalPopularity::RegionalPopularity(std::uint64_t catalog_size, PopularityConfig config)
+    : catalog_size_(catalog_size),
+      config_(config),
+      zipf_(catalog_size, config.zipf_exponent) {
+  SPACECDN_EXPECT(catalog_size > 0, "catalog must not be empty");
+  SPACECDN_EXPECT(config.global_share >= 0.0 && config.global_share <= 1.0,
+                  "global share must be within [0, 1]");
+
+  // Globally-popular objects occupy every region's top ranks in the same
+  // order; the remainder of each region's ranking is an independent
+  // deterministic shuffle.
+  const auto global_top =
+      static_cast<std::uint64_t>(config.global_share * static_cast<double>(catalog_size));
+  des::Rng global_rng(config.permutation_seed);
+  std::vector<ContentId> global_order(catalog_size);
+  std::iota(global_order.begin(), global_order.end(), ContentId{0});
+  global_rng.shuffle(global_order);
+
+  rank_to_object_.resize(kRegionCount);
+  object_to_rank_.resize(kRegionCount);
+  for (std::size_t r = 0; r < kRegionCount; ++r) {
+    std::vector<ContentId> order = global_order;
+    // Re-shuffle everything past the shared global head, per region.
+    des::Rng region_rng(config.permutation_seed * 1000003 + r + 1);
+    for (std::uint64_t i = global_top; i + 1 < catalog_size; ++i) {
+      const std::uint64_t j = region_rng.uniform_int(i, catalog_size - 1);
+      std::swap(order[i], order[j]);
+    }
+    object_to_rank_[r].resize(catalog_size);
+    for (std::uint64_t rank0 = 0; rank0 < catalog_size; ++rank0) {
+      object_to_rank_[r][order[rank0]] = rank0 + 1;
+    }
+    rank_to_object_[r] = std::move(order);
+  }
+}
+
+const std::vector<ContentId>& RegionalPopularity::permutation(data::Region region) const {
+  return rank_to_object_[region_index(region)];
+}
+
+ContentId RegionalPopularity::object_at_rank(data::Region region,
+                                             std::uint64_t rank) const {
+  SPACECDN_EXPECT(rank >= 1 && rank <= catalog_size_, "rank out of catalog range");
+  return permutation(region)[rank - 1];
+}
+
+std::uint64_t RegionalPopularity::rank_of(data::Region region, ContentId id) const {
+  SPACECDN_EXPECT(id < catalog_size_, "content id outside catalog");
+  return object_to_rank_[region_index(region)][id];
+}
+
+ContentId RegionalPopularity::sample(data::Region region, des::Rng& rng) const {
+  return object_at_rank(region, zipf_.sample(rng));
+}
+
+std::vector<ContentId> RegionalPopularity::top_k(data::Region region,
+                                                 std::uint64_t k) const {
+  SPACECDN_EXPECT(k <= catalog_size_, "top-k exceeds catalog size");
+  const auto& order = permutation(region);
+  return {order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k)};
+}
+
+double RegionalPopularity::top_k_overlap(data::Region a, data::Region b,
+                                         std::uint64_t k) const {
+  if (k == 0) return 0.0;
+  const auto top_a = top_k(a, k);
+  const auto top_b = top_k(b, k);
+  const std::unordered_set<ContentId> set_a(top_a.begin(), top_a.end());
+  std::uint64_t shared = 0;
+  for (ContentId id : top_b) shared += set_a.count(id);
+  // Jaccard over the union of the two top-k sets.
+  return static_cast<double>(shared) / static_cast<double>(2 * k - shared);
+}
+
+}  // namespace spacecdn::cdn

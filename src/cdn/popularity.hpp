@@ -1,0 +1,66 @@
+// Regional content popularity.
+//
+// Content popularity is Zipf-distributed, but *which* objects are popular
+// differs by region -- the driver of the paper's content-bubble idea and of
+// why a Mozambican user mapped to a Frankfurt cache sees misses.  Each
+// region gets a deterministic permutation of the catalog, so rank 1 in
+// Africa is a different object than rank 1 in Europe, with partial overlap
+// controlled by `global_share` (some content is globally popular).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cdn/content.hpp"
+#include "data/types.hpp"
+#include "des/random.hpp"
+
+namespace spacecdn::cdn {
+
+/// Tunables of the regional popularity model.
+struct PopularityConfig {
+  double zipf_exponent = 0.9;  ///< classic web/CDN value 0.6-1.0
+  /// Fraction of top-rank slots occupied by the same global objects in every
+  /// region (global hits: major software updates, viral videos).
+  double global_share = 0.2;
+  std::uint64_t permutation_seed = 4242;
+};
+
+/// Maps (region, rank) -> object and samples requests per region.
+class RegionalPopularity {
+ public:
+  /// @throws spacecdn::ConfigError on invalid config.
+  RegionalPopularity(std::uint64_t catalog_size, PopularityConfig config);
+
+  [[nodiscard]] std::uint64_t catalog_size() const noexcept { return catalog_size_; }
+  [[nodiscard]] const PopularityConfig& config() const noexcept { return config_; }
+
+  /// The object at popularity rank `rank` (1-based) in `region`.
+  [[nodiscard]] ContentId object_at_rank(data::Region region, std::uint64_t rank) const;
+
+  /// Popularity rank of an object in a region (1-based).
+  [[nodiscard]] std::uint64_t rank_of(data::Region region, ContentId id) const;
+
+  /// Draws one request from the region's Zipf distribution.
+  [[nodiscard]] ContentId sample(data::Region region, des::Rng& rng) const;
+
+  /// The region's `k` most popular objects, in rank order.
+  [[nodiscard]] std::vector<ContentId> top_k(data::Region region, std::uint64_t k) const;
+
+  /// Jaccard overlap of the top-k sets of two regions (diagnostic used by
+  /// the content-bubble benches).
+  [[nodiscard]] double top_k_overlap(data::Region a, data::Region b,
+                                     std::uint64_t k) const;
+
+ private:
+  [[nodiscard]] const std::vector<ContentId>& permutation(data::Region region) const;
+
+  std::uint64_t catalog_size_;
+  PopularityConfig config_;
+  des::ZipfDistribution zipf_;
+  // One rank->object permutation per region, plus inverse maps.
+  std::vector<std::vector<ContentId>> rank_to_object_;
+  std::vector<std::vector<std::uint64_t>> object_to_rank_;
+};
+
+}  // namespace spacecdn::cdn

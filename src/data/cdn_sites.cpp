@@ -1,0 +1,160 @@
+#include <algorithm>
+
+#include "data/datasets.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::data {
+
+namespace {
+
+// Cloudflare-like anycast deployment (~100 metros).  The African coverage
+// pattern matters most for the reproduction: sites exist in Maputo, Nairobi,
+// Mombasa, Kigali, Lagos, Johannesburg, Cape Town -- but NOT in Lusaka,
+// Mbabane, Lilongwe or Gaborone, whose terrestrial users must reach a
+// neighbouring country (Table 1: Zambia 1,203 km, Eswatini 302 km).
+constexpr CdnSiteInfo kSites[] = {
+    // North America
+    {"SEA", "Seattle", "US", 47.61, -122.33},
+    {"PDX", "Portland", "US", 45.52, -122.68},
+    {"SFO", "San Francisco", "US", 37.77, -122.42},
+    {"SJC", "San Jose", "US", 37.34, -121.89},
+    {"LAX", "Los Angeles", "US", 34.05, -118.24},
+    {"PHX", "Phoenix", "US", 33.45, -112.07},
+    {"DEN", "Denver", "US", 39.74, -104.99},
+    {"DFW", "Dallas", "US", 32.78, -96.80},
+    {"IAH", "Houston", "US", 29.76, -95.37},
+    {"MCI", "Kansas City", "US", 39.10, -94.58},
+    {"ORD", "Chicago", "US", 41.88, -87.63},
+    {"MSP", "Minneapolis", "US", 44.98, -93.27},
+    {"DTW", "Detroit", "US", 42.33, -83.05},
+    {"ATL", "Atlanta", "US", 33.75, -84.39},
+    {"MIA", "Miami", "US", 25.76, -80.19},
+    {"TPA", "Tampa", "US", 27.95, -82.46},
+    {"IAD", "Ashburn", "US", 39.04, -77.49},
+    {"EWR", "Newark", "US", 40.74, -74.17},
+    {"BOS", "Boston", "US", 42.36, -71.06},
+    {"YYZ", "Toronto", "CA", 43.65, -79.38},
+    {"YUL", "Montreal", "CA", 45.50, -73.57},
+    {"YVR", "Vancouver", "CA", 49.28, -123.12},
+    {"YYC", "Calgary", "CA", 51.05, -114.07},
+    // Latin America & Caribbean
+    {"MEX", "Mexico City", "MX", 19.43, -99.13},
+    {"QRO", "Queretaro", "MX", 20.59, -100.39},
+    {"GDL", "Guadalajara", "MX", 20.67, -103.35},
+    {"MTY", "Monterrey", "MX", 25.69, -100.32},
+    {"GUA", "Guatemala City", "GT", 14.63, -90.51},
+    {"SAL", "San Salvador", "SV", 13.69, -89.22},
+    {"SJO", "San Jose CR", "CR", 9.93, -84.08},
+    {"PTY", "Panama City", "PA", 8.98, -79.52},
+    {"SDQ", "Santo Domingo", "DO", 18.49, -69.89},
+    {"PAP", "Port-au-Prince", "HT", 18.54, -72.34},
+    {"KIN", "Kingston", "JM", 17.97, -76.79},
+    {"BOG", "Bogota", "CO", 4.71, -74.07},
+    {"MDE", "Medellin", "CO", 6.24, -75.58},
+    {"UIO", "Quito", "EC", -0.18, -78.47},
+    {"GYE", "Guayaquil", "EC", -2.19, -79.89},
+    {"LIM", "Lima", "PE", -12.05, -77.04},
+    {"LPB", "La Paz", "BO", -16.49, -68.15},
+    {"GRU", "Sao Paulo", "BR", -23.55, -46.63},
+    {"GIG", "Rio de Janeiro", "BR", -22.91, -43.17},
+    {"BSB", "Brasilia", "BR", -15.79, -47.88},
+    {"FOR", "Fortaleza", "BR", -3.73, -38.53},
+    {"SCL", "Santiago", "CL", -33.45, -70.67},
+    {"EZE", "Buenos Aires", "AR", -34.60, -58.38},
+    {"COR", "Cordoba", "AR", -31.42, -64.18},
+    {"MVD", "Montevideo", "UY", -34.90, -56.16},
+    {"ASU", "Asuncion", "PY", -25.26, -57.58},
+    // Europe
+    {"LHR", "London", "GB", 51.51, -0.13},
+    {"MAN", "Manchester", "GB", 53.48, -2.24},
+    {"EDI", "Edinburgh", "GB", 55.95, -3.19},
+    {"DUB", "Dublin", "IE", 53.35, -6.26},
+    {"CDG", "Paris", "FR", 48.86, 2.35},
+    {"MRS", "Marseille", "FR", 43.30, 5.37},
+    {"FRA", "Frankfurt", "DE", 50.11, 8.68},
+    {"MUC", "Munich", "DE", 48.14, 11.58},
+    {"TXL", "Berlin", "DE", 52.52, 13.40},
+    {"DUS", "Dusseldorf", "DE", 51.22, 6.77},
+    {"AMS", "Amsterdam", "NL", 52.37, 4.90},
+    {"BRU", "Brussels", "BE", 50.85, 4.35},
+    {"ZRH", "Zurich", "CH", 47.38, 8.54},
+    {"GVA", "Geneva", "CH", 46.20, 6.14},
+    {"VIE", "Vienna", "AT", 48.21, 16.37},
+    {"PRG", "Prague", "CZ", 50.08, 14.44},
+    {"WAW", "Warsaw", "PL", 52.23, 21.01},
+    {"MAD", "Madrid", "ES", 40.42, -3.70},
+    {"BCN", "Barcelona", "ES", 41.39, 2.17},
+    {"LIS", "Lisbon", "PT", 38.72, -9.14},
+    {"MXP", "Milan", "IT", 45.46, 9.19},
+    {"FCO", "Rome", "IT", 41.90, 12.50},
+    {"LJU", "Ljubljana", "SI", 46.05, 14.51},
+    {"ZAG", "Zagreb", "HR", 45.81, 15.98},
+    {"ATH", "Athens", "GR", 37.98, 23.73},
+    {"LCA", "Nicosia", "CY", 35.19, 33.38},
+    {"SOF", "Sofia", "BG", 42.70, 23.32},
+    {"OTP", "Bucharest", "RO", 44.43, 26.10},
+    {"KIV", "Chisinau", "MD", 47.01, 28.86},
+    {"KBP", "Kyiv", "UA", 50.45, 30.52},
+    {"VNO", "Vilnius", "LT", 54.69, 25.28},
+    {"RIX", "Riga", "LV", 56.95, 24.11},
+    {"TLL", "Tallinn", "EE", 59.44, 24.75},
+    {"ARN", "Stockholm", "SE", 59.33, 18.07},
+    {"OSL", "Oslo", "NO", 59.91, 10.75},
+    {"HEL", "Helsinki", "FI", 60.17, 24.94},
+    {"CPH", "Copenhagen", "DK", 55.68, 12.57},
+    // Africa
+    {"LOS", "Lagos", "NG", 6.52, 3.38},
+    {"ACC", "Accra", "GH", 5.60, -0.19},
+    {"DKR", "Dakar", "SN", 14.69, -17.45},
+    {"NBO", "Nairobi", "KE", -1.29, 36.82},
+    {"MBA", "Mombasa", "KE", -4.04, 39.67},
+    {"KGL", "Kigali", "RW", -1.94, 30.06},
+    {"DAR", "Dar es Salaam", "TZ", -6.79, 39.21},
+    {"MPM", "Maputo", "MZ", -25.97, 32.58},
+    {"JNB", "Johannesburg", "ZA", -26.20, 28.05},
+    {"CPT", "Cape Town", "ZA", -33.92, 18.42},
+    {"DUR", "Durban", "ZA", -29.86, 31.03},
+    {"TNR", "Antananarivo", "MG", -18.88, 47.51},
+    {"CAI", "Cairo", "EG", 30.04, 31.24},
+    {"CMN", "Casablanca", "MA", 33.57, -7.59},
+    {"LAD", "Luanda", "AO", -8.84, 13.23},
+    {"HRE", "Harare", "ZW", -17.83, 31.05},
+    // Asia
+    {"NRT", "Tokyo", "JP", 35.68, 139.69},
+    {"KIX", "Osaka", "JP", 34.69, 135.50},
+    {"CTS", "Sapporo", "JP", 43.06, 141.35},
+    {"SIN", "Singapore", "SG", 1.35, 103.82},
+    {"KUL", "Kuala Lumpur", "MY", 3.14, 101.69},
+    {"CGK", "Jakarta", "ID", -6.21, 106.85},
+    {"MNL", "Manila", "PH", 14.60, 120.98},
+    {"HKG", "Hong Kong", "HK", 22.32, 114.17},
+    {"ICN", "Seoul", "KR", 37.57, 126.98},
+    {"TPE", "Taipei", "TW", 25.03, 121.57},
+    {"BOM", "Mumbai", "IN", 19.08, 72.88},
+    {"DEL", "Delhi", "IN", 28.61, 77.21},
+    {"DXB", "Dubai", "AE", 25.20, 55.27},
+    {"IST", "Istanbul", "TR", 41.01, 28.98},
+    // Oceania
+    {"SYD", "Sydney", "AU", -33.87, 151.21},
+    {"MEL", "Melbourne", "AU", -37.81, 144.96},
+    {"BNE", "Brisbane", "AU", -27.47, 153.03},
+    {"PER", "Perth", "AU", -31.95, 115.86},
+    {"AKL", "Auckland", "NZ", -36.85, 174.76},
+    {"WLG", "Wellington", "NZ", -41.29, 174.78},
+    {"NAN", "Nadi", "FJ", -17.76, 177.44},
+};
+
+}  // namespace
+
+std::span<const CdnSiteInfo> cdn_sites() { return kSites; }
+
+const CdnSiteInfo& cdn_site(std::string_view iata) {
+  const auto it = std::find_if(std::begin(kSites), std::end(kSites),
+                               [&](const CdnSiteInfo& s) { return s.iata == iata; });
+  if (it == std::end(kSites)) {
+    throw NotFoundError("unknown CDN site: " + std::string(iata));
+  }
+  return *it;
+}
+
+}  // namespace spacecdn::data

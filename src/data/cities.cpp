@@ -1,0 +1,172 @@
+#include <algorithm>
+
+#include "data/datasets.hpp"
+#include "geo/distance.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::data {
+
+namespace {
+
+// Measurement-client population centres: every Starlink country gets at
+// least one metro; countries examined closely by the paper (Table 1,
+// Figures 3-5) get several so that per-country averages are meaningful.
+constexpr CityInfo kCities[] = {
+    // North America
+    {"New York", "US", 40.71, -74.01, 19000},
+    {"Los Angeles", "US", 34.05, -118.24, 13000},
+    {"Chicago", "US", 41.88, -87.63, 9500},
+    {"Dallas", "US", 32.78, -96.80, 7600},
+    {"Seattle", "US", 47.61, -122.33, 4000},
+    {"Atlanta", "US", 33.75, -84.39, 6000},
+    {"Denver", "US", 39.74, -104.99, 2900},
+    {"Miami", "US", 25.76, -80.19, 6100},
+    {"Toronto", "CA", 43.65, -79.38, 6200},
+    {"Vancouver", "CA", 49.28, -123.12, 2600},
+    {"Montreal", "CA", 45.50, -73.57, 4300},
+    {"Calgary", "CA", 51.05, -114.07, 1600},
+    {"Mexico City", "MX", 19.43, -99.13, 21800},
+    {"Guadalajara", "MX", 20.67, -103.35, 5300},
+    {"Monterrey", "MX", 25.69, -100.32, 5300},
+    // Latin America & Caribbean
+    {"Guatemala City", "GT", 14.63, -90.51, 3000},
+    {"Quetzaltenango", "GT", 14.85, -91.52, 250},
+    {"Tegucigalpa", "HN", 14.07, -87.19, 1400},
+    {"San Salvador", "SV", 13.69, -89.22, 1100},
+    {"San Jose CR", "CR", 9.93, -84.08, 1400},
+    {"Panama City", "PA", 8.98, -79.52, 1900},
+    {"Santo Domingo", "DO", 18.49, -69.89, 3300},
+    {"Port-au-Prince", "HT", 18.54, -72.34, 2800},
+    {"Kingston", "JM", 17.97, -76.79, 1200},
+    {"Bogota", "CO", 4.71, -74.07, 10700},
+    {"Medellin", "CO", 6.24, -75.58, 4000},
+    {"Quito", "EC", -0.18, -78.47, 2000},
+    {"Guayaquil", "EC", -2.19, -79.89, 3000},
+    {"Lima", "PE", -12.05, -77.04, 10700},
+    {"Arequipa", "PE", -16.41, -71.54, 1100},
+    {"La Paz", "BO", -16.49, -68.15, 1900},
+    {"Sao Paulo", "BR", -23.55, -46.63, 22400},
+    {"Rio de Janeiro", "BR", -22.91, -43.17, 13600},
+    {"Brasilia", "BR", -15.79, -47.88, 4700},
+    {"Recife", "BR", -8.05, -34.88, 4100},
+    {"Santiago", "CL", -33.45, -70.67, 6800},
+    {"Valparaiso", "CL", -33.05, -71.62, 1000},
+    {"Buenos Aires", "AR", -34.60, -58.38, 15400},
+    {"Cordoba", "AR", -31.42, -64.18, 1600},
+    {"Montevideo", "UY", -34.90, -56.16, 1800},
+    {"Asuncion", "PY", -25.26, -57.58, 3400},
+    // Europe
+    {"London", "GB", 51.51, -0.13, 14300},
+    {"Manchester", "GB", 53.48, -2.24, 2800},
+    {"Edinburgh", "GB", 55.95, -3.19, 540},
+    {"Dublin", "IE", 53.35, -6.26, 1400},
+    {"Paris", "FR", 48.86, 2.35, 13000},
+    {"Lyon", "FR", 45.76, 4.84, 1700},
+    {"Marseille", "FR", 43.30, 5.37, 1600},
+    {"Frankfurt", "DE", 50.11, 8.68, 2700},
+    {"Berlin", "DE", 52.52, 13.40, 4500},
+    {"Munich", "DE", 48.14, 11.58, 2900},
+    {"Amsterdam", "NL", 52.37, 4.90, 2500},
+    {"Brussels", "BE", 50.85, 4.35, 2100},
+    {"Zurich", "CH", 47.38, 8.54, 1400},
+    {"Vienna", "AT", 48.21, 16.37, 1900},
+    {"Prague", "CZ", 50.08, 14.44, 1300},
+    {"Warsaw", "PL", 52.23, 21.01, 3100},
+    {"Krakow", "PL", 50.06, 19.94, 770},
+    {"Madrid", "ES", 40.42, -3.70, 6700},
+    {"Barcelona", "ES", 41.39, 2.17, 5600},
+    {"Seville", "ES", 37.39, -5.98, 1500},
+    {"Lisbon", "PT", 38.72, -9.14, 2900},
+    {"Milan", "IT", 45.46, 9.19, 4300},
+    {"Rome", "IT", 41.90, 12.50, 4300},
+    {"Ljubljana", "SI", 46.05, 14.51, 290},
+    {"Zagreb", "HR", 45.81, 15.98, 810},
+    {"Athens", "GR", 37.98, 23.73, 3150},
+    {"Nicosia", "CY", 35.19, 33.38, 330},
+    {"Limassol", "CY", 34.70, 33.02, 240},
+    {"Sofia", "BG", 42.70, 23.32, 1280},
+    {"Bucharest", "RO", 44.43, 26.10, 1800},
+    {"Chisinau", "MD", 47.01, 28.86, 640},
+    {"Kyiv", "UA", 50.45, 30.52, 3000},
+    {"Vilnius", "LT", 54.69, 25.28, 580},
+    {"Kaunas", "LT", 54.90, 23.91, 300},
+    {"Riga", "LV", 56.95, 24.11, 630},
+    {"Tallinn", "EE", 59.44, 24.75, 450},
+    {"Stockholm", "SE", 59.33, 18.07, 1700},
+    {"Oslo", "NO", 59.91, 10.75, 1100},
+    {"Helsinki", "FI", 60.17, 24.94, 1330},
+    {"Copenhagen", "DK", 55.68, 12.57, 1380},
+    // Africa
+    {"Lagos", "NG", 6.52, 3.38, 15400},
+    {"Abuja", "NG", 9.06, 7.49, 3800},
+    {"Cotonou", "BJ", 6.37, 2.39, 780},
+    {"Accra", "GH", 5.60, -0.19, 2600},
+    {"Nairobi", "KE", -1.29, 36.82, 5000},
+    {"Mombasa", "KE", -4.04, 39.67, 1300},
+    {"Kigali", "RW", -1.94, 30.06, 1200},
+    {"Lilongwe", "MW", -13.98, 33.79, 1100},
+    {"Maputo", "MZ", -25.97, 32.58, 1100},
+    {"Beira", "MZ", -19.84, 34.84, 530},
+    {"Lusaka", "ZM", -15.39, 28.32, 2900},
+    {"Mbabane", "SZ", -26.31, 31.14, 95},
+    {"Manzini", "SZ", -26.50, 31.38, 110},
+    {"Gaborone", "BW", -24.65, 25.91, 270},
+    {"Antananarivo", "MG", -18.88, 47.51, 1400},
+    {"Johannesburg", "ZA", -26.20, 28.05, 9600},
+    {"Cape Town", "ZA", -33.92, 18.42, 4600},
+    // Asia
+    {"Tokyo", "JP", 35.68, 139.69, 37400},
+    {"Osaka", "JP", 34.69, 135.50, 19200},
+    {"Sapporo", "JP", 43.06, 141.35, 1950},
+    {"Manila", "PH", 14.60, 120.98, 13900},
+    {"Kuala Lumpur", "MY", 3.14, 101.69, 8000},
+    {"Jakarta", "ID", -6.21, 106.85, 10600},
+    {"Singapore", "SG", 1.35, 103.82, 5900},
+    {"Mumbai", "IN", 19.08, 72.88, 20400},
+    // Oceania
+    {"Sydney", "AU", -33.87, 151.21, 5300},
+    {"Melbourne", "AU", -37.81, 144.96, 5100},
+    {"Perth", "AU", -31.95, 115.86, 2100},
+    {"Auckland", "NZ", -36.85, 174.76, 1700},
+    {"Wellington", "NZ", -41.29, 174.78, 420},
+    {"Suva", "FJ", -18.14, 178.44, 180},
+};
+
+}  // namespace
+
+std::span<const CityInfo> cities() { return kCities; }
+
+std::vector<const CityInfo*> cities_in(std::string_view country_code) {
+  std::vector<const CityInfo*> out;
+  for (const auto& c : kCities) {
+    if (c.country_code == country_code) out.push_back(&c);
+  }
+  if (out.empty()) {
+    throw NotFoundError("no cities in dataset for country: " + std::string(country_code));
+  }
+  return out;
+}
+
+const CityInfo& city(std::string_view name) {
+  const auto it = std::find_if(std::begin(kCities), std::end(kCities),
+                               [&](const CityInfo& c) { return c.name == name; });
+  if (it == std::end(kCities)) {
+    throw NotFoundError("unknown city: " + std::string(name));
+  }
+  return *it;
+}
+
+const CityInfo& nearest_city(const geo::GeoPoint& point) {
+  const CityInfo* best = &kCities[0];
+  Kilometers best_d = geo::great_circle_distance(point, location(kCities[0]));
+  for (const auto& c : kCities) {
+    const Kilometers d = geo::great_circle_distance(point, location(c));
+    if (d < best_d) {
+      best_d = d;
+      best = &c;
+    }
+  }
+  return *best;
+}
+
+}  // namespace spacecdn::data

@@ -1,0 +1,151 @@
+#include <algorithm>
+
+#include "data/datasets.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::data {
+
+std::string_view to_string(Region r) noexcept {
+  switch (r) {
+    case Region::kNorthAmerica: return "North America";
+    case Region::kLatinAmerica: return "Latin America";
+    case Region::kEurope: return "Europe";
+    case Region::kAfrica: return "Africa";
+    case Region::kAsia: return "Asia";
+    case Region::kOceania: return "Oceania";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+using enum Region;
+constexpr Milliseconds ms(double v) { return Milliseconds{v}; }
+constexpr Mbps mbps(double v) { return Mbps{v}; }
+
+// Calibration notes:
+//  * path_stretch: fiber-route / great-circle ratio.  Well-meshed regions
+//    (western EU, US, JP) ~1.5; Latin America ~2.0; Africa ~2.6 (paper cites
+//    Formoso et al. on African inter-country latencies).
+//  * access_latency: median terrestrial last-mile latency, set so that the
+//    synthetic campaign reproduces the terrestrial minRTT column of Table 1.
+//  * assigned_pop: carrier-grade-NAT PoP per the paper's observations --
+//    e.g. southern/eastern Africa lands in Frankfurt ("nearly 9,000 km
+//    away"), Nigeria has a local PoP, Baltics reach Frankfurt.
+constexpr CountryInfo kCountries[] = {
+    // -- North America -----------------------------------------------------
+    {"US", "United States", kNorthAmerica, true, "", 1.5, ms(6.0), mbps(220)},
+    {"CA", "Canada", kNorthAmerica, true, "toronto", 1.6, ms(7.0), mbps(180)},
+    {"MX", "Mexico", kNorthAmerica, true, "queretaro", 1.9, ms(9.0), mbps(80)},
+    // -- Latin America & Caribbean -----------------------------------------
+    {"GT", "Guatemala", kLatinAmerica, true, "queretaro", 2.0, ms(5.0), mbps(45)},
+    {"HN", "Honduras", kLatinAmerica, true, "queretaro", 2.1, ms(9.0), mbps(35)},
+    {"SV", "El Salvador", kLatinAmerica, true, "queretaro", 2.0, ms(8.0), mbps(40)},
+    {"CR", "Costa Rica", kLatinAmerica, true, "bogota", 2.0, ms(8.0), mbps(60)},
+    {"PA", "Panama", kLatinAmerica, true, "bogota", 2.0, ms(7.0), mbps(70)},
+    {"DO", "Dominican Republic", kLatinAmerica, true, "atlanta", 2.0, ms(6.0), mbps(50)},
+    {"HT", "Haiti", kLatinAmerica, true, "atlanta", 2.2, ms(1.5), mbps(20)},
+    {"JM", "Jamaica", kLatinAmerica, true, "atlanta", 2.1, ms(7.0), mbps(45)},
+    {"CO", "Colombia", kLatinAmerica, true, "bogota", 2.0, ms(8.0), mbps(90)},
+    {"EC", "Ecuador", kLatinAmerica, true, "bogota", 2.1, ms(9.0), mbps(60)},
+    {"PE", "Peru", kLatinAmerica, true, "lima", 2.0, ms(8.0), mbps(70)},
+    {"BO", "Bolivia", kLatinAmerica, true, "lima", 2.3, ms(14.0), mbps(30)},
+    {"BR", "Brazil", kLatinAmerica, true, "saopaulo", 1.9, ms(8.0), mbps(120)},
+    {"CL", "Chile", kLatinAmerica, true, "santiago", 1.8, ms(6.0), mbps(150)},
+    {"AR", "Argentina", kLatinAmerica, true, "santiago", 1.9, ms(8.0), mbps(90)},
+    {"UY", "Uruguay", kLatinAmerica, true, "saopaulo", 1.9, ms(7.0), mbps(110)},
+    {"PY", "Paraguay", kLatinAmerica, true, "saopaulo", 2.2, ms(11.0), mbps(40)},
+    // -- Europe --------------------------------------------------------------
+    {"GB", "United Kingdom", kEurope, true, "london", 1.5, ms(6.0), mbps(140)},
+    {"IE", "Ireland", kEurope, true, "london", 1.6, ms(7.0), mbps(120)},
+    {"FR", "France", kEurope, true, "london", 1.5, ms(6.0), mbps(200)},
+    {"DE", "Germany", kEurope, true, "frankfurt", 1.5, ms(6.0), mbps(150)},
+    {"NL", "Netherlands", kEurope, true, "frankfurt", 1.4, ms(5.0), mbps(250)},
+    {"BE", "Belgium", kEurope, true, "frankfurt", 1.5, ms(6.0), mbps(160)},
+    {"CH", "Switzerland", kEurope, true, "frankfurt", 1.5, ms(5.0), mbps(220)},
+    {"AT", "Austria", kEurope, true, "frankfurt", 1.5, ms(6.0), mbps(150)},
+    {"CZ", "Czechia", kEurope, true, "frankfurt", 1.6, ms(7.0), mbps(120)},
+    {"PL", "Poland", kEurope, true, "warsaw", 1.6, ms(7.0), mbps(130)},
+    {"ES", "Spain", kEurope, true, "madrid", 1.6, ms(9.0), mbps(180)},
+    {"PT", "Portugal", kEurope, true, "madrid", 1.6, ms(8.0), mbps(150)},
+    {"IT", "Italy", kEurope, true, "milan", 1.6, ms(8.0), mbps(120)},
+    {"SI", "Slovenia", kEurope, true, "milan", 1.6, ms(7.0), mbps(130)},
+    {"HR", "Croatia", kEurope, true, "milan", 1.7, ms(8.0), mbps(100)},
+    {"GR", "Greece", kEurope, true, "milan", 1.8, ms(10.0), mbps(80)},
+    {"CY", "Cyprus", kEurope, true, "frankfurt", 1.8, ms(6.0), mbps(90)},
+    {"BG", "Bulgaria", kEurope, true, "frankfurt", 1.7, ms(8.0), mbps(90)},
+    {"RO", "Romania", kEurope, true, "frankfurt", 1.7, ms(7.0), mbps(160)},
+    {"MD", "Moldova", kEurope, true, "frankfurt", 1.8, ms(9.0), mbps(80)},
+    {"UA", "Ukraine", kEurope, true, "warsaw", 1.8, ms(9.0), mbps(80)},
+    {"LT", "Lithuania", kEurope, true, "frankfurt", 1.7, ms(9.0), mbps(120)},
+    {"LV", "Latvia", kEurope, true, "frankfurt", 1.7, ms(9.0), mbps(110)},
+    {"EE", "Estonia", kEurope, true, "frankfurt", 1.7, ms(8.0), mbps(130)},
+    {"SE", "Sweden", kEurope, true, "frankfurt", 1.6, ms(6.0), mbps(200)},
+    {"NO", "Norway", kEurope, true, "frankfurt", 1.7, ms(7.0), mbps(180)},
+    {"FI", "Finland", kEurope, true, "frankfurt", 1.7, ms(7.0), mbps(160)},
+    {"DK", "Denmark", kEurope, true, "frankfurt", 1.5, ms(5.0), mbps(220)},
+    // -- Africa --------------------------------------------------------------
+    // West Africa: the paper finds Starlink *faster* than terrestrial here
+    // ("Starlink users in Nigeria are the only outliers since they benefit
+    // from a nearby PoP and skip the still under-developed terrestrial
+    // infrastructure") -- modelled as a high terrestrial last-mile latency.
+    {"NG", "Nigeria", kAfrica, true, "lagos", 2.6, ms(35.0), mbps(15)},
+    {"BJ", "Benin", kAfrica, true, "lagos", 2.6, ms(30.0), mbps(12)},
+    {"GH", "Ghana", kAfrica, true, "lagos", 2.6, ms(28.0), mbps(15)},
+    {"KE", "Kenya", kAfrica, true, "frankfurt", 2.6, ms(8.0), mbps(30)},
+    {"RW", "Rwanda", kAfrica, true, "frankfurt", 2.6, ms(4.0), mbps(25)},
+    {"MW", "Malawi", kAfrica, true, "frankfurt", 2.8, ms(14.0), mbps(15)},
+    {"MZ", "Mozambique", kAfrica, true, "frankfurt", 2.6, ms(5.0), mbps(20)},
+    {"ZM", "Zambia", kAfrica, true, "frankfurt", 2.8, ms(16.0), mbps(20)},
+    {"SZ", "Eswatini", kAfrica, true, "frankfurt", 2.6, ms(8.0), mbps(20)},
+    {"BW", "Botswana", kAfrica, true, "frankfurt", 2.7, ms(12.0), mbps(25)},
+    {"MG", "Madagascar", kAfrica, true, "frankfurt", 2.8, ms(14.0), mbps(15)},
+    {"ZA", "South Africa", kAfrica, false, "", 2.3, ms(9.0), mbps(60)},
+    // Terrestrial-only countries that host CDN sites (no Starlink service in
+    // the paper's measurement window).
+    {"SN", "Senegal", kAfrica, false, "", 2.6, ms(14.0), mbps(20)},
+    {"TZ", "Tanzania", kAfrica, false, "", 2.6, ms(12.0), mbps(20)},
+    {"EG", "Egypt", kAfrica, false, "", 2.2, ms(11.0), mbps(40)},
+    {"MA", "Morocco", kAfrica, false, "", 2.1, ms(10.0), mbps(40)},
+    {"AO", "Angola", kAfrica, false, "", 2.7, ms(15.0), mbps(15)},
+    {"ZW", "Zimbabwe", kAfrica, false, "", 2.7, ms(14.0), mbps(15)},
+    // -- Asia ----------------------------------------------------------------
+    {"JP", "Japan", kAsia, true, "tokyo", 1.5, ms(5.0), mbps(300)},
+    {"PH", "Philippines", kAsia, true, "singapore", 2.2, ms(10.0), mbps(60)},
+    {"MY", "Malaysia", kAsia, true, "singapore", 1.9, ms(8.0), mbps(90)},
+    {"ID", "Indonesia", kAsia, true, "singapore", 2.2, ms(10.0), mbps(50)},
+    {"SG", "Singapore", kAsia, false, "", 1.4, ms(4.0), mbps(400)},
+    {"IN", "India", kAsia, false, "", 2.1, ms(11.0), mbps(60)},
+    {"HK", "Hong Kong", kAsia, false, "", 1.5, ms(5.0), mbps(300)},
+    {"KR", "South Korea", kAsia, false, "", 1.5, ms(4.0), mbps(350)},
+    {"TW", "Taiwan", kAsia, false, "", 1.5, ms(5.0), mbps(250)},
+    {"AE", "United Arab Emirates", kAsia, false, "", 1.7, ms(7.0), mbps(200)},
+    {"TR", "Turkey", kAsia, false, "", 1.9, ms(9.0), mbps(80)},
+    // -- Oceania -------------------------------------------------------------
+    {"AU", "Australia", kOceania, true, "sydney", 1.7, ms(7.0), mbps(110)},
+    {"NZ", "New Zealand", kOceania, true, "auckland", 1.6, ms(6.0), mbps(140)},
+    {"FJ", "Fiji", kOceania, true, "auckland", 2.2, ms(12.0), mbps(40)},
+};
+
+}  // namespace
+
+std::span<const CountryInfo> countries() { return kCountries; }
+
+const CountryInfo& country(std::string_view code) {
+  const auto it = std::find_if(std::begin(kCountries), std::end(kCountries),
+                               [&](const CountryInfo& c) { return c.code == code; });
+  if (it == std::end(kCountries)) {
+    throw NotFoundError("unknown country code: " + std::string(code));
+  }
+  return *it;
+}
+
+std::vector<const CountryInfo*> starlink_countries() {
+  std::vector<const CountryInfo*> out;
+  for (const auto& c : kCountries) {
+    if (c.starlink_available) out.push_back(&c);
+  }
+  return out;
+}
+
+}  // namespace spacecdn::data

@@ -1,0 +1,51 @@
+// Accessors over the embedded datasets.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/types.hpp"
+
+namespace spacecdn::data {
+
+/// All countries in the dataset.
+[[nodiscard]] std::span<const CountryInfo> countries();
+
+/// Lookup by ISO alpha-2 code.  @throws spacecdn::NotFoundError.
+[[nodiscard]] const CountryInfo& country(std::string_view code);
+
+/// Countries with Starlink availability (the AIM-campaign population).
+[[nodiscard]] std::vector<const CountryInfo*> starlink_countries();
+
+/// All cities.
+[[nodiscard]] std::span<const CityInfo> cities();
+
+/// Cities of one country.  @throws spacecdn::NotFoundError if the country
+/// has no cities in the dataset.
+[[nodiscard]] std::vector<const CityInfo*> cities_in(std::string_view country_code);
+
+/// Lookup a city by name.  @throws spacecdn::NotFoundError.
+[[nodiscard]] const CityInfo& city(std::string_view name);
+
+/// The dataset city geographically nearest to a point (e.g. a sub-satellite
+/// point); used to decide which region a satellite currently overflies.
+[[nodiscard]] const CityInfo& nearest_city(const geo::GeoPoint& point);
+
+/// The 22 operational Starlink PoPs the paper plots in Figure 2.
+[[nodiscard]] std::span<const PopInfo> starlink_pops();
+
+/// Lookup by key.  @throws spacecdn::NotFoundError.
+[[nodiscard]] const PopInfo& pop(std::string_view key);
+
+/// Starlink gateways (ground stations).  A representative subset (~40) of
+/// the ~150 real sites; the crucial property preserved is *where gateways do
+/// not exist* (most of Africa, central Asia, oceans).
+[[nodiscard]] std::span<const GroundStationInfo> ground_stations();
+
+/// Cloudflare-like anycast CDN sites (~100 metros).
+[[nodiscard]] std::span<const CdnSiteInfo> cdn_sites();
+
+/// Lookup by IATA code.  @throws spacecdn::NotFoundError.
+[[nodiscard]] const CdnSiteInfo& cdn_site(std::string_view iata);
+
+}  // namespace spacecdn::data

@@ -1,0 +1,102 @@
+#include <algorithm>
+
+#include "data/datasets.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::data {
+
+namespace {
+
+// The 22 operational Starlink PoPs the paper plots in Figure 2 (locations
+// from the crowdsourced gateway/PoP map it cites).  PoPs sit in major
+// datacenter/IXP metros.
+constexpr PopInfo kPops[] = {
+    {"seattle", "Seattle", "US", 47.61, -122.33},
+    {"losangeles", "Los Angeles", "US", 34.05, -118.24},
+    {"dallas", "Dallas", "US", 32.78, -96.80},
+    {"chicago", "Chicago", "US", 41.88, -87.63},
+    {"atlanta", "Atlanta", "US", 33.75, -84.39},
+    {"ashburn", "Ashburn", "US", 39.04, -77.49},
+    {"toronto", "Toronto", "CA", 43.65, -79.38},
+    {"queretaro", "Queretaro", "MX", 20.59, -100.39},
+    {"bogota", "Bogota", "CO", 4.71, -74.07},
+    {"lima", "Lima", "PE", -12.05, -77.04},
+    {"saopaulo", "Sao Paulo", "BR", -23.55, -46.63},
+    {"santiago", "Santiago", "CL", -33.45, -70.67},
+    {"london", "London", "GB", 51.51, -0.13},
+    {"frankfurt", "Frankfurt", "DE", 50.11, 8.68},
+    {"madrid", "Madrid", "ES", 40.42, -3.70},
+    {"milan", "Milan", "IT", 45.46, 9.19},
+    {"warsaw", "Warsaw", "PL", 52.23, 21.01},
+    {"lagos", "Lagos", "NG", 6.52, 3.38},
+    {"tokyo", "Tokyo", "JP", 35.68, 139.69},
+    {"singapore", "Singapore", "SG", 1.35, 103.82},
+    {"sydney", "Sydney", "AU", -33.87, 151.21},
+    {"auckland", "Auckland", "NZ", -36.85, 174.76},
+};
+
+// Representative gateway (ground station) subset.  What matters for the
+// reproduction is the *absence* of gateways across most of Africa, which
+// forces ISL detours to Europe -- exactly the effect the paper measures for
+// Mozambique/Kenya/Zambia.
+constexpr GroundStationInfo kGroundStations[] = {
+    // United States
+    {"Redmond WA", "US", 47.67, -122.12},
+    {"Hawthorne CA", "US", 33.92, -118.33},
+    {"Boca Chica TX", "US", 25.99, -97.19},
+    {"Merrillan WI", "US", 44.45, -90.84},
+    {"Conrad MT", "US", 48.17, -111.95},
+    {"Gaffney SC", "US", 35.07, -81.65},
+    {"Ashburn VA", "US", 39.04, -77.49},
+    // Canada
+    {"Aylesbury SK", "CA", 50.93, -105.30},
+    {"Baldur MB", "CA", 49.38, -99.24},
+    {"Toronto ON", "CA", 43.80, -79.50},
+    // Latin America
+    {"Queretaro MX", "MX", 20.59, -100.39},
+    {"Bogota CO", "CO", 4.80, -74.10},
+    {"Lurin PE", "PE", -12.27, -76.87},
+    {"Campinas BR", "BR", -22.91, -47.06},
+    {"Fortaleza BR", "BR", -3.73, -38.53},
+    {"Santiago CL", "CL", -33.40, -70.80},
+    {"Buenos Aires AR", "AR", -34.90, -58.60},
+    // Europe
+    {"Goonhilly UK", "GB", 50.05, -5.18},
+    {"Fawley UK", "GB", 50.82, -1.35},
+    {"Aubergenville FR", "FR", 48.96, 1.85},
+    {"Usingen DE", "DE", 50.33, 8.54},
+    {"Frankfurt DE", "DE", 50.20, 8.60},
+    {"Turin IT", "IT", 45.07, 7.67},
+    {"Madrid ES", "ES", 40.50, -3.60},
+    {"Warsaw PL", "PL", 52.20, 21.00},
+    // Africa (Lagos only: Starlink's thin African ground footprint)
+    {"Lagos NG", "NG", 6.60, 3.30},
+    // Asia
+    {"Chitose JP", "JP", 42.80, 141.65},
+    {"Ibaraki JP", "JP", 36.30, 140.50},
+    {"Singapore SG", "SG", 1.35, 103.82},
+    // Oceania
+    {"Merredin AU", "AU", -31.48, 118.28},
+    {"Wagga Wagga AU", "AU", -35.12, 147.37},
+    {"Boolarra AU", "AU", -38.38, 146.28},
+    {"Puwera NZ", "NZ", -35.78, 174.30},
+    {"Hinds NZ", "NZ", -44.00, 171.55},
+    {"Clevedon NZ", "NZ", -36.99, 175.04},
+};
+
+}  // namespace
+
+std::span<const PopInfo> starlink_pops() { return kPops; }
+
+const PopInfo& pop(std::string_view key) {
+  const auto it = std::find_if(std::begin(kPops), std::end(kPops),
+                               [&](const PopInfo& p) { return p.key == key; });
+  if (it == std::end(kPops)) {
+    throw NotFoundError("unknown Starlink PoP: " + std::string(key));
+  }
+  return *it;
+}
+
+std::span<const GroundStationInfo> ground_stations() { return kGroundStations; }
+
+}  // namespace spacecdn::data

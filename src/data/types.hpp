@@ -1,0 +1,100 @@
+// Record types of the embedded datasets.
+//
+// The paper's measurement study labels samples with (country, city, ISP
+// type) and maps them to Cloudflare CDN sites and Starlink infrastructure.
+// These tables substitute for MaxMind GeoIP / PeeringDB / the Starlink
+// coverage map (see DESIGN.md, substitutions).  Coordinates are real-world;
+// model parameters (path stretch, access latency) are calibrated per region
+// against the paper's Table 1.
+#pragma once
+
+#include <string_view>
+
+#include "geo/coordinates.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::data {
+
+/// Coarse world region; used for defaults and content-popularity profiles.
+enum class Region {
+  kNorthAmerica,
+  kLatinAmerica,
+  kEurope,
+  kAfrica,
+  kAsia,
+  kOceania,
+};
+
+[[nodiscard]] std::string_view to_string(Region r) noexcept;
+
+/// Country-level metadata and terrestrial-infrastructure calibration.
+struct CountryInfo {
+  std::string_view code;  ///< ISO 3166-1 alpha-2
+  std::string_view name;
+  Region region;
+  /// Whether Starlink service is available (the paper's AIM analysis covers
+  /// 55 countries with coverage).
+  bool starlink_available;
+  /// Key of the Starlink PoP this country's subscribers are assigned to via
+  /// carrier-grade NAT.  Empty = nearest PoP geographically (used for
+  /// countries hosting PoPs themselves, e.g. the US).
+  std::string_view assigned_pop;
+  /// Terrestrial fiber route stretch over the great circle.
+  double path_stretch;
+  /// Median last-mile latency of terrestrial access networks.
+  Milliseconds access_latency;
+  /// Typical terrestrial downlink bandwidth.
+  Mbps access_bandwidth;
+};
+
+/// A population centre that sources measurement clients.
+struct CityInfo {
+  std::string_view name;
+  std::string_view country_code;
+  double lat_deg;
+  double lon_deg;
+  double population_k;  ///< metro population in thousands (sampling weight)
+};
+
+/// A Starlink point of presence (public-IP egress, peering with the
+/// backbone).  The paper plots 22 operational PoP locations.
+struct PopInfo {
+  std::string_view key;  ///< stable lowercase identifier
+  std::string_view city;
+  std::string_view country_code;
+  double lat_deg;
+  double lon_deg;
+};
+
+/// A Starlink gateway (ground station).  Traffic returns to Earth here and
+/// is hauled terrestrially to the assigned PoP.
+struct GroundStationInfo {
+  std::string_view name;
+  std::string_view country_code;
+  double lat_deg;
+  double lon_deg;
+};
+
+/// A Cloudflare-like anycast CDN site.
+struct CdnSiteInfo {
+  std::string_view iata;  ///< airport code, the CDN-industry site id
+  std::string_view city;
+  std::string_view country_code;
+  double lat_deg;
+  double lon_deg;
+};
+
+[[nodiscard]] inline geo::GeoPoint location(const CityInfo& c) noexcept {
+  return geo::GeoPoint{c.lat_deg, c.lon_deg, 0.0};
+}
+[[nodiscard]] inline geo::GeoPoint location(const PopInfo& p) noexcept {
+  return geo::GeoPoint{p.lat_deg, p.lon_deg, 0.0};
+}
+[[nodiscard]] inline geo::GeoPoint location(const GroundStationInfo& g) noexcept {
+  return geo::GeoPoint{g.lat_deg, g.lon_deg, 0.0};
+}
+[[nodiscard]] inline geo::GeoPoint location(const CdnSiteInfo& s) noexcept {
+  return geo::GeoPoint{s.lat_deg, s.lon_deg, 0.0};
+}
+
+}  // namespace spacecdn::data

@@ -1,0 +1,83 @@
+// Seeded random-number generation with the distributions the models need.
+//
+// Every stochastic component of the library takes an Rng&, never a global:
+// simulations are reproducible given a seed (Core Guidelines I.2 -- avoid
+// non-const global state).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace spacecdn::des {
+
+/// Mersenne-twister-backed generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double probability);
+
+  /// Normal distribution.
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  /// Lognormal parameterised by its *median* and the sigma of the underlying
+  /// normal; heavy-tailed delays (queueing, scheduling) use this shape.
+  [[nodiscard]] double lognormal_median(double median, double sigma);
+
+  /// Exponential with the given mean.
+  [[nodiscard]] double exponential(double mean);
+
+  /// Picks an index in [0, weights.size()) proportional to weights.
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Uniformly samples `k` distinct indices from [0, n).
+  [[nodiscard]] std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                                      std::uint32_t k);
+
+  /// Shuffles a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf distribution over ranks 1..n with exponent s, using a precomputed
+/// CDF table (O(n) setup, O(log n) sampling).  This is the standard model
+/// for CDN content popularity.
+class ZipfDistribution {
+ public:
+  /// @throws spacecdn::ConfigError if n == 0 or s < 0.
+  ZipfDistribution(std::uint64_t n, double s);
+
+  /// Samples a rank in [1, n]; rank 1 is the most popular.
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+
+  /// Probability mass of a given rank.
+  [[nodiscard]] double pmf(std::uint64_t rank) const;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return n_; }
+  [[nodiscard]] double exponent() const noexcept { return s_; }
+
+ private:
+  std::uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i + 1)
+};
+
+}  // namespace spacecdn::des

@@ -1,0 +1,69 @@
+#include "des/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace spacecdn::des {
+
+EventId Simulator::schedule(Milliseconds delay, Action action) {
+  SPACECDN_EXPECT(delay.value() >= 0.0, "event delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_at(Milliseconds when, Action action) {
+  SPACECDN_EXPECT(when >= now_, "cannot schedule an event in the past");
+  SPACECDN_EXPECT(static_cast<bool>(action), "event action must be callable");
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id});
+  actions_.emplace(id, std::move(action));
+  ++live_events_;
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  const auto it = actions_.find(id);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);
+  --live_events_;
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Milliseconds until) {
+  SPACECDN_EXPECT(until >= now_, "run_until target must not be in the past");
+  while (!queue_.empty() && queue_.top().when <= until) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    dispatch(entry);
+  }
+  now_ = until;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    if (actions_.find(entry.id) == actions_.end()) continue;  // cancelled
+    dispatch(entry);
+    return true;
+  }
+  return false;
+}
+
+void Simulator::dispatch(const Entry& entry) {
+  const auto it = actions_.find(entry.id);
+  if (it == actions_.end()) return;  // cancelled after being popped
+  // Move the action out before invoking so the action may reschedule or
+  // cancel events without invalidating this iterator.
+  Action action = std::move(it->second);
+  actions_.erase(it);
+  --live_events_;
+  now_ = entry.when;
+  ++processed_;
+  action();
+}
+
+}  // namespace spacecdn::des

@@ -1,0 +1,83 @@
+// Discrete-event simulation core.
+//
+// A minimal but complete event-driven engine: a monotonic clock, a stable
+// priority queue of (time, sequence, action) and run-until semantics.  All
+// higher-level simulations (speed-test campaigns, web page fetches, striped
+// video sessions, duty-cycle slots) are expressed as events on this engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace spacecdn::des {
+
+/// Handle that identifies a scheduled event and allows cancellation.
+using EventId = std::uint64_t;
+
+/// Event-driven simulator with a millisecond-resolution double clock.
+///
+/// Events scheduled for the same instant fire in scheduling order (stable).
+/// Actions may schedule further events; time never moves backwards.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Milliseconds now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return live_events_; }
+  [[nodiscard]] std::uint64_t processed_events() const noexcept { return processed_; }
+
+  /// Schedules `action` to run `delay` from now.
+  /// @throws spacecdn::ConfigError if delay is negative.
+  EventId schedule(Milliseconds delay, Action action);
+
+  /// Schedules `action` at an absolute time >= now().
+  EventId schedule_at(Milliseconds when, Action action);
+
+  /// Cancels a pending event; returns false if it already ran or was
+  /// cancelled.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue drains.
+  void run();
+
+  /// Runs events with timestamp <= `until`, then sets the clock to `until`.
+  void run_until(Milliseconds until);
+
+  /// Runs exactly one event if any is pending; returns whether one ran.
+  bool step();
+
+ private:
+  struct Entry {
+    Milliseconds when;
+    std::uint64_t seq;
+    EventId id;
+    // Ordering for the min-heap: earliest time first, FIFO within a time.
+    bool operator>(const Entry& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void dispatch(const Entry& entry);
+
+  Milliseconds now_{0.0};
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // Actions live out-of-band so cancel() is O(1): a cancelled id simply has
+  // no action left when its queue entry is popped.
+  std::unordered_map<EventId, Action> actions_;
+};
+
+}  // namespace spacecdn::des

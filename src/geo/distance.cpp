@@ -1,0 +1,76 @@
+#include "geo/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spacecdn::geo {
+
+double central_angle_rad(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+Kilometers great_circle_distance(const GeoPoint& a, const GeoPoint& b) noexcept {
+  return Kilometers{kEarthRadiusKm * central_angle_rad(a, b)};
+}
+
+double initial_bearing_deg(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x =
+      std::cos(lat1) * std::sin(lat2) - std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  double bearing = rad_to_deg(std::atan2(y, x));
+  if (bearing < 0) bearing += 360.0;
+  return bearing;
+}
+
+GeoPoint destination(const GeoPoint& origin, double bearing_deg,
+                     Kilometers distance) noexcept {
+  const double delta = distance.value() / kEarthRadiusKm;  // angular distance
+  const double theta = deg_to_rad(bearing_deg);
+  const double lat1 = deg_to_rad(origin.lat_deg);
+  const double lon1 = deg_to_rad(origin.lon_deg);
+
+  const double sin_lat2 = std::sin(lat1) * std::cos(delta) +
+                          std::cos(lat1) * std::sin(delta) * std::cos(theta);
+  const double lat2 = std::asin(std::clamp(sin_lat2, -1.0, 1.0));
+  const double y = std::sin(theta) * std::sin(delta) * std::cos(lat1);
+  const double x = std::cos(delta) - std::sin(lat1) * sin_lat2;
+  const double lon2 = lon1 + std::atan2(y, x);
+
+  GeoPoint out{rad_to_deg(lat2), rad_to_deg(lon2), origin.alt_km};
+  // Wrap longitude into [-180, 180).
+  out.lon_deg = std::fmod(out.lon_deg + 540.0, 360.0) - 180.0;
+  return out;
+}
+
+GeoPoint intermediate_point(const GeoPoint& a, const GeoPoint& b, double f) noexcept {
+  const double delta = central_angle_rad(a, b);
+  if (delta < 1e-12) return a;
+  const double sin_delta = std::sin(delta);
+  const double ka = std::sin((1.0 - f) * delta) / sin_delta;
+  const double kb = std::sin(f * delta) / sin_delta;
+
+  const double lat1 = deg_to_rad(a.lat_deg), lon1 = deg_to_rad(a.lon_deg);
+  const double lat2 = deg_to_rad(b.lat_deg), lon2 = deg_to_rad(b.lon_deg);
+  const double x =
+      ka * std::cos(lat1) * std::cos(lon1) + kb * std::cos(lat2) * std::cos(lon2);
+  const double y =
+      ka * std::cos(lat1) * std::sin(lon1) + kb * std::cos(lat2) * std::sin(lon2);
+  const double z = ka * std::sin(lat1) + kb * std::sin(lat2);
+
+  const double lat = std::atan2(z, std::sqrt(x * x + y * y));
+  const double lon = std::atan2(y, x);
+  const double alt = a.alt_km + f * (b.alt_km - a.alt_km);
+  return GeoPoint{rad_to_deg(lat), rad_to_deg(lon), alt};
+}
+
+}  // namespace spacecdn::geo

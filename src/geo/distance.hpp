@@ -1,0 +1,30 @@
+// Great-circle geometry on the spherical Earth.
+#pragma once
+
+#include "geo/coordinates.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::geo {
+
+/// Central angle between two surface points (radians), haversine formula.
+/// Altitudes are ignored; only the direction matters.
+[[nodiscard]] double central_angle_rad(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Great-circle (surface) distance between two points, spherical Earth.
+[[nodiscard]] Kilometers great_circle_distance(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Initial bearing from `a` towards `b`, degrees clockwise from north in
+/// [0, 360).
+[[nodiscard]] double initial_bearing_deg(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Destination point after travelling `distance` from `origin` along
+/// `bearing_deg` on a great circle.  Altitude of the origin is preserved.
+[[nodiscard]] GeoPoint destination(const GeoPoint& origin, double bearing_deg,
+                                   Kilometers distance) noexcept;
+
+/// Point a fraction f in [0,1] of the way along the great circle a -> b
+/// (spherical linear interpolation of the surface track).
+[[nodiscard]] GeoPoint intermediate_point(const GeoPoint& a, const GeoPoint& b,
+                                          double f) noexcept;
+
+}  // namespace spacecdn::geo

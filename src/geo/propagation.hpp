@@ -1,0 +1,32 @@
+// Propagation-delay helpers: distance -> one-way delay per medium.
+#pragma once
+
+#include "geo/earth.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::geo {
+
+/// Transmission medium of a link; determines propagation speed.
+enum class Medium {
+  kVacuum,  ///< free-space radio or optical ISL
+  kFiber,   ///< terrestrial optical fiber
+};
+
+/// Propagation speed for a medium, km/s.
+[[nodiscard]] constexpr double propagation_speed_km_per_sec(Medium m) noexcept {
+  switch (m) {
+    case Medium::kVacuum:
+      return kSpeedOfLightKmPerSec;
+    case Medium::kFiber:
+      return kFiberSpeedKmPerSec;
+  }
+  return kSpeedOfLightKmPerSec;  // unreachable; keeps -Wreturn-type quiet
+}
+
+/// One-way propagation delay over `distance` through medium `m`.
+[[nodiscard]] constexpr Milliseconds propagation_delay(Kilometers distance,
+                                                       Medium m) noexcept {
+  return Milliseconds{distance.value() / propagation_speed_km_per_sec(m) * 1000.0};
+}
+
+}  // namespace spacecdn::geo

@@ -1,0 +1,51 @@
+#include "geo/visibility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spacecdn::geo {
+
+Kilometers slant_range(const GeoPoint& ground, const Ecef& satellite) noexcept {
+  return euclidean_distance(to_ecef_spherical(ground), satellite);
+}
+
+double elevation_angle_deg(const GeoPoint& ground, const Ecef& satellite) noexcept {
+  const Ecef g = to_ecef_spherical(ground);
+  const Ecef los{satellite.x - g.x, satellite.y - g.y, satellite.z - g.z};
+  const double range = norm(los).value();
+  if (range < 1e-9) return 90.0;
+  const double g_norm = norm(g).value();
+  // Elevation = angle between the line of sight and the local horizontal
+  // plane = 90 deg - angle(los, local up); local up is g / |g| on a sphere.
+  const double dot = (los.x * g.x + los.y * g.y + los.z * g.z) / (range * g_norm);
+  return rad_to_deg(std::asin(std::clamp(dot, -1.0, 1.0)));
+}
+
+bool is_visible(const GeoPoint& ground, const Ecef& satellite,
+                double min_elevation_deg) noexcept {
+  return elevation_angle_deg(ground, satellite) >= min_elevation_deg;
+}
+
+Kilometers coverage_radius(Kilometers altitude, double min_elevation_deg) noexcept {
+  // Geometry: with Earth radius R, orbit radius r = R + h and elevation e,
+  // the Earth-central angle to the edge of coverage is
+  //   psi = acos(R cos e / r) - e.
+  const double r = kEarthRadiusKm + altitude.value();
+  const double e = deg_to_rad(min_elevation_deg);
+  const double psi = std::acos(std::clamp(kEarthRadiusKm * std::cos(e) / r, -1.0, 1.0)) - e;
+  return Kilometers{kEarthRadiusKm * std::max(0.0, psi)};
+}
+
+Kilometers slant_range_at_elevation(Kilometers altitude, double elevation_deg) noexcept {
+  const double r = kEarthRadiusKm + altitude.value();
+  const double e = deg_to_rad(elevation_deg);
+  // Law of cosines in the Earth-centre / ground / satellite triangle:
+  //   d = sqrt(r^2 - R^2 cos^2 e) - R sin e.
+  const double cos_e = std::cos(e);
+  const double d =
+      std::sqrt(std::max(0.0, r * r - kEarthRadiusKm * kEarthRadiusKm * cos_e * cos_e)) -
+      kEarthRadiusKm * std::sin(e);
+  return Kilometers{d};
+}
+
+}  // namespace spacecdn::geo

@@ -1,0 +1,34 @@
+// Ground-to-satellite visibility geometry: slant range, elevation angle and
+// coverage footprints.  All on the spherical Earth model, matching the
+// constellation simulator.
+#pragma once
+
+#include "geo/coordinates.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::geo {
+
+/// Line-of-sight distance from a ground point to a satellite position.
+[[nodiscard]] Kilometers slant_range(const GeoPoint& ground, const Ecef& satellite) noexcept;
+
+/// Elevation angle (degrees above the local horizon) of `satellite` as seen
+/// from `ground`.  Negative when the satellite is below the horizon.
+[[nodiscard]] double elevation_angle_deg(const GeoPoint& ground,
+                                         const Ecef& satellite) noexcept;
+
+/// True when the satellite is at or above `min_elevation_deg` from `ground`.
+/// Starlink user terminals require ~25 degrees; gateways ~10.
+[[nodiscard]] bool is_visible(const GeoPoint& ground, const Ecef& satellite,
+                              double min_elevation_deg) noexcept;
+
+/// Radius (along the Earth's surface) of the coverage disc of a satellite at
+/// `altitude`, for terminals requiring `min_elevation_deg`.
+[[nodiscard]] Kilometers coverage_radius(Kilometers altitude,
+                                         double min_elevation_deg) noexcept;
+
+/// Slant range to a satellite at `altitude` seen at elevation
+/// `elevation_deg`; the classic law-of-cosines relation.
+[[nodiscard]] Kilometers slant_range_at_elevation(Kilometers altitude,
+                                                  double elevation_deg) noexcept;
+
+}  // namespace spacecdn::geo

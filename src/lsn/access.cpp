@@ -1,0 +1,24 @@
+#include "lsn/access.hpp"
+
+#include "util/error.hpp"
+
+namespace spacecdn::lsn {
+
+StarlinkAccess::StarlinkAccess(AccessConfig config)
+    : config_(config), bloat_(config.bloat_at_full_load) {
+  SPACECDN_EXPECT(config_.median_overhead_rtt.value() > 0.0,
+                  "access overhead must be positive");
+  SPACECDN_EXPECT(config_.min_elevation_deg > 0.0 && config_.min_elevation_deg < 90.0,
+                  "terminal elevation mask must be within (0, 90)");
+}
+
+Milliseconds StarlinkAccess::sample_idle_overhead(des::Rng& rng) const {
+  return Milliseconds{
+      rng.lognormal_median(config_.median_overhead_rtt.value(), config_.overhead_sigma)};
+}
+
+Milliseconds StarlinkAccess::sample_loaded_overhead(double load, des::Rng& rng) const {
+  return sample_idle_overhead(rng) + bloat_.sample_bloat(load, rng);
+}
+
+}  // namespace spacecdn::lsn

@@ -1,0 +1,52 @@
+// Starlink access-layer latency model.
+//
+// Beyond pure propagation, the Ku-band access link adds scheduling delay
+// (the MAC scheduler assigns slots in 15 ms frames), processing, and -- under
+// load -- severe bufferbloat.  Constants calibrated so that a subscriber
+// with a local PoP sees ~33-40 ms median idle RTT (paper Table 1: Spain 33,
+// Japan 34, and >200 ms loaded RTTs in ISL-dependent countries).
+#pragma once
+
+#include "des/random.hpp"
+#include "net/link.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::lsn {
+
+/// Tunables of the user-terminal access layer.
+struct AccessConfig {
+  /// Median round-trip scheduling + processing overhead added by the
+  /// Dishy <-> satellite <-> gateway radio segments.
+  Milliseconds median_overhead_rtt{21.0};
+  /// Lognormal sigma of that overhead (handover and frame-timing jitter).
+  double overhead_sigma = 0.28;
+  /// Minimum elevation angle of the user terminal's phased array.
+  double min_elevation_deg = 25.0;
+  /// Added RTT at full downlink utilisation (bufferbloat).
+  Milliseconds bloat_at_full_load{230.0};
+  /// Typical downlink capacity per subscriber.
+  Mbps downlink{120.0};
+  Mbps uplink{15.0};
+};
+
+/// Samples access-layer RTT contributions.
+class StarlinkAccess {
+ public:
+  explicit StarlinkAccess(AccessConfig config = {});
+
+  [[nodiscard]] const AccessConfig& config() const noexcept { return config_; }
+
+  /// Idle-link overhead sample (round trip).
+  [[nodiscard]] Milliseconds sample_idle_overhead(des::Rng& rng) const;
+
+  /// Overhead under a bulk transfer at `load` of the downlink.
+  [[nodiscard]] Milliseconds sample_loaded_overhead(double load, des::Rng& rng) const;
+
+  [[nodiscard]] Mbps downlink() const noexcept { return config_.downlink; }
+
+ private:
+  AccessConfig config_;
+  net::BufferbloatModel bloat_;
+};
+
+}  // namespace spacecdn::lsn

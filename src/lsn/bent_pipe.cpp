@@ -1,0 +1,85 @@
+#include "lsn/bent_pipe.hpp"
+
+#include "geo/propagation.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::lsn {
+
+BentPipeRouter::BentPipeRouter(const GroundSegment& ground, const IslNetwork& isl,
+                               double user_min_elevation_deg,
+                               double gateway_min_elevation_deg)
+    : ground_(&ground),
+      isl_(&isl),
+      user_min_elevation_deg_(user_min_elevation_deg),
+      gateway_satellites_(
+          ground.gateway_visible_satellites(isl.snapshot(), gateway_min_elevation_deg)) {}
+
+std::optional<RouteBreakdown> BentPipeRouter::route(const geo::GeoPoint& client,
+                                                    const data::CountryInfo& country,
+                                                    const geo::GeoPoint& destination) const {
+  auto breakdown = route_to_pop(client, country);
+  if (!breakdown) return std::nullopt;
+  breakdown->pop_to_destination = ground_->backbone().one_way_latency(
+      data::location(ground_->pop(breakdown->pop)), destination);
+  return breakdown;
+}
+
+std::optional<RouteBreakdown> BentPipeRouter::route_to_pop(
+    const geo::GeoPoint& client, const data::CountryInfo& country) const {
+  const auto& snapshot = isl_->snapshot();
+  const auto serving = snapshot.serving_satellite(client, user_min_elevation_deg_);
+  if (!serving) return std::nullopt;  // coverage gap
+
+  const std::size_t pop = ground_->assigned_pop(country, client);
+
+  // One Dijkstra from the serving satellite, then pick the gateway whose
+  // (ISL + downlink + terrestrial haul to the PoP) total is minimal.  This
+  // lets traffic land at a distant gateway near the PoP -- the ISL-detour
+  // behaviour the paper observes for southern Africa.
+  const std::vector<Milliseconds> isl_latency = isl_->latencies_from(*serving);
+
+  std::optional<RouteBreakdown> best;
+  double best_total = net::kUnreachable;
+  for (std::size_t g = 0; g < ground_->gateway_count(); ++g) {
+    const Milliseconds haul = ground_->gateway_to_pop(g, pop);
+    const geo::GeoPoint gw_location = data::location(ground_->gateway(g));
+    // Any visible satellite can land the traffic; pick the one minimising
+    // the full ISL + downlink + haul total.
+    for (std::uint32_t landing : gateway_satellites_[g]) {
+      const Milliseconds isl_ms = isl_latency[landing];
+      if (isl_ms.value() == net::kUnreachable) continue;
+      if (isl_ms.value() + haul.value() >= best_total) continue;  // prune
+      const Kilometers down_km = snapshot.slant_range(gw_location, landing);
+      const Milliseconds down = geo::propagation_delay(down_km, geo::Medium::kVacuum);
+      const double total = isl_ms.value() + down.value() + haul.value();
+      if (total < best_total) {
+        best_total = total;
+        RouteBreakdown b;
+        b.serving_satellite = *serving;
+        b.landing_satellite = landing;
+        b.gateway = g;
+        b.pop = pop;
+        b.isl = isl_ms;
+        b.downlink = down;
+        b.gateway_haul = haul;
+        best = b;
+      }
+    }
+  }
+  if (!best) return std::nullopt;
+
+  best->uplink = geo::propagation_delay(snapshot.slant_range(client, *serving),
+                                        geo::Medium::kVacuum);
+  // Recover the hop count of the chosen ISL path.
+  if (best->serving_satellite == best->landing_satellite) {
+    best->isl_hops = 0;
+  } else {
+    const auto path = net::shortest_path(isl_->graph(), best->serving_satellite,
+                                         best->landing_satellite);
+    SPACECDN_EXPECT(path.has_value(), "chosen landing satellite must be reachable");
+    best->isl_hops = static_cast<std::uint32_t>(path->hop_count());
+  }
+  return best;
+}
+
+}  // namespace spacecdn::lsn

@@ -1,0 +1,56 @@
+#include "lsn/cell_capacity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/earth.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::lsn {
+
+CellLoadModel::CellLoadModel(CellConfig config) : config_(config) {
+  SPACECDN_EXPECT(config.cell_capacity.value() > 0.0, "cell capacity must be positive");
+  SPACECDN_EXPECT(config.subscribers > 0.0, "cell must have subscribers");
+  SPACECDN_EXPECT(config.terminal_cap.value() > 0.0, "terminal cap must be positive");
+  SPACECDN_EXPECT(config.trough_active_fraction > 0.0 &&
+                      config.peak_active_fraction <= 1.0 &&
+                      config.trough_active_fraction <= config.peak_active_fraction,
+                  "activity fractions must satisfy 0 < trough <= peak <= 1");
+  SPACECDN_EXPECT(config.peak_hour >= 0.0 && config.peak_hour < 24.0,
+                  "peak hour must be within [0, 24)");
+}
+
+double CellLoadModel::active_fraction(double hour) const {
+  SPACECDN_EXPECT(hour >= 0.0 && hour < 24.0, "hour must be within [0, 24)");
+  // Raised cosine: 1 at peak_hour, 0 twelve hours away.
+  const double phase = (hour - config_.peak_hour) / 24.0 * 2.0 * geo::kPi;
+  const double shape = 0.5 * (1.0 + std::cos(phase));
+  return config_.trough_active_fraction +
+         (config_.peak_active_fraction - config_.trough_active_fraction) * shape;
+}
+
+double CellLoadModel::active_users(double hour) const {
+  return config_.subscribers * active_fraction(hour);
+}
+
+double CellLoadModel::utilization(double hour) const {
+  const double demand = active_users(hour) * config_.terminal_cap.value();
+  return std::clamp(demand / config_.cell_capacity.value(), 0.0, 1.0);
+}
+
+Mbps CellLoadModel::expected_throughput(double hour) const {
+  const double users = std::max(1.0, active_users(hour));
+  return Mbps{std::min(config_.terminal_cap.value(),
+                       config_.cell_capacity.value() / users)};
+}
+
+Mbps CellLoadModel::sample_throughput(double hour, des::Rng& rng) const {
+  // Jitter the instantaneous active-user count (exponential around the
+  // expectation approximates the bursty arrival mix well enough here).
+  const double expected_users = active_users(hour);
+  const double users = std::max(1.0, rng.exponential(expected_users));
+  const double share = config_.cell_capacity.value() / users;
+  return Mbps{std::clamp(share, 1.0, config_.terminal_cap.value())};
+}
+
+}  // namespace spacecdn::lsn

@@ -1,0 +1,63 @@
+// Per-cell capacity and diurnal load.
+//
+// A Starlink satellite beam serves a ground cell with a fixed downlink
+// budget shared by the active subscribers under it; measured speeds
+// therefore depend on subscriber density and time of day.  The model
+// reproduces the familiar evening dip the paper's speed-test substrate
+// needs: per-user throughput = min(terminal cap, cell capacity / active
+// users), with a diurnal activity curve peaking in the evening.
+#pragma once
+
+#include "des/random.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::lsn {
+
+/// Cell-level capacity parameters.
+struct CellConfig {
+  /// Usable downlink per beam/cell.
+  Mbps cell_capacity{4000.0};
+  /// Subscribers homed in the cell.
+  double subscribers = 300.0;
+  /// Per-terminal ceiling (scheduler cap).
+  Mbps terminal_cap{250.0};
+  /// Peak fraction of subscribers active simultaneously (evening).
+  double peak_active_fraction = 0.25;
+  /// Off-peak floor of the activity curve.
+  double trough_active_fraction = 0.04;
+  /// Local hour of peak demand.
+  double peak_hour = 20.5;
+};
+
+/// Deterministic-plus-jitter diurnal load model for one cell.
+class CellLoadModel {
+ public:
+  /// @throws spacecdn::ConfigError on non-positive capacity/subscribers or
+  /// an activity range outside (0, 1].
+  explicit CellLoadModel(CellConfig config);
+
+  [[nodiscard]] const CellConfig& config() const noexcept { return config_; }
+
+  /// Fraction of subscribers active at local `hour` in [0, 24): a raised
+  /// cosine between trough and peak centred on peak_hour.
+  [[nodiscard]] double active_fraction(double hour) const;
+
+  /// Expected concurrently active users at `hour`.
+  [[nodiscard]] double active_users(double hour) const;
+
+  /// Cell utilisation at `hour` assuming each active user would consume the
+  /// terminal cap if available; clamped to [0, 1].
+  [[nodiscard]] double utilization(double hour) const;
+
+  /// Expected per-user throughput at `hour`.
+  [[nodiscard]] Mbps expected_throughput(double hour) const;
+
+  /// One stochastic speed-test observation at `hour` (Poisson-ish jitter on
+  /// the active-user count).
+  [[nodiscard]] Mbps sample_throughput(double hour, des::Rng& rng) const;
+
+ private:
+  CellConfig config_;
+};
+
+}  // namespace spacecdn::lsn

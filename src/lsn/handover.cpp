@@ -1,0 +1,73 @@
+#include "lsn/handover.hpp"
+
+#include "geo/visibility.hpp"
+#include "orbit/ephemeris.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::lsn {
+
+HandoverTracker::HandoverTracker(const orbit::WalkerConstellation& constellation,
+                                 double min_elevation_deg, Milliseconds epoch)
+    : constellation_(&constellation),
+      min_elevation_deg_(min_elevation_deg),
+      epoch_(epoch) {
+  SPACECDN_EXPECT(epoch.value() > 0.0, "reconfiguration epoch must be positive");
+}
+
+std::vector<ServingInterval> HandoverTracker::timeline(const geo::GeoPoint& terminal,
+                                                       Milliseconds start,
+                                                       Milliseconds end) const {
+  SPACECDN_EXPECT(end >= start, "window must be ordered");
+  std::vector<ServingInterval> out;
+  std::optional<std::uint32_t> current;
+  for (Milliseconds t = start; t < end; t += epoch_) {
+    const Milliseconds interval_end{std::min((t + epoch_).value(), end.value())};
+    const orbit::EphemerisSnapshot snapshot(*constellation_, t);
+    // Sticky selection with hysteresis: keep the current satellite while it
+    // stays above the mask (real terminals track a satellite across its
+    // whole pass -- the paper's 5-10 minute dwell); only re-select when it
+    // leaves view.
+    if (!current ||
+        !geo::is_visible(terminal, snapshot.position(*current), min_elevation_deg_)) {
+      current = snapshot.serving_satellite(terminal, min_elevation_deg_);
+    }
+    if (!out.empty() && out.back().satellite == current) {
+      out.back().end = interval_end;  // coalesce
+    } else {
+      out.push_back(ServingInterval{t, interval_end, current});
+    }
+  }
+  return out;
+}
+
+HandoverStats HandoverTracker::analyze(const geo::GeoPoint& terminal, Milliseconds start,
+                                       Milliseconds end) const {
+  const auto intervals = timeline(terminal, start, end);
+  HandoverStats stats;
+  double served_ms = 0.0;
+  double dwell_total = 0.0;
+  std::uint32_t dwell_count = 0;
+  std::optional<std::uint32_t> previous;
+  bool had_previous = false;
+
+  for (const auto& interval : intervals) {
+    if (!interval.satellite) {
+      ++stats.outage_intervals;
+    } else {
+      served_ms += interval.duration().value();
+      dwell_total += interval.duration().value();
+      ++dwell_count;
+      if (had_previous && previous != interval.satellite) ++stats.handovers;
+      previous = interval.satellite;
+      had_previous = true;
+    }
+  }
+  if (dwell_count > 0) {
+    stats.mean_dwell = Milliseconds{dwell_total / dwell_count};
+  }
+  const double window = (end - start).value();
+  stats.coverage_fraction = window > 0 ? served_ms / window : 1.0;
+  return stats;
+}
+
+}  // namespace spacecdn::lsn

@@ -1,0 +1,63 @@
+// Serving-satellite handover dynamics.
+//
+// The paper (section 2): "the connectivity between the user terminal ... and
+// the satellite is constantly changing, with the satellite moving out of the
+// line-of-sight within 5-10 minutes".  Starlink additionally reshuffles
+// terminal-satellite assignments on a fixed 15-second reconfiguration
+// schedule.  This module materialises the serving-satellite timeline a
+// terminal experiences and its summary statistics, which the striping and
+// Space-VM layers build on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/coordinates.hpp"
+#include "orbit/walker.hpp"
+
+namespace spacecdn::lsn {
+
+/// One reconfiguration interval with a stable serving satellite (or an
+/// outage when `satellite` is nullopt).
+struct ServingInterval {
+  Milliseconds start{0.0};
+  Milliseconds end{0.0};
+  std::optional<std::uint32_t> satellite;
+
+  [[nodiscard]] Milliseconds duration() const noexcept { return end - start; }
+};
+
+/// Summary of a terminal's connectivity over a window.
+struct HandoverStats {
+  std::uint32_t handovers = 0;       ///< serving-satellite changes
+  std::uint32_t outage_intervals = 0;
+  Milliseconds mean_dwell{0.0};      ///< mean time on one satellite
+  double coverage_fraction = 1.0;    ///< time with any satellite in view
+};
+
+/// Computes serving timelines on the 15-second reconfiguration grid.
+class HandoverTracker {
+ public:
+  explicit HandoverTracker(const orbit::WalkerConstellation& constellation,
+                           double min_elevation_deg = 25.0,
+                           Milliseconds epoch = Milliseconds::from_seconds(15.0));
+
+  /// The terminal's serving timeline over [start, end), coalescing adjacent
+  /// epochs with the same satellite.
+  [[nodiscard]] std::vector<ServingInterval> timeline(const geo::GeoPoint& terminal,
+                                                      Milliseconds start,
+                                                      Milliseconds end) const;
+
+  [[nodiscard]] HandoverStats analyze(const geo::GeoPoint& terminal, Milliseconds start,
+                                      Milliseconds end) const;
+
+  [[nodiscard]] Milliseconds epoch() const noexcept { return epoch_; }
+
+ private:
+  const orbit::WalkerConstellation* constellation_;
+  double min_elevation_deg_;
+  Milliseconds epoch_;
+};
+
+}  // namespace spacecdn::lsn

@@ -1,0 +1,71 @@
+#include "lsn/isl_network.hpp"
+
+#include <set>
+
+#include "geo/propagation.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::lsn {
+
+IslNetwork::IslNetwork(const orbit::WalkerConstellation& constellation,
+                       const orbit::EphemerisSnapshot& snapshot, IslConfig config,
+                       std::span<const std::uint32_t> failed_satellites)
+    : snapshot_(&snapshot),
+      config_(config),
+      graph_(snapshot.size()),
+      failed_(snapshot.size(), false) {
+  SPACECDN_EXPECT(constellation.size() == snapshot.size(),
+                  "snapshot must match the constellation");
+  for (const std::uint32_t sat : failed_satellites) {
+    SPACECDN_EXPECT(sat < failed_.size(), "failed satellite id out of range");
+    if (!failed_[sat]) {
+      failed_[sat] = true;
+      ++failed_count_;
+    }
+  }
+  // Phase-nearest neighbour selection is not perfectly symmetric, so collect
+  // normalised pairs first and add each undirected link exactly once.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> links;
+  for (std::uint32_t sat = 0; sat < constellation.size(); ++sat) {
+    if (failed_[sat]) continue;
+    for (std::uint32_t neighbor : constellation.grid_neighbors(sat)) {
+      if (failed_[neighbor]) continue;
+      links.emplace(std::min(sat, neighbor), std::max(sat, neighbor));
+    }
+  }
+  for (const auto& [a, b] : links) {
+    const Kilometers d = snapshot.isl_distance(a, b);
+    const Milliseconds latency =
+        geo::propagation_delay(d, geo::Medium::kVacuum) + config_.per_hop_overhead;
+    graph_.add_undirected_edge(a, b, latency);
+  }
+}
+
+bool IslNetwork::is_failed(std::uint32_t sat) const {
+  SPACECDN_EXPECT(sat < failed_.size(), "satellite id out of range");
+  return failed_[sat];
+}
+
+Milliseconds IslNetwork::link_latency(std::uint32_t a, std::uint32_t b) const {
+  for (const net::Edge& e : graph_.neighbors(a)) {
+    if (e.to == b) return e.weight;
+  }
+  throw ConfigError("satellites are not ISL neighbours");
+}
+
+Milliseconds IslNetwork::path_latency(std::uint32_t from, std::uint32_t to) const {
+  const auto path = net::shortest_path(graph_, from, to);
+  SPACECDN_EXPECT(path.has_value(), "ISL fabric must be connected");
+  return path->total;
+}
+
+std::vector<Milliseconds> IslNetwork::latencies_from(std::uint32_t sat) const {
+  return net::shortest_distances(graph_, sat);
+}
+
+std::vector<net::HopDistance> IslNetwork::within_hops(std::uint32_t sat,
+                                                      std::uint32_t max_hops) const {
+  return net::nodes_within_hops(graph_, sat, max_hops);
+}
+
+}  // namespace spacecdn::lsn

@@ -1,0 +1,69 @@
+// The inter-satellite-link network at one instant.
+//
+// Builds a +grid ISL topology (forward/backward in plane, east/west across
+// planes) over an ephemeris snapshot, with per-link latencies derived from
+// the actual inter-satellite distances.  ISLs are free-space optical, so
+// propagation runs at c -- the reason the paper's Figure 7 finds multi-hop
+// satellite fetches competitive with terrestrial fiber.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "orbit/ephemeris.hpp"
+
+namespace spacecdn::lsn {
+
+/// Per-hop constants of the ISL fabric.
+struct IslConfig {
+  /// Switching/forwarding overhead per satellite hop (optical terminals
+  /// plus onboard routing).
+  Milliseconds per_hop_overhead{1.0};
+};
+
+/// Latency-weighted ISL graph; node ids equal satellite ids.
+class IslNetwork {
+ public:
+  /// @param failed_satellites  satellites whose optical terminals are down
+  /// (laser-terminal failures are routine at constellation scale); they
+  /// keep their node ids but carry no ISL edges, so routing detours around
+  /// them.
+  IslNetwork(const orbit::WalkerConstellation& constellation,
+             const orbit::EphemerisSnapshot& snapshot, IslConfig config = {},
+             std::span<const std::uint32_t> failed_satellites = {});
+
+  /// Whether a satellite's ISL terminals are marked failed.
+  [[nodiscard]] bool is_failed(std::uint32_t sat) const;
+  [[nodiscard]] std::uint32_t failed_count() const noexcept { return failed_count_; }
+
+  [[nodiscard]] const net::Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const orbit::EphemerisSnapshot& snapshot() const noexcept {
+    return *snapshot_;
+  }
+  [[nodiscard]] const IslConfig& config() const noexcept { return config_; }
+
+  /// One-way latency of the direct ISL between two +grid neighbours.
+  /// @throws spacecdn::ConfigError if they are not neighbours.
+  [[nodiscard]] Milliseconds link_latency(std::uint32_t a, std::uint32_t b) const;
+
+  /// Shortest one-way latency between two satellites over ISLs.
+  [[nodiscard]] Milliseconds path_latency(std::uint32_t from, std::uint32_t to) const;
+
+  /// Shortest latency from one satellite to all others.
+  [[nodiscard]] std::vector<Milliseconds> latencies_from(std::uint32_t sat) const;
+
+  /// Satellites within `max_hops` ISL hops of `sat` (BFS, includes `sat`).
+  [[nodiscard]] std::vector<net::HopDistance> within_hops(std::uint32_t sat,
+                                                          std::uint32_t max_hops) const;
+
+ private:
+  const orbit::EphemerisSnapshot* snapshot_;
+  IslConfig config_;
+  net::Graph graph_;
+  std::vector<bool> failed_;
+  std::uint32_t failed_count_ = 0;
+};
+
+}  // namespace spacecdn::lsn

@@ -1,0 +1,41 @@
+#include "lsn/starlink.hpp"
+
+namespace spacecdn::lsn {
+
+StarlinkNetwork::StarlinkNetwork(StarlinkConfig config)
+    : config_(config),
+      constellation_(config.shell),
+      ground_(config.gateway_backbone),
+      access_(config.access) {
+  set_time(Milliseconds{0.0});
+}
+
+void StarlinkNetwork::set_time(Milliseconds t) {
+  snapshot_ = std::make_unique<orbit::EphemerisSnapshot>(constellation_, t);
+  isl_ = std::make_unique<IslNetwork>(constellation_, *snapshot_, config_.isl,
+                                      config_.failed_satellites);
+  router_ = std::make_unique<BentPipeRouter>(ground_, *isl_, config_.user_min_elevation_deg,
+                                             config_.gateway_min_elevation_deg);
+}
+
+std::optional<RouteBreakdown> StarlinkNetwork::route(
+    const geo::GeoPoint& client, const data::CountryInfo& country,
+    const geo::GeoPoint& destination) const {
+  return router_->route(client, country, destination);
+}
+
+Milliseconds StarlinkNetwork::baseline_rtt(const RouteBreakdown& route) const noexcept {
+  return route.propagation_rtt() + access_.config().median_overhead_rtt;
+}
+
+Milliseconds StarlinkNetwork::sample_idle_rtt(const RouteBreakdown& route,
+                                              des::Rng& rng) const {
+  return route.propagation_rtt() + access_.sample_idle_overhead(rng);
+}
+
+Milliseconds StarlinkNetwork::sample_loaded_rtt(const RouteBreakdown& route, double load,
+                                                des::Rng& rng) const {
+  return route.propagation_rtt() + access_.sample_loaded_overhead(load, rng);
+}
+
+}  // namespace spacecdn::lsn

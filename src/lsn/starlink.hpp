@@ -1,0 +1,85 @@
+// StarlinkNetwork: the assembled LEO ISP.
+//
+// Owns the Shell 1 constellation, the ground segment, the access-layer
+// model, and a router bound to the current simulation time.  Advancing time
+// re-propagates the ephemeris and rebuilds the ISL fabric, which is how
+// satellite handovers and topology dynamics enter every experiment.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "data/datasets.hpp"
+#include "lsn/access.hpp"
+#include "lsn/bent_pipe.hpp"
+#include "lsn/ground_segment.hpp"
+#include "lsn/isl_network.hpp"
+#include "orbit/walker.hpp"
+
+namespace spacecdn::lsn {
+
+/// Assembly configuration.
+struct StarlinkConfig {
+  orbit::WalkerDesign shell = orbit::starlink_shell1();
+  AccessConfig access = {};
+  IslConfig isl = {};
+  terrestrial::BackboneConfig gateway_backbone = {};
+  double user_min_elevation_deg = 25.0;
+  double gateway_min_elevation_deg = 10.0;
+  /// Satellites whose ISL terminals are down (failure injection); they keep
+  /// flying but carry no ISL traffic.
+  std::vector<std::uint32_t> failed_satellites = {};
+};
+
+/// The LEO ISP under study.
+class StarlinkNetwork {
+ public:
+  explicit StarlinkNetwork(StarlinkConfig config = {});
+
+  /// Re-propagates the constellation to simulation time `t` and rebuilds the
+  /// ISL network and router.
+  void set_time(Milliseconds t);
+
+  [[nodiscard]] Milliseconds time() const noexcept { return snapshot_->time(); }
+  [[nodiscard]] const orbit::WalkerConstellation& constellation() const noexcept {
+    return constellation_;
+  }
+  [[nodiscard]] const orbit::EphemerisSnapshot& snapshot() const noexcept {
+    return *snapshot_;
+  }
+  [[nodiscard]] const IslNetwork& isl() const noexcept { return *isl_; }
+  [[nodiscard]] const GroundSegment& ground() const noexcept { return ground_; }
+  [[nodiscard]] const BentPipeRouter& router() const noexcept { return *router_; }
+  [[nodiscard]] const StarlinkAccess& access() const noexcept { return access_; }
+  [[nodiscard]] const StarlinkConfig& config() const noexcept { return config_; }
+
+  /// Routes a client to a destination (see BentPipeRouter::route).
+  [[nodiscard]] std::optional<RouteBreakdown> route(
+      const geo::GeoPoint& client, const data::CountryInfo& country,
+      const geo::GeoPoint& destination) const;
+
+  /// Median RTT of a routed connection: propagation + median access overhead.
+  [[nodiscard]] Milliseconds baseline_rtt(const RouteBreakdown& route) const noexcept;
+
+  /// One stochastic idle-RTT sample.
+  [[nodiscard]] Milliseconds sample_idle_rtt(const RouteBreakdown& route,
+                                             des::Rng& rng) const;
+
+  /// One stochastic RTT sample while the downlink carries `load` in [0, 1].
+  [[nodiscard]] Milliseconds sample_loaded_rtt(const RouteBreakdown& route, double load,
+                                               des::Rng& rng) const;
+
+  [[nodiscard]] Mbps download_bandwidth() const noexcept { return access_.downlink(); }
+
+ private:
+  StarlinkConfig config_;
+  orbit::WalkerConstellation constellation_;
+  GroundSegment ground_;
+  StarlinkAccess access_;
+  // Rebuilt on set_time; unique_ptr because they bind by reference.
+  std::unique_ptr<orbit::EphemerisSnapshot> snapshot_;
+  std::unique_ptr<IslNetwork> isl_;
+  std::unique_ptr<BentPipeRouter> router_;
+};
+
+}  // namespace spacecdn::lsn

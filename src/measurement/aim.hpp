@@ -1,0 +1,61 @@
+// Synthetic Cloudflare-AIM speed-test campaign.
+//
+// Substitutes for the paper's ~22 K Starlink + ~800 K terrestrial AIM
+// samples (see DESIGN.md): simulated clients in each covered country run
+// speed tests over both a Starlink path and a terrestrial path to the
+// anycast CDN, producing records with the same schema and grouping keys the
+// paper's analysis consumes.
+#pragma once
+
+#include <vector>
+
+#include "cdn/deployment.hpp"
+#include "lsn/starlink.hpp"
+#include "measurement/records.hpp"
+#include "net/anycast.hpp"
+#include "terrestrial/isp.hpp"
+
+namespace spacecdn::measurement {
+
+/// Campaign parameters.
+struct AimConfig {
+  /// Speed tests per (city, ISP) pair.
+  std::uint32_t tests_per_city = 40;
+  /// BGP/anycast routing noise (ms of exponential perturbation per site and
+  /// decision); produces the paper's observation that one city reaches
+  /// several neighbouring sites.
+  double anycast_noise_ms = 6.0;
+  /// Downlink utilisation during the loaded phase of a speed test.
+  double loaded_fraction = 0.95;
+  std::uint64_t seed = 20240318;  // campaign start: March 2024
+};
+
+/// Runs the campaign and returns raw records.
+class AimCampaign {
+ public:
+  /// @param network  the Starlink model (at its current simulation time).
+  /// @param sites    anycast CDN sites (defaults to the embedded dataset
+  ///                 when empty).
+  AimCampaign(const lsn::StarlinkNetwork& network, AimConfig config = {});
+
+  /// Runs speed tests for every Starlink-covered country in the dataset.
+  [[nodiscard]] std::vector<SpeedTestRecord> run();
+
+  /// Runs speed tests for a single country (both ISPs).
+  [[nodiscard]] std::vector<SpeedTestRecord> run_country(const data::CountryInfo& country);
+
+  [[nodiscard]] const AimConfig& config() const noexcept { return config_; }
+
+ private:
+  void run_city_terrestrial(const data::CountryInfo& country, const data::CityInfo& city,
+                            std::vector<SpeedTestRecord>& out);
+  void run_city_starlink(const data::CountryInfo& country, const data::CityInfo& city,
+                         std::vector<SpeedTestRecord>& out);
+
+  const lsn::StarlinkNetwork* network_;
+  AimConfig config_;
+  des::Rng rng_;
+  net::AnycastSelector selector_;
+};
+
+}  // namespace spacecdn::measurement

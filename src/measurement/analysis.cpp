@@ -1,0 +1,130 @@
+#include "measurement/analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace spacecdn::measurement {
+
+AimAnalysis::AimAnalysis(std::vector<SpeedTestRecord> records)
+    : records_(std::move(records)) {
+  std::map<std::string, std::set<std::string>> city_sets;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const auto& r = records_[i];
+    by_city_isp_[{r.city, r.isp}].push_back(i);
+    city_sets[r.country_code].insert(r.city);
+  }
+  for (auto& [country, cities] : city_sets) {
+    cities_by_country_[country] = {cities.begin(), cities.end()};
+  }
+}
+
+std::vector<std::string> AimAnalysis::countries() const {
+  std::vector<std::string> out;
+  out.reserve(cities_by_country_.size());
+  for (const auto& [country, cities] : cities_by_country_) out.push_back(country);
+  return out;
+}
+
+std::vector<std::string> AimAnalysis::cities(const std::string& country) const {
+  const auto it = cities_by_country_.find(country);
+  return it == cities_by_country_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<SiteStats> AimAnalysis::site_stats(const std::string& city,
+                                               IspType isp) const {
+  const auto it = by_city_isp_.find({city, isp});
+  if (it == by_city_isp_.end()) return {};
+
+  std::map<std::string, des::SampleSet> rtts;
+  std::map<std::string, Kilometers> distances;
+  for (std::size_t i : it->second) {
+    const auto& r = records_[i];
+    rtts[r.cdn_site].add(r.idle_rtt.value());
+    distances[r.cdn_site] = r.distance;
+  }
+
+  std::vector<SiteStats> out;
+  out.reserve(rtts.size());
+  for (auto& [site, samples] : rtts) {
+    out.push_back(SiteStats{site, Milliseconds{samples.median()}, distances[site],
+                            samples.size()});
+  }
+  std::sort(out.begin(), out.end(), [](const SiteStats& a, const SiteStats& b) {
+    return a.median_idle_rtt < b.median_idle_rtt;
+  });
+  return out;
+}
+
+std::optional<OptimalSite> AimAnalysis::optimal_site(const std::string& city,
+                                                     IspType isp) const {
+  const auto stats = site_stats(city, isp);
+  if (stats.empty()) return std::nullopt;
+  const auto& best = stats.front();  // sorted by median RTT
+  return OptimalSite{best.site, best.median_idle_rtt, best.distance};
+}
+
+std::optional<CountryRow> AimAnalysis::country_row(const std::string& country) const {
+  const auto city_list = cities(country);
+  if (city_list.empty()) return std::nullopt;
+
+  des::SampleSet terr_rtt, star_rtt;
+  des::OnlineSummary terr_dist, star_dist;
+  for (const auto& city : city_list) {
+    if (const auto opt = optimal_site(city, IspType::kTerrestrial)) {
+      terr_rtt.add(opt->median_idle_rtt.value());
+      terr_dist.add(opt->distance.value());
+    }
+    if (const auto opt = optimal_site(city, IspType::kStarlink)) {
+      star_rtt.add(opt->median_idle_rtt.value());
+      star_dist.add(opt->distance.value());
+    }
+  }
+  if (terr_rtt.empty() || star_rtt.empty()) return std::nullopt;
+
+  CountryRow row;
+  row.country_code = country;
+  row.terrestrial_distance_km = terr_dist.mean();
+  row.terrestrial_min_rtt_ms = terr_rtt.median();
+  row.starlink_distance_km = star_dist.mean();
+  row.starlink_min_rtt_ms = star_rtt.median();
+  return row;
+}
+
+std::optional<double> AimAnalysis::median_delta_ms(const std::string& country) const {
+  const auto row = country_row(country);
+  if (!row) return std::nullopt;
+  return row->starlink_min_rtt_ms - row->terrestrial_min_rtt_ms;
+}
+
+des::SampleSet AimAnalysis::optimal_idle_rtts(IspType isp) const {
+  // Samples towards the per-city optimal site only, matching the paper's
+  // "most optimal CDN server location" framing.
+  des::SampleSet out;
+  for (const auto& [key, indices] : by_city_isp_) {
+    if (key.second != isp) continue;
+    const auto opt = optimal_site(key.first, isp);
+    if (!opt) continue;
+    for (std::size_t i : indices) {
+      if (records_[i].cdn_site == opt->site) out.add(records_[i].idle_rtt.value());
+    }
+  }
+  return out;
+}
+
+des::SampleSet AimAnalysis::idle_rtts(IspType isp) const {
+  des::SampleSet out;
+  for (const auto& r : records_) {
+    if (r.isp == isp) out.add(r.idle_rtt.value());
+  }
+  return out;
+}
+
+des::SampleSet AimAnalysis::loaded_rtts(IspType isp) const {
+  des::SampleSet out;
+  for (const auto& r : records_) {
+    if (r.isp == isp) out.add(r.loaded_rtt.value());
+  }
+  return out;
+}
+
+}  // namespace spacecdn::measurement

@@ -1,0 +1,91 @@
+// Analysis over speed-test records: exactly the aggregations the paper's
+// section 3 applies to the AIM dataset.
+//
+// "We use the median of the idle latencies over both Starlink and
+// terrestrial from a city to determine the 'optimal' CDN server for the
+// network at that location."
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "des/stats.hpp"
+#include "measurement/records.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::measurement {
+
+/// Per-site aggregate from one vantage.
+struct SiteStats {
+  std::string site;  ///< IATA code
+  Milliseconds median_idle_rtt{0.0};
+  Kilometers distance{0.0};
+  std::uint64_t samples = 0;
+};
+
+/// The "optimal" CDN server for a (city, ISP): lowest median idle RTT.
+struct OptimalSite {
+  std::string site;
+  Milliseconds median_idle_rtt{0.0};
+  Kilometers distance{0.0};
+};
+
+/// One row of the paper's Table 1.
+struct CountryRow {
+  std::string country_code;
+  double terrestrial_distance_km = 0.0;  ///< mean over cities, to optimal site
+  double terrestrial_min_rtt_ms = 0.0;   ///< median of per-city optimal RTTs
+  double starlink_distance_km = 0.0;
+  double starlink_min_rtt_ms = 0.0;
+};
+
+/// Indexes records and answers the paper's aggregation queries.
+class AimAnalysis {
+ public:
+  explicit AimAnalysis(std::vector<SpeedTestRecord> records);
+
+  [[nodiscard]] const std::vector<SpeedTestRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Country codes present in the records, sorted.
+  [[nodiscard]] std::vector<std::string> countries() const;
+
+  /// Cities of a country present in the records.
+  [[nodiscard]] std::vector<std::string> cities(const std::string& country) const;
+
+  /// Per-site stats from one city over one ISP (Figure 3's content).
+  [[nodiscard]] std::vector<SiteStats> site_stats(const std::string& city,
+                                                  IspType isp) const;
+
+  /// Optimal site for a city/ISP; nullopt when the city has no samples.
+  [[nodiscard]] std::optional<OptimalSite> optimal_site(const std::string& city,
+                                                        IspType isp) const;
+
+  /// Table 1 row; nullopt when either ISP lacks samples for the country.
+  [[nodiscard]] std::optional<CountryRow> country_row(const std::string& country) const;
+
+  /// Figure 2 value: median optimal-site RTT over Starlink minus terrestrial
+  /// for a country (positive = terrestrial faster).
+  [[nodiscard]] std::optional<double> median_delta_ms(const std::string& country) const;
+
+  /// All idle RTTs towards each client's *optimal* site over one ISP.
+  [[nodiscard]] des::SampleSet optimal_idle_rtts(IspType isp) const;
+
+  /// Every idle RTT sample over one ISP, regardless of which anycast site
+  /// answered ("here we plot the whole CDF" -- the Figure 7 baselines).
+  [[nodiscard]] des::SampleSet idle_rtts(IspType isp) const;
+
+  /// All loaded RTTs over one ISP (bufferbloat evidence, section 3.2).
+  [[nodiscard]] des::SampleSet loaded_rtts(IspType isp) const;
+
+ private:
+  std::vector<SpeedTestRecord> records_;
+  // (city, isp) -> record indices.
+  std::map<std::pair<std::string, IspType>, std::vector<std::size_t>> by_city_isp_;
+  std::map<std::string, std::vector<std::string>> cities_by_country_;
+};
+
+}  // namespace spacecdn::measurement

@@ -1,0 +1,107 @@
+#include "measurement/dataset_io.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::measurement {
+
+namespace {
+
+double to_double(const std::string& cell) {
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  SPACECDN_EXPECT(end != nullptr && *end == '\0' && !cell.empty(),
+                  "malformed numeric CSV cell: '" + cell + "'");
+  return v;
+}
+
+IspType to_isp(const std::string& cell) {
+  if (cell == "starlink") return IspType::kStarlink;
+  if (cell == "terrestrial") return IspType::kTerrestrial;
+  throw ConfigError("unknown ISP type in CSV: '" + cell + "'");
+}
+
+}  // namespace
+
+std::vector<std::string> speedtest_csv_header() {
+  return {"country", "city",     "isp",      "cdn_site", "idle_rtt_ms",
+          "loaded_rtt_ms", "jitter_ms", "download_mbps", "upload_mbps",
+          "distance_km"};
+}
+
+std::vector<std::string> web_csv_header() {
+  return {"country", "city", "isp", "site", "dns_ms", "connect_ms", "tls_ms",
+          "http_response_ms", "fcp_ms"};
+}
+
+void write_speedtests(std::ostream& out, const std::vector<SpeedTestRecord>& records) {
+  CsvWriter csv(out, speedtest_csv_header());
+  for (const auto& r : records) {
+    csv.row({r.country_code, r.city, std::string(to_string(r.isp)), r.cdn_site,
+             CsvWriter::format_number(r.idle_rtt.value()),
+             CsvWriter::format_number(r.loaded_rtt.value()),
+             CsvWriter::format_number(r.jitter.value()),
+             CsvWriter::format_number(r.download.value()),
+             CsvWriter::format_number(r.upload.value()),
+             CsvWriter::format_number(r.distance.value())});
+  }
+}
+
+void write_web_records(std::ostream& out, const std::vector<WebRecord>& records) {
+  CsvWriter csv(out, web_csv_header());
+  for (const auto& r : records) {
+    csv.row({r.country_code, r.city, std::string(to_string(r.isp)), r.site,
+             CsvWriter::format_number(r.dns_lookup.value()),
+             CsvWriter::format_number(r.tcp_connect.value()),
+             CsvWriter::format_number(r.tls_handshake.value()),
+             CsvWriter::format_number(r.http_response.value()),
+             CsvWriter::format_number(r.first_contentful_paint.value())});
+  }
+}
+
+std::vector<SpeedTestRecord> read_speedtests(std::istream& in) {
+  CsvReader reader(in, speedtest_csv_header());
+  std::vector<SpeedTestRecord> out;
+  std::vector<std::string> cells;
+  while (reader.next_row(cells)) {
+    SpeedTestRecord r;
+    r.country_code = cells[0];
+    r.city = cells[1];
+    r.isp = to_isp(cells[2]);
+    r.cdn_site = cells[3];
+    r.idle_rtt = Milliseconds{to_double(cells[4])};
+    r.loaded_rtt = Milliseconds{to_double(cells[5])};
+    r.jitter = Milliseconds{to_double(cells[6])};
+    r.download = Mbps{to_double(cells[7])};
+    r.upload = Mbps{to_double(cells[8])};
+    r.distance = Kilometers{to_double(cells[9])};
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<WebRecord> read_web_records(std::istream& in) {
+  CsvReader reader(in, web_csv_header());
+  std::vector<WebRecord> out;
+  std::vector<std::string> cells;
+  while (reader.next_row(cells)) {
+    WebRecord r;
+    r.country_code = cells[0];
+    r.city = cells[1];
+    r.isp = to_isp(cells[2]);
+    r.site = cells[3];
+    r.dns_lookup = Milliseconds{to_double(cells[4])};
+    r.tcp_connect = Milliseconds{to_double(cells[5])};
+    r.tls_handshake = Milliseconds{to_double(cells[6])};
+    r.http_response = Milliseconds{to_double(cells[7])};
+    r.first_contentful_paint = Milliseconds{to_double(cells[8])};
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace spacecdn::measurement

@@ -1,0 +1,32 @@
+// Dataset import/export.
+//
+// The paper publishes its collected dataset and scripts "to foster
+// reproducibility and enable future research"; this module does the same
+// for the synthetic campaigns -- speed-test and web records round-trip
+// through RFC-4180 CSV so external tooling (pandas, R) can consume them and
+// saved campaigns can be re-analysed without re-simulation.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "measurement/records.hpp"
+
+namespace spacecdn::measurement {
+
+/// Column schema of the speed-test CSV.
+[[nodiscard]] std::vector<std::string> speedtest_csv_header();
+
+/// Column schema of the web-record CSV.
+[[nodiscard]] std::vector<std::string> web_csv_header();
+
+/// Writes records as CSV (header + one line per record).
+void write_speedtests(std::ostream& out, const std::vector<SpeedTestRecord>& records);
+void write_web_records(std::ostream& out, const std::vector<WebRecord>& records);
+
+/// Reads records back.  @throws spacecdn::ConfigError on schema mismatch or
+/// malformed rows.
+[[nodiscard]] std::vector<SpeedTestRecord> read_speedtests(std::istream& in);
+[[nodiscard]] std::vector<WebRecord> read_web_records(std::istream& in);
+
+}  // namespace spacecdn::measurement

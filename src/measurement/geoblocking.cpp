@@ -1,0 +1,55 @@
+#include "measurement/geoblocking.hpp"
+
+#include <algorithm>
+
+#include "data/datasets.hpp"
+#include "geo/distance.hpp"
+
+namespace spacecdn::measurement {
+
+GeoBlockingStudy::GeoBlockingStudy(const lsn::GroundSegment& ground) : ground_(&ground) {}
+
+std::vector<GeoExposureRow> GeoBlockingStudy::analyze() const {
+  std::vector<GeoExposureRow> out;
+  for (const data::CountryInfo* country : data::starlink_countries()) {
+    // Subscriber centroid: the country's most populous dataset city.
+    const auto cities = data::cities_in(country->code);
+    const data::CityInfo* biggest = cities.front();
+    for (const data::CityInfo* c : cities) {
+      if (c->population_k > biggest->population_k) biggest = c;
+    }
+    const geo::GeoPoint centroid = data::location(*biggest);
+
+    const std::size_t pop_index = ground_->assigned_pop(*country, centroid);
+    const data::PopInfo& pop = ground_->pop(pop_index);
+
+    GeoExposureRow row;
+    row.country_code = country->code;
+    row.pop_key = pop.key;
+    row.apparent_country_code = pop.country_code;
+    row.country_mismatch = pop.country_code != country->code;
+    row.region_mismatch =
+        data::country(pop.country_code).region != country->region;
+    row.displacement = geo::great_circle_distance(centroid, data::location(pop));
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+GeoExposureSummary GeoBlockingStudy::summarize() const {
+  const auto rows = analyze();
+  GeoExposureSummary summary;
+  summary.countries = rows.size();
+  double displacement_sum = 0.0;
+  for (const auto& row : rows) {
+    summary.with_country_mismatch += row.country_mismatch ? 1 : 0;
+    summary.with_region_mismatch += row.region_mismatch ? 1 : 0;
+    displacement_sum += row.displacement.value();
+  }
+  if (!rows.empty()) {
+    summary.mean_displacement = Kilometers{displacement_sum / rows.size()};
+  }
+  return summary;
+}
+
+}  // namespace spacecdn::measurement

@@ -1,0 +1,52 @@
+// Geo-blocking exposure analysis.
+//
+// Paper sections 1-2: "Starlink subscribers experience unwarranted
+// geo-blocking from CDNs when their connections are routed to PoPs deployed
+// in countries where the requested content is geo-blocked".  Because the
+// public IP lives at the PoP (carrier-grade NAT), IP-geolocation places the
+// subscriber in the PoP's country, not their own.  This module quantifies
+// that exposure from the PoP-assignment table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lsn/ground_segment.hpp"
+
+namespace spacecdn::measurement {
+
+/// Geo-identity of one country's Starlink subscribers.
+struct GeoExposureRow {
+  std::string country_code;          ///< where the subscribers actually are
+  std::string pop_key;               ///< assigned PoP
+  std::string apparent_country_code; ///< where IP geolocation places them
+  bool country_mismatch = false;     ///< apparent country differs
+  bool region_mismatch = false;      ///< apparent *continent* differs
+  Kilometers displacement{0.0};      ///< subscriber centroid to PoP distance
+};
+
+/// Aggregate exposure over the covered countries.
+struct GeoExposureSummary {
+  std::size_t countries = 0;
+  std::size_t with_country_mismatch = 0;
+  std::size_t with_region_mismatch = 0;
+  /// Mean geolocation displacement across covered countries.
+  Kilometers mean_displacement{0.0};
+};
+
+/// Computes geo-blocking exposure for every Starlink-covered country.
+class GeoBlockingStudy {
+ public:
+  explicit GeoBlockingStudy(const lsn::GroundSegment& ground);
+
+  /// One row per covered country, using the country's largest city as the
+  /// subscriber centroid.
+  [[nodiscard]] std::vector<GeoExposureRow> analyze() const;
+
+  [[nodiscard]] GeoExposureSummary summarize() const;
+
+ private:
+  const lsn::GroundSegment* ground_;
+};
+
+}  // namespace spacecdn::measurement

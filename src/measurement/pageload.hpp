@@ -1,0 +1,46 @@
+// DES-driven page loading.
+//
+// The analytic NetMet model (web.hpp) composes closed-form terms; this
+// simulator actually plays the page load out on the discrete-event engine:
+// parallel connections share the access link (processor sharing via
+// net::SharedLink), objects are discovered in rounds, and the first
+// contentful paint fires when the render-critical set has arrived.  The two
+// models cross-validate each other in the test suite.
+#pragma once
+
+#include "des/simulator.hpp"
+#include "measurement/web.hpp"
+#include "net/flow.hpp"
+
+namespace spacecdn::measurement {
+
+/// Result of one simulated page load.
+struct PageLoadResult {
+  Milliseconds first_contentful_paint{0.0};
+  Milliseconds page_load_time{0.0};  ///< last object fully received
+  std::uint32_t objects_fetched = 0;
+};
+
+/// Simulator configuration.
+struct PageLoadConfig {
+  /// Concurrent connections the browser opens per origin (HTTP/1.1-era 6).
+  std::uint32_t parallel_connections = 6;
+  net::TcpConfig tcp = {};
+};
+
+/// Plays a PageProfile over a PathModel on a discrete-event simulator.
+class PageLoadSimulator {
+ public:
+  explicit PageLoadSimulator(PageLoadConfig config = {});
+
+  /// One page load; deterministic given the rng state.
+  [[nodiscard]] PageLoadResult load(const PageProfile& page, const PathModel& path,
+                                    des::Rng& rng) const;
+
+  [[nodiscard]] const PageLoadConfig& config() const noexcept { return config_; }
+
+ private:
+  PageLoadConfig config_;
+};
+
+}  // namespace spacecdn::measurement

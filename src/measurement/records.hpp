@@ -1,0 +1,46 @@
+// Measurement record schemas, mirroring what the paper's two data sources
+// capture: Cloudflare AIM speed tests and the NetMet browser plugin.
+#pragma once
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace spacecdn::measurement {
+
+/// Which ISP carried a sample.
+enum class IspType { kStarlink, kTerrestrial };
+
+[[nodiscard]] std::string_view to_string(IspType isp) noexcept;
+
+/// One speed-test result, as the AIM dataset records it.
+struct SpeedTestRecord {
+  std::string country_code;
+  std::string city;
+  IspType isp = IspType::kTerrestrial;
+  std::string cdn_site;  ///< IATA code of the anycast site that answered
+  Milliseconds idle_rtt{0.0};
+  Milliseconds loaded_rtt{0.0};  ///< RTT during the bulk-download phase
+  Milliseconds jitter{0.0};
+  Mbps download{0.0};
+  Mbps upload{0.0};
+  /// Great-circle distance from the client city to the answering site.
+  Kilometers distance{0.0};
+};
+
+/// One page-load measurement, as NetMet records it.
+struct WebRecord {
+  std::string country_code;
+  std::string city;
+  IspType isp = IspType::kTerrestrial;
+  std::string site;  ///< fetched website (Tranco top-20 entry)
+  Milliseconds dns_lookup{0.0};
+  Milliseconds tcp_connect{0.0};
+  Milliseconds tls_handshake{0.0};
+  /// HTTP response time: request sent -> first response byte, excluding DNS
+  /// and transport setup (paper's HRT definition).
+  Milliseconds http_response{0.0};
+  Milliseconds first_contentful_paint{0.0};
+};
+
+}  // namespace spacecdn::measurement

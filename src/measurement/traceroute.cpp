@@ -1,0 +1,164 @@
+#include "measurement/traceroute.hpp"
+
+#include <cmath>
+
+#include "data/datasets.hpp"
+#include "geo/distance.hpp"
+
+namespace spacecdn::measurement {
+
+std::string_view to_string(HopKind kind) noexcept {
+  switch (kind) {
+    case HopKind::kCpe: return "cpe";
+    case HopKind::kCgnat: return "cgnat";
+    case HopKind::kPopGateway: return "pop-gateway";
+    case HopKind::kBackbone: return "backbone";
+    case HopKind::kDestination: return "destination";
+  }
+  return "unknown";
+}
+
+TracerouteSynthesizer::TracerouteSynthesizer(const lsn::StarlinkNetwork& network)
+    : network_(&network) {}
+
+Traceroute TracerouteSynthesizer::starlink(const data::CityInfo& client,
+                                           const geo::GeoPoint& destination,
+                                           des::Rng& rng) const {
+  Traceroute trace;
+  const auto& country = data::country(client.country_code);
+  const geo::GeoPoint client_location = data::location(client);
+  const auto route = network_->route(client_location, country, destination);
+  if (!route) return trace;  // no coverage: empty traceroute
+
+  int ttl = 1;
+  trace.hops.push_back(
+      TracerouteHop{ttl++, HopKind::kCpe, "dishy-router.lan", Milliseconds{1.0}, true});
+
+  // The satellite segment is invisible to traceroute; the CGNAT hop is the
+  // first Starlink-internal responder and already carries the full space
+  // RTT plus scheduling overhead.
+  const Milliseconds space_rtt = (route->one_way_to_pop()) * 2.0 +
+                                 network_->access().sample_idle_overhead(rng);
+  trace.hops.push_back(TracerouteHop{ttl++, HopKind::kCgnat, "100.64.0.1 (CGNAT)",
+                                     space_rtt, true});
+
+  const auto& pop = network_->ground().pop(route->pop);
+  trace.hops.push_back(TracerouteHop{
+      ttl++, HopKind::kPopGateway,
+      std::string(pop.city) + " PoP border (" + std::string(pop.country_code) + ")",
+      space_rtt + Milliseconds{rng.uniform(0.2, 1.0)}, true});
+
+  // Terrestrial backbone hops from the PoP to the destination, roughly one
+  // responder per hop_spacing of fiber.
+  const auto& backbone = network_->ground().backbone();
+  const geo::GeoPoint pop_location = data::location(pop);
+  const Kilometers leg = backbone.route_length(pop_location, destination);
+  const int backbone_hops = std::max(
+      1, static_cast<int>(std::ceil(leg.value() /
+                                    backbone.config().hop_spacing.value())));
+  const Milliseconds leg_rtt = backbone.rtt(pop_location, destination);
+  for (int h = 1; h <= backbone_hops; ++h) {
+    const double fraction = static_cast<double>(h) / backbone_hops;
+    const geo::GeoPoint waypoint =
+        geo::intermediate_point(pop_location, destination, fraction);
+    const auto& nearest = data::nearest_city(waypoint);
+    const bool last = h == backbone_hops;
+    trace.hops.push_back(TracerouteHop{
+        ttl++, last ? HopKind::kDestination : HopKind::kBackbone,
+        last ? "server" : "core." + std::string(nearest.name),
+        space_rtt + leg_rtt * fraction + Milliseconds{rng.uniform(0.0, 0.8)},
+        last || rng.chance(0.85)});
+  }
+  return trace;
+}
+
+Traceroute TracerouteSynthesizer::terrestrial(const data::CityInfo& client,
+                                              const geo::GeoPoint& destination,
+                                              des::Rng& rng) const {
+  Traceroute trace;
+  const auto& country = data::country(client.country_code);
+  const terrestrial::TerrestrialIsp isp(country);
+  const geo::GeoPoint client_location = data::location(client);
+
+  int ttl = 1;
+  trace.hops.push_back(
+      TracerouteHop{ttl++, HopKind::kCpe, "home-router.lan", Milliseconds{1.0}, true});
+  const Milliseconds access = isp.access().sample_idle_rtt(rng);
+  trace.hops.push_back(TracerouteHop{ttl++, HopKind::kBackbone,
+                                     "access." + std::string(client.name), access, true});
+
+  const Kilometers leg = isp.backbone().route_length(client_location, destination);
+  const int backbone_hops = std::max(
+      1, static_cast<int>(std::ceil(
+             leg.value() / isp.backbone().config().hop_spacing.value())));
+  const Milliseconds leg_rtt = isp.backbone().rtt(client_location, destination);
+  for (int h = 1; h <= backbone_hops; ++h) {
+    const double fraction = static_cast<double>(h) / backbone_hops;
+    const geo::GeoPoint waypoint =
+        geo::intermediate_point(client_location, destination, fraction);
+    const auto& nearest = data::nearest_city(waypoint);
+    const bool last = h == backbone_hops;
+    trace.hops.push_back(TracerouteHop{
+        ttl++, last ? HopKind::kDestination : HopKind::kBackbone,
+        last ? "server" : "core." + std::string(nearest.name),
+        access + leg_rtt * fraction + Milliseconds{rng.uniform(0.0, 0.8)},
+        last || rng.chance(0.9)});
+  }
+  return trace;
+}
+
+std::string TracerouteSynthesizer::infer_pop(const Traceroute& trace,
+                                             const data::CityInfo& client) const {
+  // Preferred signal: the PoP border router's reverse-DNS label names its
+  // city (how published studies located most PoPs).  RTT matching is only
+  // the fallback for unlabelled hops, and is inherently ambiguous: several
+  // PoPs can sit on the same RTT ring around a client.
+  for (const auto& hop : trace.hops) {
+    if (hop.kind == HopKind::kPopGateway && hop.responds) {
+      for (const auto& pop : data::starlink_pops()) {
+        if (hop.label.find(pop.city) != std::string::npos) return std::string(pop.key);
+      }
+    }
+  }
+
+  // Find the first public responding hop's RTT...
+  Milliseconds first_public{0.0};
+  bool found = false;
+  for (const auto& hop : trace.hops) {
+    if (hop.kind != HopKind::kCpe && hop.kind != HopKind::kCgnat && hop.responds) {
+      first_public = hop.rtt;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return "";
+
+  // ...and match it against each candidate PoP's expected RTT from this
+  // client (space segment approximated by the access overhead plus the
+  // great-circle at c -- what a measurement study without internal topology
+  // knowledge would assume).
+  const geo::GeoPoint client_location = data::location(client);
+  const double overhead = network_->access().config().median_overhead_rtt.value();
+  // The bent pipe never flies the great circle: ISL grid routing plus the
+  // gateway haul stretch the path (~1.5x is what published measurements
+  // back out).  Without this the heuristic systematically picks PoPs that
+  // are too far away.
+  constexpr double kPathStretch = 1.5;
+  std::string best;
+  double best_error = 1e300;
+  for (const auto& pop : data::starlink_pops()) {
+    const double geometric_rtt =
+        2.0 * kPathStretch *
+        geo::great_circle_distance(client_location, data::location(pop)).value() /
+        geo::kSpeedOfLightKmPerSec * 1000.0;
+    const double expected = overhead + geometric_rtt + 6.0;  // ~bent-pipe slack
+    const double error = std::fabs(expected - first_public.value());
+    if (error < best_error) {
+      best_error = error;
+      best = pop.key;
+    }
+  }
+  return best;
+}
+
+}  // namespace spacecdn::measurement

@@ -1,0 +1,74 @@
+// Synthetic traceroute paths.
+//
+// The community identified Starlink's PoP architecture largely through
+// traceroutes: the first public hop after the carrier-grade NAT sits at the
+// PoP, often a continent away from the user (paper section 2, citing Mohan
+// et al.).  This module synthesises hop-by-hop paths over both networks and
+// implements the PoP-inference heuristic those studies use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lsn/starlink.hpp"
+#include "terrestrial/isp.hpp"
+
+namespace spacecdn::measurement {
+
+/// Role of a hop in the path.
+enum class HopKind {
+  kCpe,           ///< customer premises router (private)
+  kCgnat,         ///< carrier-grade NAT hop (private, Starlink only)
+  kPopGateway,    ///< first public hop: the PoP's border router
+  kBackbone,      ///< transit/backbone router
+  kDestination,   ///< the probed server
+};
+
+[[nodiscard]] std::string_view to_string(HopKind kind) noexcept;
+
+/// One traceroute line.
+struct TracerouteHop {
+  int ttl = 0;
+  HopKind kind = HopKind::kBackbone;
+  std::string label;       ///< router identity (city / network)
+  Milliseconds rtt{0.0};   ///< cumulative RTT at this hop
+  bool responds = true;    ///< private hops often drop probes
+};
+
+/// A full path record.
+struct Traceroute {
+  std::vector<TracerouteHop> hops;
+
+  [[nodiscard]] Milliseconds total_rtt() const noexcept {
+    return hops.empty() ? Milliseconds{0.0} : hops.back().rtt;
+  }
+};
+
+/// Builds synthetic traceroutes over the two access networks.
+class TracerouteSynthesizer {
+ public:
+  explicit TracerouteSynthesizer(const lsn::StarlinkNetwork& network);
+
+  /// Starlink path: CPE -> (satellite segment, silent) -> CGNAT -> PoP
+  /// gateway -> backbone hops -> destination.
+  [[nodiscard]] Traceroute starlink(const data::CityInfo& client,
+                                    const geo::GeoPoint& destination,
+                                    des::Rng& rng) const;
+
+  /// Terrestrial path: CPE -> access router -> backbone hops -> destination.
+  [[nodiscard]] Traceroute terrestrial(const data::CityInfo& client,
+                                       const geo::GeoPoint& destination,
+                                       des::Rng& rng) const;
+
+  /// The PoP-inference heuristic: the first *public responding* hop's RTT,
+  /// matched against the candidate PoPs' expected RTTs; returns the key of
+  /// the best-matching PoP (how the measurement community located Starlink
+  /// PoPs without operator cooperation).
+  [[nodiscard]] std::string infer_pop(const Traceroute& trace,
+                                      const data::CityInfo& client) const;
+
+ private:
+  const lsn::StarlinkNetwork* network_;
+};
+
+}  // namespace spacecdn::measurement

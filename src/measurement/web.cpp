@@ -1,0 +1,156 @@
+#include "measurement/web.hpp"
+
+#include "data/datasets.hpp"
+#include "net/anycast.hpp"
+
+namespace spacecdn::measurement {
+
+std::vector<PageProfile> tranco_top_pages() {
+  using namespace spacecdn::literals;
+  // A Tranco-top-20-like mix: name, html, critical objects, critical bytes,
+  // request rounds, server think, render delay.
+  return {
+      {"search-portal", 0.05_mb, 4, 0.25_mb, 2, Milliseconds{8.0}, Milliseconds{80.0}},
+      {"video-platform", 0.35_mb, 12, 2.2_mb, 4, Milliseconds{20.0}, Milliseconds{180.0}},
+      {"social-feed", 0.30_mb, 12, 1.8_mb, 4, Milliseconds{25.0}, Milliseconds{170.0}},
+      {"encyclopedia", 0.08_mb, 5, 0.35_mb, 2, Milliseconds{10.0}, Milliseconds{90.0}},
+      {"news-international", 0.25_mb, 10, 1.5_mb, 3, Milliseconds{18.0}, Milliseconds{150.0}},
+      {"e-commerce", 0.28_mb, 11, 1.6_mb, 3, Milliseconds{22.0}, Milliseconds{160.0}},
+      {"streaming-music", 0.22_mb, 9, 1.2_mb, 3, Milliseconds{15.0}, Milliseconds{140.0}},
+      {"developer-hub", 0.12_mb, 6, 0.6_mb, 2, Milliseconds{12.0}, Milliseconds{100.0}},
+      {"microblog", 0.20_mb, 9, 1.1_mb, 3, Milliseconds{18.0}, Milliseconds{140.0}},
+      {"photo-sharing", 0.26_mb, 12, 2.0_mb, 3, Milliseconds{20.0}, Milliseconds{160.0}},
+      {"webmail", 0.15_mb, 7, 0.8_mb, 3, Milliseconds{14.0}, Milliseconds{120.0}},
+      {"cloud-dashboard", 0.18_mb, 8, 0.9_mb, 3, Milliseconds{16.0}, Milliseconds{130.0}},
+      {"q-and-a", 0.10_mb, 5, 0.45_mb, 2, Milliseconds{12.0}, Milliseconds{95.0}},
+      {"sports-live", 0.30_mb, 12, 1.9_mb, 4, Milliseconds{22.0}, Milliseconds{170.0}},
+      {"weather", 0.09_mb, 5, 0.4_mb, 2, Milliseconds{10.0}, Milliseconds{85.0}},
+      {"banking", 0.14_mb, 7, 0.7_mb, 3, Milliseconds{20.0}, Milliseconds{110.0}},
+      {"travel-booking", 0.27_mb, 11, 1.7_mb, 4, Milliseconds{24.0}, Milliseconds{165.0}},
+      {"gaming-store", 0.32_mb, 12, 2.1_mb, 4, Milliseconds{20.0}, Milliseconds{175.0}},
+      {"recipe-blog", 0.16_mb, 8, 1.0_mb, 3, Milliseconds{14.0}, Milliseconds{125.0}},
+      {"education-portal", 0.13_mb, 6, 0.65_mb, 2, Milliseconds{13.0}, Milliseconds{105.0}},
+  };
+}
+
+PathModel terrestrial_path(const data::CountryInfo& country, const data::CityInfo& city) {
+  const terrestrial::TerrestrialIsp isp(country);
+  const geo::GeoPoint client = data::location(city);
+
+  // The optimal anycast site: lowest baseline RTT (section 3.1 methodology).
+  std::vector<Milliseconds> baselines;
+  for (const auto& site : data::cdn_sites()) {
+    baselines.push_back(isp.baseline_rtt(client, data::location(site)));
+  }
+  const auto choice = net::AnycastSelector::select_ideal(baselines);
+  const geo::GeoPoint server = data::location(data::cdn_sites()[choice.site_index]);
+
+  PathModel path;
+  path.bandwidth = isp.download_bandwidth();
+  path.sample_rtt = [isp, client, server](des::Rng& rng) {
+    return isp.sample_idle_rtt(client, server, rng);
+  };
+  return path;
+}
+
+PathModel starlink_path(const lsn::StarlinkNetwork& network,
+                        const data::CountryInfo& country, const data::CityInfo& city) {
+  const geo::GeoPoint client = data::location(city);
+  const auto breakdown = network.router().route_to_pop(client, country);
+  PathModel path;
+  if (!breakdown) return path;  // no coverage: empty sampler
+
+  const geo::GeoPoint pop_location = data::location(network.ground().pop(breakdown->pop));
+  const auto& backbone = network.ground().backbone();
+
+  // The CDN site anycast picks for the PoP's address space.
+  std::vector<Milliseconds> baselines;
+  for (const auto& site : data::cdn_sites()) {
+    baselines.push_back(backbone.one_way_latency(pop_location, data::location(site)));
+  }
+  const auto choice = net::AnycastSelector::select_ideal(baselines);
+  const geo::GeoPoint server = data::location(data::cdn_sites()[choice.site_index]);
+
+  const Milliseconds propagation =
+      (breakdown->one_way_to_pop() + backbone.one_way_latency(pop_location, server)) * 2.0;
+  const lsn::StarlinkAccess access = network.access();  // value copy for the lambda
+
+  path.bandwidth = network.download_bandwidth();
+  path.sample_rtt = [propagation, access](des::Rng& rng) {
+    return propagation + access.sample_idle_overhead(rng);
+  };
+  return path;
+}
+
+NetMetProbe::NetMetProbe(net::TcpConfig tcp) : tcp_(tcp) {}
+
+WebRecord NetMetProbe::fetch(const PageProfile& page, const PathModel& path,
+                             des::Rng& rng) const {
+  WebRecord rec;
+  rec.site = page.name;
+
+  // DNS: the recursive resolver sits behind the same access path.
+  net::DnsConfig dns_cfg;
+  dns_cfg.resolver_rtt = path.sample_rtt(rng);
+  dns_cfg.authoritative_rtt = dns_cfg.resolver_rtt + Milliseconds{20.0};
+  rec.dns_lookup = net::DnsModel(dns_cfg).sample_lookup_time(rng);
+
+  rec.tcp_connect = tcp_.connect_time(path.sample_rtt(rng));
+  rec.tls_handshake = tcp_.tls_time(path.sample_rtt(rng));
+  rec.http_response = tcp_.http_response_time(path.sample_rtt(rng), page.server_think);
+
+  const Milliseconds rtt = path.sample_rtt(rng);
+  const Milliseconds html_transfer = tcp_.transfer_time(page.html, rtt, path.bandwidth);
+  const Milliseconds discovery = rtt * static_cast<double>(page.request_rounds);
+  const Milliseconds critical_transfer =
+      tcp_.transfer_time(page.critical_total, rtt, path.bandwidth);
+  const Milliseconds render{rng.lognormal_median(page.render_delay.value(), 0.3)};
+
+  rec.first_contentful_paint = rec.dns_lookup + rec.tcp_connect + rec.tls_handshake +
+                               rec.http_response + html_transfer + discovery +
+                               critical_transfer + render;
+  return rec;
+}
+
+NetMetCampaign::NetMetCampaign(const lsn::StarlinkNetwork& network, NetMetConfig config)
+    : network_(&network), config_(config), rng_(config.seed) {}
+
+std::vector<WebRecord> NetMetCampaign::run_country(const data::CountryInfo& country) {
+  std::vector<WebRecord> out;
+  const auto pages = tranco_top_pages();
+  for (const data::CityInfo* city : data::cities_in(country.code)) {
+    const PathModel terr = terrestrial_path(country, *city);
+    const PathModel star = country.starlink_available
+                               ? starlink_path(*network_, country, *city)
+                               : PathModel{};
+    for (const auto& page : pages) {
+      for (std::uint32_t i = 0; i < config_.fetches_per_page; ++i) {
+        WebRecord rec = probe_.fetch(page, terr, rng_);
+        rec.country_code = country.code;
+        rec.city = city->name;
+        rec.isp = IspType::kTerrestrial;
+        out.push_back(std::move(rec));
+        if (star.sample_rtt) {
+          WebRecord srec = probe_.fetch(page, star, rng_);
+          srec.country_code = country.code;
+          srec.city = city->name;
+          srec.isp = IspType::kStarlink;
+          out.push_back(std::move(srec));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<WebRecord> NetMetCampaign::run(std::span<const std::string_view> countries) {
+  std::vector<WebRecord> out;
+  for (std::string_view code : countries) {
+    auto records = run_country(data::country(code));
+    out.insert(out.end(), std::make_move_iterator(records.begin()),
+               std::make_move_iterator(records.end()));
+  }
+  return out;
+}
+
+}  // namespace spacecdn::measurement

@@ -1,0 +1,92 @@
+// NetMet: the web-browsing measurement model.
+//
+// Reproduces the browser-plugin pipeline the paper deploys: periodic fetches
+// of the landing pages of the Tranco top-20 CDN-served sites, recording DNS
+// lookup, TCP connect, TLS negotiation, HTTP response time, and (in the
+// containerised LEOScope deployment) first contentful paint.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "lsn/starlink.hpp"
+#include "measurement/records.hpp"
+#include "net/dns.hpp"
+#include "net/tcp_model.hpp"
+#include "terrestrial/isp.hpp"
+
+namespace spacecdn::measurement {
+
+/// Static profile of a landing page.
+struct PageProfile {
+  std::string name;
+  Megabytes html{0.1};
+  /// Render-critical subresources (CSS/JS/fonts/hero images) that gate FCP.
+  std::uint32_t critical_objects = 8;
+  Megabytes critical_total{0.9};
+  /// Sequential request rounds the critical path needs (discovery depth).
+  std::uint32_t request_rounds = 3;
+  Milliseconds server_think{15.0};
+  /// Median browser parse/layout/paint time.
+  Milliseconds render_delay{120.0};
+};
+
+/// A Tranco-top-20-like page mix served by Cloudflare/CloudFront.
+[[nodiscard]] std::vector<PageProfile> tranco_top_pages();
+
+/// Path abstraction a probe runs over: an RTT sampler plus a bandwidth.
+struct PathModel {
+  std::function<Milliseconds(des::Rng&)> sample_rtt;
+  Mbps bandwidth{100.0};
+};
+
+/// Builds a PathModel for a terrestrial client towards its optimal CDN site.
+[[nodiscard]] PathModel terrestrial_path(const data::CountryInfo& country,
+                                         const data::CityInfo& city);
+
+/// Builds a PathModel for a Starlink client towards the CDN site its PoP
+/// maps it to; empty sampler when the client has no coverage.
+[[nodiscard]] PathModel starlink_path(const lsn::StarlinkNetwork& network,
+                                      const data::CountryInfo& country,
+                                      const data::CityInfo& city);
+
+/// Executes page fetches over a path.
+class NetMetProbe {
+ public:
+  explicit NetMetProbe(net::TcpConfig tcp = {});
+
+  /// One instrumented page load.
+  [[nodiscard]] WebRecord fetch(const PageProfile& page, const PathModel& path,
+                                des::Rng& rng) const;
+
+ private:
+  net::TcpModel tcp_;
+};
+
+/// Campaign configuration.
+struct NetMetConfig {
+  std::uint32_t fetches_per_page = 10;
+  std::uint64_t seed = 20240318;
+};
+
+/// Runs NetMet from given countries over both ISPs (the paper's volunteer +
+/// LEOScope deployment).
+class NetMetCampaign {
+ public:
+  NetMetCampaign(const lsn::StarlinkNetwork& network, NetMetConfig config = {});
+
+  /// Fetches all top pages from every city of `country` over both ISPs.
+  [[nodiscard]] std::vector<WebRecord> run_country(const data::CountryInfo& country);
+
+  /// Runs a list of countries (by ISO code).
+  [[nodiscard]] std::vector<WebRecord> run(std::span<const std::string_view> countries);
+
+ private:
+  const lsn::StarlinkNetwork* network_;
+  NetMetConfig config_;
+  des::Rng rng_;
+  NetMetProbe probe_;
+};
+
+}  // namespace spacecdn::measurement

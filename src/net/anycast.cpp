@@ -1,0 +1,38 @@
+#include "net/anycast.hpp"
+
+#include "util/error.hpp"
+
+namespace spacecdn::net {
+
+AnycastSelector::AnycastSelector(double routing_noise_ms)
+    : routing_noise_ms_(routing_noise_ms) {
+  SPACECDN_EXPECT(routing_noise_ms >= 0.0, "routing noise must be non-negative");
+}
+
+AnycastChoice AnycastSelector::select_ideal(
+    const std::vector<Milliseconds>& site_latencies) {
+  SPACECDN_EXPECT(!site_latencies.empty(), "anycast needs at least one site");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < site_latencies.size(); ++i) {
+    if (site_latencies[i] < site_latencies[best]) best = i;
+  }
+  return AnycastChoice{best, site_latencies[best]};
+}
+
+AnycastChoice AnycastSelector::select(const std::vector<Milliseconds>& site_latencies,
+                                      des::Rng& rng) const {
+  SPACECDN_EXPECT(!site_latencies.empty(), "anycast needs at least one site");
+  if (routing_noise_ms_ == 0.0) return select_ideal(site_latencies);
+  std::size_t best = 0;
+  double best_score = site_latencies[0].value() + rng.exponential(routing_noise_ms_);
+  for (std::size_t i = 1; i < site_latencies.size(); ++i) {
+    const double score = site_latencies[i].value() + rng.exponential(routing_noise_ms_);
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return AnycastChoice{best, site_latencies[best]};
+}
+
+}  // namespace spacecdn::net

@@ -1,0 +1,44 @@
+// Anycast catchment selection.
+//
+// Cloudflare announces the same prefix from every site; BGP steers a client
+// to one site, usually -- but not always -- the lowest-latency one.  The
+// paper notes that "clients from the same city often target several CDN
+// servers across different neighbouring countries"; the jitter term
+// reproduces that spread.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "des/random.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::net {
+
+/// Result of an anycast routing decision.
+struct AnycastChoice {
+  std::size_t site_index = 0;
+  Milliseconds latency{0.0};  ///< latency to the chosen site (without jitter)
+};
+
+/// Policy for turning per-site latencies into a routed site.
+class AnycastSelector {
+ public:
+  /// @param routing_noise_ms  per-decision lognormal-ish perturbation added
+  /// to each site's latency before taking the argmin; 0 = ideal anycast.
+  explicit AnycastSelector(double routing_noise_ms = 0.0);
+
+  /// Ideal selection: strictly lowest latency.
+  [[nodiscard]] static AnycastChoice select_ideal(
+      const std::vector<Milliseconds>& site_latencies);
+
+  /// BGP-like selection: argmin over latency + noise; reflects that BGP path
+  /// choice is only correlated with latency.
+  [[nodiscard]] AnycastChoice select(const std::vector<Milliseconds>& site_latencies,
+                                     des::Rng& rng) const;
+
+ private:
+  double routing_noise_ms_;
+};
+
+}  // namespace spacecdn::net

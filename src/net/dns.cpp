@@ -1,0 +1,29 @@
+#include "net/dns.hpp"
+
+#include "util/error.hpp"
+
+namespace spacecdn::net {
+
+DnsModel::DnsModel(DnsConfig config) : config_(config) {
+  SPACECDN_EXPECT(config_.resolver_rtt.value() >= 0.0, "resolver RTT must be non-negative");
+  SPACECDN_EXPECT(
+      config_.cache_hit_probability >= 0.0 && config_.cache_hit_probability <= 1.0,
+      "cache hit probability must be within [0, 1]");
+}
+
+Milliseconds DnsModel::expected_lookup_time() const noexcept {
+  const double miss_extra = (1.0 - config_.cache_hit_probability) *
+                            config_.miss_round_trips *
+                            config_.authoritative_rtt.value();
+  return config_.resolver_rtt + Milliseconds{miss_extra};
+}
+
+Milliseconds DnsModel::sample_lookup_time(des::Rng& rng) const {
+  Milliseconds t = config_.resolver_rtt;
+  if (!rng.chance(config_.cache_hit_probability)) {
+    t += config_.authoritative_rtt * static_cast<double>(config_.miss_round_trips);
+  }
+  return t;
+}
+
+}  // namespace spacecdn::net

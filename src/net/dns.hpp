@@ -1,0 +1,42 @@
+// DNS resolution-time model.
+//
+// CDN request routing commonly relies on DNS-based redirection; NetMet
+// records the lookup time separately, so the model exposes it separately.
+#pragma once
+
+#include "des/random.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::net {
+
+/// Configuration of a client's resolver path.
+struct DnsConfig {
+  /// RTT between the client stub and its recursive resolver.  For LSN users
+  /// this traverses the satellite path too (resolvers sit behind the PoP).
+  Milliseconds resolver_rtt{10.0};
+  /// Probability the recursive resolver answers from cache.
+  double cache_hit_probability = 0.85;
+  /// Extra round trips to authoritative servers on a cache miss.
+  std::uint32_t miss_round_trips = 2;
+  /// RTT of each authoritative round trip (resolver to authoritative).
+  Milliseconds authoritative_rtt{30.0};
+};
+
+/// Samples DNS lookup times.
+class DnsModel {
+ public:
+  explicit DnsModel(DnsConfig config);
+
+  /// Expected (mean) lookup time.
+  [[nodiscard]] Milliseconds expected_lookup_time() const noexcept;
+
+  /// One stochastic lookup.
+  [[nodiscard]] Milliseconds sample_lookup_time(des::Rng& rng) const;
+
+  [[nodiscard]] const DnsConfig& config() const noexcept { return config_; }
+
+ private:
+  DnsConfig config_;
+};
+
+}  // namespace spacecdn::net

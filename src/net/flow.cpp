@@ -1,0 +1,88 @@
+#include "net/flow.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spacecdn::net {
+
+SharedLink::SharedLink(des::Simulator& sim, Mbps capacity)
+    : sim_(&sim), capacity_(capacity), last_update_(sim.now()) {
+  SPACECDN_EXPECT(capacity.value() > 0.0, "link capacity must be positive");
+}
+
+Mbps SharedLink::fair_share() const noexcept {
+  if (flows_.empty()) return capacity_;
+  return Mbps{capacity_.value() / static_cast<double>(flows_.size())};
+}
+
+FlowId SharedLink::start_flow(Megabytes size, Callback on_complete) {
+  SPACECDN_EXPECT(size.value() >= 0.0, "flow size must be non-negative");
+  SPACECDN_EXPECT(static_cast<bool>(on_complete), "flow needs a completion callback");
+  advance_progress();
+
+  const FlowId id = next_id_++;
+  flows_.emplace(id, ActiveFlow{size.bytes(), sim_->now(), size, std::move(on_complete)});
+  reschedule();
+  return id;
+}
+
+bool SharedLink::cancel_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  advance_progress();
+  flows_.erase(it);
+  reschedule();
+  return true;
+}
+
+void SharedLink::advance_progress() {
+  const Milliseconds now = sim_->now();
+  const double elapsed_ms = (now - last_update_).value();
+  last_update_ = now;
+  if (elapsed_ms <= 0.0 || flows_.empty()) return;
+  const double bytes_each = fair_share().bytes_per_ms() * elapsed_ms;
+  for (auto& [id, flow] : flows_) {
+    flow.remaining_bytes = std::max(0.0, flow.remaining_bytes - bytes_each);
+  }
+}
+
+void SharedLink::reschedule() {
+  if (event_scheduled_) {
+    sim_->cancel(pending_event_);
+    event_scheduled_ = false;
+  }
+  if (flows_.empty()) return;
+
+  double min_remaining = flows_.begin()->second.remaining_bytes;
+  for (const auto& [id, flow] : flows_) {
+    min_remaining = std::min(min_remaining, flow.remaining_bytes);
+  }
+  const double eta_ms = min_remaining / fair_share().bytes_per_ms();
+  pending_event_ = sim_->schedule(Milliseconds{eta_ms}, [this] {
+    event_scheduled_ = false;
+    advance_progress();
+    complete_earliest();
+    reschedule();
+  });
+  event_scheduled_ = true;
+}
+
+void SharedLink::complete_earliest() {
+  // Completes every flow whose remaining bytes have (numerically) drained;
+  // ties complete together, as true processor sharing would.
+  constexpr double kEpsilonBytes = 1e-6;
+  std::vector<FlowId> done;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.remaining_bytes <= kEpsilonBytes) done.push_back(id);
+  }
+  for (const FlowId id : done) {
+    auto node = flows_.extract(id);
+    ActiveFlow& flow = node.mapped();
+    ++completed_;
+    FlowRecord record{id, flow.size, flow.started, sim_->now()};
+    flow.on_complete(record);
+  }
+}
+
+}  // namespace spacecdn::net

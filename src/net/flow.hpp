@@ -1,0 +1,95 @@
+// Event-driven flow transfers over a shared bottleneck link.
+//
+// The analytic TcpModel answers "how long does one transfer take in
+// isolation"; this module answers the concurrent question: N flows sharing
+// one bottleneck (the access link -- a Starlink downlink or a home
+// connection) under processor sharing, driven by the des::Simulator.  Page
+// loads with parallel connections, striped prefetching, and speed tests all
+// ride on it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "des/simulator.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::net {
+
+using FlowId = std::uint64_t;
+
+/// Completion record handed to the flow's callback.
+struct FlowRecord {
+  FlowId id = 0;
+  Megabytes size{0.0};
+  Milliseconds started{0.0};
+  Milliseconds finished{0.0};
+
+  [[nodiscard]] Milliseconds duration() const noexcept { return finished - started; }
+  /// Achieved goodput.
+  [[nodiscard]] Mbps goodput() const noexcept {
+    const double ms = duration().value();
+    return ms > 0 ? Mbps{size.megabits() / (ms / 1000.0)} : Mbps{0.0};
+  }
+};
+
+/// A capacity-C link shared by its active flows with egalitarian processor
+/// sharing: each of the n active flows progresses at C/n.
+///
+/// Implementation: on every arrival/completion the remaining bytes of all
+/// active flows are advanced at the old rate, the completion event of the
+/// new earliest finisher is (re)scheduled, and stale events are cancelled.
+/// All times come from the owning Simulator.
+class SharedLink {
+ public:
+  using Callback = std::function<void(const FlowRecord&)>;
+
+  /// @param sim  event engine driving this link; must outlive it.
+  SharedLink(des::Simulator& sim, Mbps capacity);
+  SharedLink(const SharedLink&) = delete;
+  SharedLink& operator=(const SharedLink&) = delete;
+
+  [[nodiscard]] Mbps capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t active_flows() const noexcept { return flows_.size(); }
+  /// Instantaneous per-flow rate.
+  [[nodiscard]] Mbps fair_share() const noexcept;
+  /// Fraction of capacity in use (1.0 whenever any flow is active).
+  [[nodiscard]] double utilization() const noexcept {
+    return flows_.empty() ? 0.0 : 1.0;
+  }
+
+  /// Starts a flow of `size` now; `on_complete` fires from the simulator
+  /// when the last byte arrives.
+  FlowId start_flow(Megabytes size, Callback on_complete);
+
+  /// Cancels an in-flight flow (no callback); returns false if unknown.
+  bool cancel_flow(FlowId id);
+
+  [[nodiscard]] std::uint64_t completed_flows() const noexcept { return completed_; }
+
+ private:
+  struct ActiveFlow {
+    double remaining_bytes = 0.0;
+    Milliseconds started{0.0};
+    Megabytes size{0.0};
+    Callback on_complete;
+  };
+
+  /// Advances all remaining byte counters to now() and reschedules the next
+  /// completion event.
+  void reschedule();
+  void advance_progress();
+  void complete_earliest();
+
+  des::Simulator* sim_;
+  Mbps capacity_;
+  std::map<FlowId, ActiveFlow> flows_;
+  FlowId next_id_ = 1;
+  Milliseconds last_update_{0.0};
+  des::EventId pending_event_ = 0;
+  bool event_scheduled_ = false;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace spacecdn::net

@@ -1,0 +1,129 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace spacecdn::net {
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void Graph::add_edge(NodeId from, NodeId to, Milliseconds weight) {
+  SPACECDN_EXPECT(from < adjacency_.size() && to < adjacency_.size(),
+                  "edge endpoints must be existing nodes");
+  SPACECDN_EXPECT(weight.value() >= 0.0, "edge weight must be non-negative");
+  adjacency_[from].push_back(Edge{to, weight});
+  ++edges_;
+}
+
+void Graph::add_undirected_edge(NodeId a, NodeId b, Milliseconds weight) {
+  add_edge(a, b, weight);
+  add_edge(b, a, weight);
+}
+
+std::span<const Edge> Graph::neighbors(NodeId node) const {
+  SPACECDN_EXPECT(node < adjacency_.size(), "node id out of range");
+  return adjacency_[node];
+}
+
+void Graph::clear_edges() noexcept {
+  for (auto& adj : adjacency_) adj.clear();
+  edges_ = 0;
+}
+
+namespace {
+
+struct QueueEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const QueueEntry& o) const noexcept { return dist > o.dist; }
+};
+
+}  // namespace
+
+std::vector<Milliseconds> shortest_distances(const Graph& g, NodeId source) {
+  SPACECDN_EXPECT(source < g.node_count(), "source node out of range");
+  std::vector<double> dist(g.node_count(), kUnreachable);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  dist[source] = 0.0;
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;  // stale entry
+    for (const Edge& e : g.neighbors(u)) {
+      const double nd = d + e.weight.value();
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+  std::vector<Milliseconds> out;
+  out.reserve(dist.size());
+  for (double d : dist) out.emplace_back(d);
+  return out;
+}
+
+std::optional<Path> shortest_path(const Graph& g, NodeId source, NodeId target) {
+  SPACECDN_EXPECT(source < g.node_count() && target < g.node_count(),
+                  "path endpoints must be existing nodes");
+  std::vector<double> dist(g.node_count(), kUnreachable);
+  std::vector<NodeId> prev(g.node_count(), source);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  dist[source] = 0.0;
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (u == target) break;
+    if (d > dist[u]) continue;
+    for (const Edge& e : g.neighbors(u)) {
+      const double nd = d + e.weight.value();
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        prev[e.to] = u;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+  if (dist[target] == kUnreachable) return std::nullopt;
+
+  Path path;
+  path.total = Milliseconds{dist[target]};
+  for (NodeId n = target;; n = prev[n]) {
+    path.nodes.push_back(n);
+    if (n == source) break;
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  return path;
+}
+
+std::vector<HopDistance> nodes_within_hops(const Graph& g, NodeId source,
+                                           std::uint32_t max_hops) {
+  SPACECDN_EXPECT(source < g.node_count(), "source node out of range");
+  std::vector<bool> seen(g.node_count(), false);
+  std::vector<HopDistance> out;
+  std::queue<HopDistance> frontier;
+  seen[source] = true;
+  frontier.push({source, 0});
+  while (!frontier.empty()) {
+    const HopDistance cur = frontier.front();
+    frontier.pop();
+    out.push_back(cur);
+    if (cur.hops == max_hops) continue;
+    for (const Edge& e : g.neighbors(cur.node)) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        frontier.push({e.to, cur.hops + 1});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace spacecdn::net

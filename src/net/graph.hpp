@@ -1,0 +1,88 @@
+// Weighted graph and shortest-path routing.
+//
+// Nodes are dense integer ids (satellites, ground stations, PoPs, CDN sites
+// all map onto them).  Edge weights are one-way latencies in milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace spacecdn::net {
+
+using NodeId = std::uint32_t;
+
+/// One outgoing adjacency.
+struct Edge {
+  NodeId to = 0;
+  Milliseconds weight{0.0};
+};
+
+/// A routing result: total latency plus the node sequence (src first).
+struct Path {
+  Milliseconds total{0.0};
+  std::vector<NodeId> nodes;
+
+  [[nodiscard]] std::size_t hop_count() const noexcept {
+    return nodes.empty() ? 0 : nodes.size() - 1;
+  }
+};
+
+/// Adjacency-list digraph with latency weights.
+class Graph {
+ public:
+  Graph() = default;
+  /// Pre-creates `n` nodes (ids 0..n-1).
+  explicit Graph(std::size_t n) : adjacency_(n) {}
+
+  /// Adds a node; returns its id.
+  NodeId add_node();
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+  /// Adds a directed edge.  @throws spacecdn::ConfigError on bad ids or
+  /// negative weight.
+  void add_edge(NodeId from, NodeId to, Milliseconds weight);
+
+  /// Adds edges in both directions with the same weight.
+  void add_undirected_edge(NodeId a, NodeId b, Milliseconds weight);
+
+  [[nodiscard]] std::span<const Edge> neighbors(NodeId node) const;
+
+  /// Drops all edges but keeps the nodes (used when the topology is
+  /// recomputed every ephemeris step).
+  void clear_edges() noexcept;
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edges_ = 0;
+};
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Single-source shortest distances (Dijkstra, binary heap).  Unreachable
+/// nodes get Milliseconds{infinity}.
+[[nodiscard]] std::vector<Milliseconds> shortest_distances(const Graph& g, NodeId source);
+
+/// Shortest path between two nodes, or nullopt when unreachable.
+[[nodiscard]] std::optional<Path> shortest_path(const Graph& g, NodeId source,
+                                                NodeId target);
+
+/// Result of a bounded breadth-first search: node and its hop distance.
+struct HopDistance {
+  NodeId node = 0;
+  std::uint32_t hops = 0;
+};
+
+/// All nodes within `max_hops` of `source` (including source at 0 hops),
+/// in breadth-first order.  Edge weights are ignored; this is the ISL
+/// hop-count search the SpaceCDN lookup uses.
+[[nodiscard]] std::vector<HopDistance> nodes_within_hops(const Graph& g, NodeId source,
+                                                         std::uint32_t max_hops);
+
+}  // namespace spacecdn::net

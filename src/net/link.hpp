@@ -1,0 +1,61 @@
+// Link-level delay models: serialization, queueing, and bufferbloat.
+//
+// The paper's web results hinge on two link behaviours beyond propagation
+// delay: (i) queueing that grows with utilisation, and (ii) Starlink's
+// well-documented bufferbloat, where deep buffers add >200 ms under active
+// downloads (paper section 3.2, citing Mohan et al. WWW'24).
+#pragma once
+
+#include "des/random.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::net {
+
+/// Static description of a link.
+struct LinkSpec {
+  Milliseconds propagation{0.0};
+  Mbps capacity{100.0};
+};
+
+/// M/M/1-style queueing delay as a function of utilisation.
+///
+/// mean_wait = service_time * rho / (1 - rho), capped so a saturated link
+/// yields `max_delay` instead of infinity (real buffers are finite).
+class QueueingModel {
+ public:
+  QueueingModel(Milliseconds mean_service_time, Milliseconds max_delay);
+
+  /// Expected queueing delay at utilisation `rho` in [0, 1].
+  [[nodiscard]] Milliseconds expected_delay(double rho) const;
+
+  /// One stochastic sample (exponential around the expectation).
+  [[nodiscard]] Milliseconds sample_delay(double rho, des::Rng& rng) const;
+
+ private:
+  Milliseconds mean_service_time_;
+  Milliseconds max_delay_;
+};
+
+/// Bufferbloat: latency inflation under sustained load.
+///
+/// Idle connections see no inflation; during an active bulk transfer the
+/// bottleneck buffer fills and RTTs inflate towards `bloat_at_full_load`.
+/// Parameterised from the Starlink measurements the paper corroborates
+/// (>200 ms during active downloads).
+class BufferbloatModel {
+ public:
+  explicit BufferbloatModel(Milliseconds bloat_at_full_load, double sigma = 0.35);
+
+  /// Extra delay when the access link carries `load` in [0, 1] of its
+  /// capacity; deterministic expectation.
+  [[nodiscard]] Milliseconds expected_bloat(double load) const;
+
+  /// Stochastic sample (lognormal around the expectation).
+  [[nodiscard]] Milliseconds sample_bloat(double load, des::Rng& rng) const;
+
+ private:
+  Milliseconds bloat_at_full_load_;
+  double sigma_;
+};
+
+}  // namespace spacecdn::net

@@ -1,0 +1,63 @@
+#include "net/tcp_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace spacecdn::net {
+
+TcpModel::TcpModel(TcpConfig config) : config_(config) {
+  SPACECDN_EXPECT(config_.initial_window_segments > 0, "initial window must be positive");
+  SPACECDN_EXPECT(config_.mss_bytes > 0.0, "MSS must be positive");
+}
+
+Milliseconds TcpModel::connect_time(Milliseconds rtt) const noexcept { return rtt; }
+
+Milliseconds TcpModel::tls_time(Milliseconds rtt) const noexcept {
+  return rtt * static_cast<double>(config_.tls_round_trips);
+}
+
+Milliseconds TcpModel::http_response_time(Milliseconds rtt,
+                                          Milliseconds server_think) const noexcept {
+  return rtt + server_think;
+}
+
+Milliseconds TcpModel::transfer_time(Megabytes size, Milliseconds rtt,
+                                     Mbps bottleneck) const {
+  SPACECDN_EXPECT(rtt.value() > 0.0, "RTT must be positive");
+  SPACECDN_EXPECT(bottleneck.value() > 0.0, "bottleneck bandwidth must be positive");
+  double remaining_bytes = size.bytes();
+  if (remaining_bytes <= 0.0) return Milliseconds{0.0};
+
+  // Bytes deliverable per RTT at line rate (the bandwidth-delay product).
+  const double bdp_bytes = bottleneck.bytes_per_ms() * rtt.value();
+  double window_bytes = config_.initial_window_segments * config_.mss_bytes;
+  double elapsed_ms = 0.0;
+
+  // Slow-start rounds: one window per RTT, window doubling, until either the
+  // object is done or the window saturates the path.
+  while (window_bytes < bdp_bytes) {
+    if (remaining_bytes <= window_bytes) {
+      // Last partial round: the tail of the object arrives within this RTT,
+      // spread at the effective rate window/rtt.
+      elapsed_ms += remaining_bytes / window_bytes * rtt.value();
+      return Milliseconds{elapsed_ms};
+    }
+    remaining_bytes -= window_bytes;
+    elapsed_ms += rtt.value();
+    window_bytes *= 2.0;
+  }
+
+  // Congestion-avoidance phase approximated as line-rate delivery.
+  elapsed_ms += remaining_bytes / bottleneck.bytes_per_ms();
+  return Milliseconds{elapsed_ms};
+}
+
+Milliseconds TcpModel::object_fetch_time(Megabytes size, Milliseconds rtt,
+                                         Mbps bottleneck,
+                                         Milliseconds server_think) const {
+  return connect_time(rtt) + tls_time(rtt) + http_response_time(rtt, server_think) +
+         transfer_time(size, rtt, bottleneck);
+}
+
+}  // namespace spacecdn::net

@@ -1,0 +1,56 @@
+// Analytic TCP connection and transfer-time model.
+//
+// The NetMet web-browsing reproduction needs the classic decomposition the
+// plugin records: DNS lookup, TCP connect, TLS negotiation, HTTP response
+// time, and full object download.  We model TCP Reno-style slow start with
+// an initial window of 10 segments, doubling per RTT until the path
+// bandwidth-delay product is reached, then line-rate delivery.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace spacecdn::net {
+
+/// Tunables of the transport model.
+struct TcpConfig {
+  std::uint32_t initial_window_segments = 10;  ///< RFC 6928 IW10
+  double mss_bytes = 1460.0;
+  /// TLS 1.3 adds one round trip after the TCP handshake.
+  std::uint32_t tls_round_trips = 1;
+};
+
+/// Stateless calculator; all methods are pure functions of (rtt, bandwidth).
+class TcpModel {
+ public:
+  explicit TcpModel(TcpConfig config = {});
+
+  [[nodiscard]] const TcpConfig& config() const noexcept { return config_; }
+
+  /// TCP three-way-handshake completion as seen by the client (one RTT).
+  [[nodiscard]] Milliseconds connect_time(Milliseconds rtt) const noexcept;
+
+  /// TLS negotiation time after TCP connect.
+  [[nodiscard]] Milliseconds tls_time(Milliseconds rtt) const noexcept;
+
+  /// Time from sending an HTTP GET to receiving the first response byte:
+  /// one RTT plus the server think time.
+  [[nodiscard]] Milliseconds http_response_time(Milliseconds rtt,
+                                                Milliseconds server_think) const noexcept;
+
+  /// Time to download `size` over a path with the given RTT and bottleneck
+  /// bandwidth, starting in slow start.  Excludes connection setup.
+  [[nodiscard]] Milliseconds transfer_time(Megabytes size, Milliseconds rtt,
+                                           Mbps bottleneck) const;
+
+  /// Full page-object fetch: connect + TLS + request + transfer.
+  [[nodiscard]] Milliseconds object_fetch_time(Megabytes size, Milliseconds rtt,
+                                               Mbps bottleneck,
+                                               Milliseconds server_think) const;
+
+ private:
+  TcpConfig config_;
+};
+
+}  // namespace spacecdn::net

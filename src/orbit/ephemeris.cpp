@@ -1,0 +1,51 @@
+#include "orbit/ephemeris.hpp"
+
+#include "util/error.hpp"
+
+namespace spacecdn::orbit {
+
+EphemerisSnapshot::EphemerisSnapshot(const WalkerConstellation& constellation,
+                                     Milliseconds t)
+    : time_(t), positions_(constellation.positions_ecef(t)) {}
+
+const geo::Ecef& EphemerisSnapshot::position(std::uint32_t sat_id) const {
+  SPACECDN_EXPECT(sat_id < positions_.size(), "satellite id out of range");
+  return positions_[sat_id];
+}
+
+std::vector<std::uint32_t> EphemerisSnapshot::visible_satellites(
+    const geo::GeoPoint& ground, double min_elevation_deg) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t id = 0; id < positions_.size(); ++id) {
+    if (geo::is_visible(ground, positions_[id], min_elevation_deg)) out.push_back(id);
+  }
+  return out;
+}
+
+std::optional<std::uint32_t> EphemerisSnapshot::serving_satellite(
+    const geo::GeoPoint& ground, double min_elevation_deg) const {
+  std::optional<std::uint32_t> best;
+  double best_elev = min_elevation_deg;
+  for (std::uint32_t id = 0; id < positions_.size(); ++id) {
+    const double elev = geo::elevation_angle_deg(ground, positions_[id]);
+    if (elev >= best_elev) {
+      best_elev = elev;
+      best = id;
+    }
+  }
+  return best;
+}
+
+Kilometers EphemerisSnapshot::isl_distance(std::uint32_t a, std::uint32_t b) const {
+  SPACECDN_EXPECT(a < positions_.size() && b < positions_.size(),
+                  "satellite id out of range");
+  return geo::euclidean_distance(positions_[a], positions_[b]);
+}
+
+Kilometers EphemerisSnapshot::slant_range(const geo::GeoPoint& ground,
+                                          std::uint32_t sat_id) const {
+  SPACECDN_EXPECT(sat_id < positions_.size(), "satellite id out of range");
+  return geo::slant_range(ground, positions_[sat_id]);
+}
+
+}  // namespace spacecdn::orbit

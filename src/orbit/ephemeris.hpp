@@ -1,0 +1,50 @@
+// Ephemeris snapshots: all satellite positions at an instant, plus the
+// geometric queries every higher layer needs (serving satellite selection,
+// visibility lists, ISL lengths).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/visibility.hpp"
+#include "orbit/walker.hpp"
+
+namespace spacecdn::orbit {
+
+/// Immutable snapshot of a constellation at a single simulation time.
+class EphemerisSnapshot {
+ public:
+  EphemerisSnapshot(const WalkerConstellation& constellation, Milliseconds t);
+
+  [[nodiscard]] Milliseconds time() const noexcept { return time_; }
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(positions_.size());
+  }
+  [[nodiscard]] const geo::Ecef& position(std::uint32_t sat_id) const;
+  [[nodiscard]] const std::vector<geo::Ecef>& positions() const noexcept {
+    return positions_;
+  }
+
+  /// Ids of all satellites visible from `ground` at >= `min_elevation_deg`.
+  [[nodiscard]] std::vector<std::uint32_t> visible_satellites(
+      const geo::GeoPoint& ground, double min_elevation_deg) const;
+
+  /// The serving satellite: highest elevation above `min_elevation_deg`, or
+  /// nullopt when none qualifies (coverage gap).
+  [[nodiscard]] std::optional<std::uint32_t> serving_satellite(
+      const geo::GeoPoint& ground, double min_elevation_deg) const;
+
+  /// Straight-line distance between two satellites (ISL length).
+  [[nodiscard]] Kilometers isl_distance(std::uint32_t a, std::uint32_t b) const;
+
+  /// Slant range from a ground point to a satellite.
+  [[nodiscard]] Kilometers slant_range(const geo::GeoPoint& ground,
+                                       std::uint32_t sat_id) const;
+
+ private:
+  Milliseconds time_;
+  std::vector<geo::Ecef> positions_;
+};
+
+}  // namespace spacecdn::orbit

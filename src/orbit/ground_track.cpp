@@ -1,0 +1,120 @@
+#include "orbit/ground_track.hpp"
+
+#include <algorithm>
+
+#include "geo/visibility.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::orbit {
+
+GroundTrackPredictor::GroundTrackPredictor(const WalkerConstellation& constellation,
+                                           Milliseconds scan_step,
+                                           Milliseconds refine_tolerance)
+    : constellation_(&constellation),
+      scan_step_(scan_step),
+      refine_tolerance_(refine_tolerance) {
+  SPACECDN_EXPECT(scan_step.value() > 0.0, "scan step must be positive");
+  SPACECDN_EXPECT(refine_tolerance.value() > 0.0, "refine tolerance must be positive");
+}
+
+double GroundTrackPredictor::elevation(std::uint32_t sat, const geo::GeoPoint& point,
+                                       Milliseconds t) const {
+  return geo::elevation_angle_deg(point, constellation_->orbit(sat).position_ecef(t));
+}
+
+Milliseconds GroundTrackPredictor::bisect_crossing(std::uint32_t sat,
+                                                   const geo::GeoPoint& point,
+                                                   double mask, Milliseconds lo,
+                                                   Milliseconds hi) const {
+  const bool lo_visible = elevation(sat, point, lo) >= mask;
+  while ((hi - lo) > refine_tolerance_) {
+    const Milliseconds mid{(lo.value() + hi.value()) / 2.0};
+    if ((elevation(sat, point, mid) >= mask) == lo_visible) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+std::vector<Pass> GroundTrackPredictor::passes(std::uint32_t sat,
+                                               const geo::GeoPoint& point,
+                                               double min_elevation_deg,
+                                               Milliseconds start, Milliseconds end) const {
+  SPACECDN_EXPECT(end >= start, "observation window must be ordered");
+
+  std::vector<Pass> out;
+  std::optional<Pass> current;
+  bool prev_visible = elevation(sat, point, start) >= min_elevation_deg;
+  if (prev_visible) current = Pass{start, end, elevation(sat, point, start)};
+
+  Milliseconds prev = start;
+  for (Milliseconds t = start + scan_step_; prev < end; t += scan_step_) {
+    const Milliseconds clamped = std::min(t, end);
+    const double elev = elevation(sat, point, clamped);
+    const bool visible = elev >= min_elevation_deg;
+
+    if (visible && current) {
+      current->max_elevation_deg = std::max(current->max_elevation_deg, elev);
+    }
+    if (visible && !prev_visible) {
+      const Milliseconds rise =
+          bisect_crossing(sat, point, min_elevation_deg, prev, clamped);
+      current = Pass{rise, end, elev};
+    } else if (!visible && prev_visible) {
+      const Milliseconds set =
+          bisect_crossing(sat, point, min_elevation_deg, prev, clamped);
+      if (current) {
+        current->set = set;
+        out.push_back(*current);
+        current.reset();
+      }
+    }
+    prev_visible = visible;
+    prev = clamped;
+  }
+  if (current) {
+    current->set = end;
+    out.push_back(*current);
+  }
+  return out;
+}
+
+std::optional<Milliseconds> GroundTrackPredictor::next_rise(std::uint32_t sat,
+                                                            const geo::GeoPoint& point,
+                                                            double min_elevation_deg,
+                                                            Milliseconds from,
+                                                            Milliseconds horizon) const {
+  const auto found = passes(sat, point, min_elevation_deg, from, from + horizon);
+  for (const Pass& pass : found) {
+    if (pass.rise > from) return pass.rise;
+  }
+  return std::nullopt;
+}
+
+PassStatistics GroundTrackPredictor::statistics(std::uint32_t sat,
+                                                const geo::GeoPoint& point,
+                                                double min_elevation_deg,
+                                                Milliseconds start, Milliseconds end) const {
+  const auto found = passes(sat, point, min_elevation_deg, start, end);
+  PassStatistics stats;
+  stats.pass_count = static_cast<std::uint32_t>(found.size());
+  if (found.empty()) {
+    stats.max_gap = end - start;
+    return stats;
+  }
+  double total_duration = 0.0;
+  for (const Pass& pass : found) total_duration += pass.duration().value();
+  stats.mean_duration = Milliseconds{total_duration / static_cast<double>(found.size())};
+
+  double max_gap = (found.front().rise - start).value();
+  for (std::size_t i = 1; i < found.size(); ++i) {
+    max_gap = std::max(max_gap, (found[i].rise - found[i - 1].set).value());
+  }
+  max_gap = std::max(max_gap, (end - found.back().set).value());
+  stats.max_gap = Milliseconds{max_gap};
+  return stats;
+}
+
+}  // namespace spacecdn::orbit

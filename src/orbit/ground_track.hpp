@@ -1,0 +1,78 @@
+// Ground-track and pass prediction.
+//
+// Both content bubbles and video striping rely on the *predictability* of
+// LEO orbits (paper section 5: "Given the predictable nature of both the
+// satellite orbits and content popularity ...").  This module answers the
+// operational questions: when does a satellite rise over a point, how long
+// does it dwell, and when does it come back (the ~90-minute revisit the
+// paper quotes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/coordinates.hpp"
+#include "orbit/walker.hpp"
+
+namespace spacecdn::orbit {
+
+/// One visibility interval of a satellite over a ground point.
+struct Pass {
+  Milliseconds rise{0.0};  ///< first instant at/above the elevation mask
+  Milliseconds set{0.0};   ///< first instant back below the mask
+  double max_elevation_deg = 0.0;
+
+  [[nodiscard]] Milliseconds duration() const noexcept { return set - rise; }
+};
+
+/// Aggregate pass behaviour over an observation window.
+struct PassStatistics {
+  std::uint32_t pass_count = 0;
+  Milliseconds mean_duration{0.0};
+  Milliseconds max_gap{0.0};  ///< longest interval with the satellite unseen
+};
+
+/// Predicts passes by coarse scanning plus bisection refinement of the rise
+/// and set times (accurate to `refine_tolerance`).
+class GroundTrackPredictor {
+ public:
+  explicit GroundTrackPredictor(const WalkerConstellation& constellation,
+                                Milliseconds scan_step = Milliseconds::from_seconds(20.0),
+                                Milliseconds refine_tolerance = Milliseconds{100.0});
+
+  /// All passes of `sat` over `point` at >= `min_elevation_deg` within
+  /// [start, end).  A pass in progress at `start` is reported as rising at
+  /// `start`; one still in progress at `end` sets at `end`.
+  [[nodiscard]] std::vector<Pass> passes(std::uint32_t sat, const geo::GeoPoint& point,
+                                         double min_elevation_deg, Milliseconds start,
+                                         Milliseconds end) const;
+
+  /// The next time `sat` rises over `point` at/after `from` (searching up to
+  /// `horizon` ahead); nullopt if it never does within the horizon.
+  [[nodiscard]] std::optional<Milliseconds> next_rise(std::uint32_t sat,
+                                                      const geo::GeoPoint& point,
+                                                      double min_elevation_deg,
+                                                      Milliseconds from,
+                                                      Milliseconds horizon) const;
+
+  /// Pass statistics over a window.
+  [[nodiscard]] PassStatistics statistics(std::uint32_t sat, const geo::GeoPoint& point,
+                                          double min_elevation_deg, Milliseconds start,
+                                          Milliseconds end) const;
+
+ private:
+  [[nodiscard]] double elevation(std::uint32_t sat, const geo::GeoPoint& point,
+                                 Milliseconds t) const;
+  /// Bisects the mask crossing within (lo, hi], where the predicate
+  /// "elevation >= mask" differs at the two ends.
+  [[nodiscard]] Milliseconds bisect_crossing(std::uint32_t sat, const geo::GeoPoint& point,
+                                             double mask, Milliseconds lo,
+                                             Milliseconds hi) const;
+
+  const WalkerConstellation* constellation_;
+  Milliseconds scan_step_;
+  Milliseconds refine_tolerance_;
+};
+
+}  // namespace spacecdn::orbit

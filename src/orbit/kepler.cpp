@@ -1,0 +1,77 @@
+#include "orbit/kepler.hpp"
+
+#include <cmath>
+
+#include "geo/earth.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::orbit {
+
+using geo::deg_to_rad;
+
+CircularOrbit::CircularOrbit(Kilometers altitude, double inclination_deg, double raan_deg,
+                             double initial_phase_deg)
+    : altitude_(altitude),
+      inclination_deg_(inclination_deg),
+      raan_deg_(raan_deg),
+      initial_phase_deg_(initial_phase_deg) {
+  SPACECDN_EXPECT(altitude.value() > 0.0, "orbit altitude must be positive");
+  SPACECDN_EXPECT(inclination_deg >= 0.0 && inclination_deg <= 180.0,
+                  "inclination must be within [0, 180] degrees");
+}
+
+Kilometers CircularOrbit::semi_major_axis() const noexcept {
+  return Kilometers{geo::kEarthRadiusKm + altitude_.value()};
+}
+
+Milliseconds CircularOrbit::period() const noexcept {
+  const double a = semi_major_axis().value();
+  const double t_sec = 2.0 * geo::kPi * std::sqrt(a * a * a / geo::kEarthMuKm3PerS2);
+  return Milliseconds::from_seconds(t_sec);
+}
+
+double CircularOrbit::mean_motion_rad_per_sec() const noexcept {
+  const double a = semi_major_axis().value();
+  return std::sqrt(geo::kEarthMuKm3PerS2 / (a * a * a));
+}
+
+double CircularOrbit::speed_km_per_sec() const noexcept {
+  return mean_motion_rad_per_sec() * semi_major_axis().value();
+}
+
+geo::Ecef CircularOrbit::position_eci(Milliseconds t) const noexcept {
+  const double u = deg_to_rad(initial_phase_deg_) + mean_motion_rad_per_sec() * t.seconds();
+  const double i = deg_to_rad(inclination_deg_);
+  const double omega = deg_to_rad(raan_deg_);
+  const double r = semi_major_axis().value();
+
+  // Position in the orbital plane (perifocal frame, circular orbit).
+  const double xp = r * std::cos(u);
+  const double yp = r * std::sin(u);
+
+  // Rotate by inclination about the x axis, then by RAAN about the z axis.
+  const double x1 = xp;
+  const double y1 = yp * std::cos(i);
+  const double z1 = yp * std::sin(i);
+
+  return geo::Ecef{x1 * std::cos(omega) - y1 * std::sin(omega),
+                   x1 * std::sin(omega) + y1 * std::cos(omega), z1};
+}
+
+geo::Ecef CircularOrbit::position_ecef(Milliseconds t) const noexcept {
+  const geo::Ecef p = position_eci(t);
+  // The Earth has rotated by theta since t = 0; un-rotate the inertial
+  // position about the z axis to express it in the rotating frame.
+  const double theta = geo::kEarthRotationRadPerSec * t.seconds();
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  return geo::Ecef{p.x * c + p.y * s, -p.x * s + p.y * c, p.z};
+}
+
+geo::GeoPoint CircularOrbit::subsatellite_point(Milliseconds t) const noexcept {
+  geo::GeoPoint gp = geo::to_geodetic_spherical(position_ecef(t));
+  gp.alt_km = 0.0;
+  return gp;
+}
+
+}  // namespace spacecdn::orbit

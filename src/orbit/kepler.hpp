@@ -1,0 +1,60 @@
+// Circular-orbit propagation.
+//
+// LEO mega-constellation shells are, to excellent approximation for latency
+// work, circular orbits: eccentricity < 0.001 for Starlink Shell 1.  We
+// propagate the two-body problem analytically (constant angular rate) and
+// convert to ECEF by un-rotating the Earth, which is exact for a spherical
+// Earth and ignores J2 precession (irrelevant over the minutes-to-hours
+// horizons simulated here; noted in DESIGN.md).
+#pragma once
+
+#include "geo/coordinates.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::orbit {
+
+/// A circular orbit, parameterised by altitude, inclination, right ascension
+/// of the ascending node (RAAN), and the satellite's phase along the orbit at
+/// t = 0 (argument of latitude, degrees).
+class CircularOrbit {
+ public:
+  /// @throws spacecdn::ConfigError if altitude is non-positive or the
+  /// inclination is outside [0, 180].
+  CircularOrbit(Kilometers altitude, double inclination_deg, double raan_deg,
+                double initial_phase_deg);
+
+  [[nodiscard]] Kilometers altitude() const noexcept { return altitude_; }
+  [[nodiscard]] double inclination_deg() const noexcept { return inclination_deg_; }
+  [[nodiscard]] double raan_deg() const noexcept { return raan_deg_; }
+  [[nodiscard]] double initial_phase_deg() const noexcept { return initial_phase_deg_; }
+
+  /// Orbital radius from the Earth's centre.
+  [[nodiscard]] Kilometers semi_major_axis() const noexcept;
+
+  /// Orbital period (Kepler's third law).
+  [[nodiscard]] Milliseconds period() const noexcept;
+
+  /// Mean motion, rad/s.
+  [[nodiscard]] double mean_motion_rad_per_sec() const noexcept;
+
+  /// Orbital speed, km/s.
+  [[nodiscard]] double speed_km_per_sec() const noexcept;
+
+  /// Satellite position at simulation time `t` in the Earth-centred inertial
+  /// frame (aligned with ECEF at t = 0).
+  [[nodiscard]] geo::Ecef position_eci(Milliseconds t) const noexcept;
+
+  /// Satellite position at simulation time `t` in the rotating ECEF frame.
+  [[nodiscard]] geo::Ecef position_ecef(Milliseconds t) const noexcept;
+
+  /// Sub-satellite point (geodetic, spherical model) at time `t`.
+  [[nodiscard]] geo::GeoPoint subsatellite_point(Milliseconds t) const noexcept;
+
+ private:
+  Kilometers altitude_;
+  double inclination_deg_;
+  double raan_deg_;
+  double initial_phase_deg_;
+};
+
+}  // namespace spacecdn::orbit

@@ -1,0 +1,102 @@
+#include "orbit/walker.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace spacecdn::orbit {
+
+WalkerConstellation::WalkerConstellation(const WalkerDesign& design) : design_(design) {
+  SPACECDN_EXPECT(design.planes > 0, "constellation must have at least one plane");
+  SPACECDN_EXPECT(design.sats_per_plane > 0, "planes must hold at least one satellite");
+  SPACECDN_EXPECT(design.phasing < design.planes,
+                  "Walker phasing factor must be < number of planes");
+
+  const double raan_step = 360.0 / design.planes;
+  const double slot_step = 360.0 / design.sats_per_plane;
+  const double phase_step =
+      design.phasing * 360.0 / static_cast<double>(design.total_satellites());
+
+  orbits_.reserve(design.total_satellites());
+  for (std::uint32_t p = 0; p < design.planes; ++p) {
+    for (std::uint32_t s = 0; s < design.sats_per_plane; ++s) {
+      const double raan = p * raan_step;
+      const double phase = s * slot_step + p * phase_step;
+      orbits_.emplace_back(design.altitude, design.inclination_deg, raan, phase);
+    }
+  }
+}
+
+SatelliteIndex WalkerConstellation::index_of(std::uint32_t sat_id) const {
+  SPACECDN_EXPECT(sat_id < size(), "satellite id out of range");
+  return SatelliteIndex{sat_id / design_.sats_per_plane, sat_id % design_.sats_per_plane};
+}
+
+std::uint32_t WalkerConstellation::id_of(SatelliteIndex idx) const {
+  SPACECDN_EXPECT(idx.plane < design_.planes && idx.in_plane < design_.sats_per_plane,
+                  "satellite index out of range");
+  return idx.plane * design_.sats_per_plane + idx.in_plane;
+}
+
+const CircularOrbit& WalkerConstellation::orbit(std::uint32_t sat_id) const {
+  SPACECDN_EXPECT(sat_id < size(), "satellite id out of range");
+  return orbits_[sat_id];
+}
+
+std::vector<geo::Ecef> WalkerConstellation::positions_ecef(Milliseconds t) const {
+  std::vector<geo::Ecef> out;
+  out.reserve(orbits_.size());
+  for (const auto& orbit : orbits_) out.push_back(orbit.position_ecef(t));
+  return out;
+}
+
+std::vector<std::uint32_t> WalkerConstellation::grid_neighbors(std::uint32_t sat_id) const {
+  const SatelliteIndex idx = index_of(sat_id);
+  const std::uint32_t p = design_.planes;
+  const std::uint32_t s = design_.sats_per_plane;
+  const double slot_step = 360.0 / s;
+  const double phase_step =
+      design_.phasing * 360.0 / static_cast<double>(design_.total_satellites());
+
+  std::vector<std::uint32_t> out;
+  out.reserve(4);
+  // Intra-plane: next and previous slot (always present when s > 1).
+  if (s > 1) {
+    out.push_back(id_of({idx.plane, (idx.in_plane + 1) % s}));
+    out.push_back(id_of({idx.plane, (idx.in_plane + s - 1) % s}));
+  }
+  // Inter-plane: the *phase-nearest* slot in each adjacent plane.  Using the
+  // same slot index would leave the plane wrap-around seam with partners up
+  // to ~90 degrees apart along-track -- beyond optical line of sight.  Real
+  // ISL terminals track the nearest neighbour, which this selects.
+  if (p > 1) {
+    const double my_phase = idx.in_plane * slot_step + idx.plane * phase_step;
+    for (const std::uint32_t neighbor_plane : {(idx.plane + 1) % p, (idx.plane + p - 1) % p}) {
+      const double target = (my_phase - neighbor_plane * phase_step) / slot_step;
+      const double rounded = std::round(target);
+      const auto slot = static_cast<std::uint32_t>(
+          (static_cast<std::int64_t>(rounded) % s + s) % s);
+      out.push_back(id_of({neighbor_plane, slot}));
+    }
+  }
+  return out;
+}
+
+WalkerDesign starlink_shell1() {
+  return WalkerDesign{.planes = 72,
+                      .sats_per_plane = 22,
+                      .inclination_deg = 53.0,
+                      .altitude = Kilometers{550.0},
+                      .phasing = 39};
+}
+
+WalkerDesign test_shell() {
+  return WalkerDesign{.planes = 8,
+                      .sats_per_plane = 8,
+                      .inclination_deg = 53.0,
+                      .altitude = Kilometers{550.0},
+                      .phasing = 3};
+}
+
+}  // namespace spacecdn::orbit

@@ -1,0 +1,73 @@
+// Walker-delta constellation generation.
+//
+// A Walker delta pattern i:T/P/F places T satellites in P evenly-spaced
+// planes at inclination i; adjacent planes are phase-offset by F * 360 / T
+// degrees.  Starlink Shell 1 is (approximately) 53:1584/72/39.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orbit/kepler.hpp"
+
+namespace spacecdn::orbit {
+
+/// Index of a satellite within a Walker constellation.
+struct SatelliteIndex {
+  std::uint32_t plane = 0;     ///< orbital plane, 0 .. planes-1
+  std::uint32_t in_plane = 0;  ///< slot within the plane, 0 .. sats_per_plane-1
+
+  friend bool operator==(const SatelliteIndex&, const SatelliteIndex&) = default;
+};
+
+/// Parameters of a Walker delta constellation.
+struct WalkerDesign {
+  std::uint32_t planes = 0;
+  std::uint32_t sats_per_plane = 0;
+  double inclination_deg = 0.0;
+  Kilometers altitude{0.0};
+  /// Walker phasing factor F in [0, planes); the inter-plane phase offset is
+  /// F * 360 / (planes * sats_per_plane) degrees per plane.
+  std::uint32_t phasing = 0;
+
+  [[nodiscard]] std::uint32_t total_satellites() const noexcept {
+    return planes * sats_per_plane;
+  }
+};
+
+/// A fully-generated Walker constellation: one CircularOrbit per satellite,
+/// with contiguous satellite ids (id = plane * sats_per_plane + in_plane).
+class WalkerConstellation {
+ public:
+  /// @throws spacecdn::ConfigError for zero planes/sats or phasing >= planes.
+  explicit WalkerConstellation(const WalkerDesign& design);
+
+  [[nodiscard]] const WalkerDesign& design() const noexcept { return design_; }
+  [[nodiscard]] std::uint32_t size() const noexcept { return design_.total_satellites(); }
+
+  [[nodiscard]] SatelliteIndex index_of(std::uint32_t sat_id) const;
+  [[nodiscard]] std::uint32_t id_of(SatelliteIndex idx) const;
+
+  [[nodiscard]] const CircularOrbit& orbit(std::uint32_t sat_id) const;
+
+  /// Positions of all satellites at time `t` (ECEF), indexed by satellite id.
+  [[nodiscard]] std::vector<geo::Ecef> positions_ecef(Milliseconds t) const;
+
+  /// Neighbour ids in the +grid inter-satellite-link topology: forward and
+  /// backward along the plane, plus the same slot in the two adjacent planes
+  /// (wrapping around).
+  [[nodiscard]] std::vector<std::uint32_t> grid_neighbors(std::uint32_t sat_id) const;
+
+ private:
+  WalkerDesign design_;
+  std::vector<CircularOrbit> orbits_;
+};
+
+/// Starlink Shell 1: 72 planes x 22 satellites at 550 km, 53 deg inclination.
+/// The paper configures xeoverse with exactly this shell (1,584 satellites).
+[[nodiscard]] WalkerDesign starlink_shell1();
+
+/// A reduced shell (8 planes x 8 sats) used by unit tests and quick examples.
+[[nodiscard]] WalkerDesign test_shell();
+
+}  // namespace spacecdn::orbit

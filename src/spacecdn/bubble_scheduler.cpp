@@ -1,0 +1,81 @@
+#include "spacecdn/bubble_scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spacecdn::space {
+
+BubbleScheduler::BubbleScheduler(const orbit::WalkerConstellation& constellation,
+                                 const ContentBubbleManager& bubbles,
+                                 const cdn::ContentCatalog& catalog,
+                                 BubbleScheduleConfig config)
+    : constellation_(&constellation),
+      bubbles_(&bubbles),
+      catalog_(&catalog),
+      config_(config),
+      predictor_(constellation) {
+  SPACECDN_EXPECT(config.feeder_bandwidth.value() > 0.0,
+                  "feeder bandwidth must be positive");
+}
+
+Milliseconds BubbleScheduler::upload_time(data::Region region) const {
+  (void)region;  // sizing uses the catalog mean; see the comment below
+  // Bytes of the region's popularity head (what refresh() would insert).
+  // Popularity is exposed through the bubble manager's config; sum the
+  // top-k object sizes.
+  double total_mb = 0.0;
+  // Note: the bubble manager resolves top-k via its own popularity model;
+  // here we conservatively size with the catalog's items at those ids.
+  // (ContentBubbleManager does not expose its popularity reference, so we
+  // approximate with k * mean object size -- an upper-bound-ish estimate
+  // documented in the header.)
+  const double mean_mb =
+      catalog_->total_bytes().value() / static_cast<double>(catalog_->size());
+  total_mb = mean_mb * static_cast<double>(bubbles_->config().prefetch_top_k);
+  return transmission_delay(Megabytes{total_mb}, config_.feeder_bandwidth);
+}
+
+std::vector<PrefetchTask> BubbleScheduler::plan(std::uint32_t satellite,
+                                                data::Region region,
+                                                const geo::GeoPoint& anchor,
+                                                Milliseconds from,
+                                                Milliseconds horizon) const {
+  const auto passes = predictor_.passes(satellite, anchor, config_.min_elevation_deg,
+                                        from, from + horizon);
+  const Milliseconds upload = upload_time(region);
+
+  std::vector<PrefetchTask> out;
+  for (const auto& pass : passes) {
+    PrefetchTask task;
+    task.satellite = satellite;
+    task.region = region;
+    task.deadline = pass.rise;
+    const double start = pass.rise.value() - upload.value() - config_.margin.value();
+    task.start_upload = Milliseconds{std::max(from.value(), start)};
+    out.push_back(task);
+  }
+  return out;
+}
+
+std::uint32_t BubbleScheduler::execute_due(std::vector<PrefetchTask>& tasks,
+                                           SatelliteFleet& fleet,
+                                           const geo::GeoPoint& anchor,
+                                           Milliseconds now) const {
+  std::uint32_t executed = 0;
+  auto it = tasks.begin();
+  while (it != tasks.end()) {
+    if (it->start_upload <= now) {
+      // The refresh targets the content of the region the task names;
+      // anchor gives the manager its geographic context.
+      (void)bubbles_->refresh(fleet, it->satellite, anchor, now);
+      it = tasks.erase(it);
+      ++executed;
+    } else {
+      ++it;
+    }
+  }
+  return executed;
+}
+
+}  // namespace spacecdn::space

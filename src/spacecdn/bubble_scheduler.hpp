@@ -1,0 +1,75 @@
+// Predictive bubble scheduling: prefetch *before* the satellite arrives.
+//
+// ContentBubbleManager::refresh() fills a satellite's cache for the region
+// it is currently over; but orbits are predictable, so the upload can start
+// while the satellite is still approaching ("pre-fetch content on satellites
+// as they approach field-of-view of a country", paper section 5).  The
+// scheduler uses pass prediction to build a prefetch plan -- which satellite
+// must receive which region's head, by when -- and verifies the lead time is
+// achievable over the bent pipe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orbit/ground_track.hpp"
+#include "spacecdn/bubbles.hpp"
+
+namespace spacecdn::space {
+
+/// One planned prefetch: load `region`'s popularity head onto `satellite`
+/// so it is resident by `deadline` (the rise time over the region).
+struct PrefetchTask {
+  std::uint32_t satellite = 0;
+  data::Region region = data::Region::kEurope;
+  Milliseconds start_upload{0.0};  ///< when the bent-pipe upload must begin
+  Milliseconds deadline{0.0};      ///< pass rise time
+};
+
+/// Scheduler configuration.
+struct BubbleScheduleConfig {
+  /// Elevation mask defining "over the region".
+  double min_elevation_deg = 25.0;
+  /// Bandwidth of the feeder path used to upload content to a satellite
+  /// (gateway uplink share reserved for cache fill).
+  Mbps feeder_bandwidth{500.0};
+  /// Safety margin added on top of the computed upload time.
+  Milliseconds margin{30'000.0};
+};
+
+/// Plans prefetches for upcoming passes and executes due ones.
+class BubbleScheduler {
+ public:
+  BubbleScheduler(const orbit::WalkerConstellation& constellation,
+                  const ContentBubbleManager& bubbles,
+                  const cdn::ContentCatalog& catalog, BubbleScheduleConfig config = {});
+
+  /// Time needed to push one region head (top-k bytes) over the feeder.
+  [[nodiscard]] Milliseconds upload_time(data::Region region) const;
+
+  /// Prefetch plan for `satellite` over the anchor point of `region`
+  /// (its most populous dataset city) within [from, from + horizon):
+  /// one task per predicted pass, with start_upload = rise − upload − margin.
+  [[nodiscard]] std::vector<PrefetchTask> plan(std::uint32_t satellite,
+                                               data::Region region,
+                                               const geo::GeoPoint& anchor,
+                                               Milliseconds from,
+                                               Milliseconds horizon) const;
+
+  /// Executes every task whose upload window has opened at `now`:
+  /// refreshes the satellite's cache for the task's region.  Returns the
+  /// number of tasks executed; executed tasks are removed from `tasks`.
+  std::uint32_t execute_due(std::vector<PrefetchTask>& tasks, SatelliteFleet& fleet,
+                            const geo::GeoPoint& anchor, Milliseconds now) const;
+
+  [[nodiscard]] const BubbleScheduleConfig& config() const noexcept { return config_; }
+
+ private:
+  const orbit::WalkerConstellation* constellation_;
+  const ContentBubbleManager* bubbles_;
+  const cdn::ContentCatalog* catalog_;
+  BubbleScheduleConfig config_;
+  orbit::GroundTrackPredictor predictor_;
+};
+
+}  // namespace spacecdn::space

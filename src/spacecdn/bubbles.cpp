@@ -1,0 +1,45 @@
+#include "spacecdn/bubbles.hpp"
+
+#include <vector>
+
+namespace spacecdn::space {
+
+ContentBubbleManager::ContentBubbleManager(const cdn::ContentCatalog& catalog,
+                                           const cdn::RegionalPopularity& popularity,
+                                           BubbleConfig config)
+    : catalog_(&catalog), popularity_(&popularity), config_(config) {}
+
+data::Region ContentBubbleManager::region_under(const geo::GeoPoint& subpoint) const {
+  const data::CityInfo& nearest = data::nearest_city(subpoint);
+  return data::country(nearest.country_code).region;
+}
+
+std::uint64_t ContentBubbleManager::refresh(SatelliteFleet& fleet, std::uint32_t sat,
+                                            const geo::GeoPoint& subpoint,
+                                            Milliseconds now) const {
+  const data::Region region = region_under(subpoint);
+  cdn::Cache& cache = fleet.cache(sat);
+
+  if (config_.evict_foreign) {
+    // Content-aware eviction: drop objects that neither belong to the region
+    // below nor rank within its popularity head.
+    std::vector<cdn::ContentId> victims;
+    for (const auto& item : catalog_->items()) {
+      if (!cache.contains(item.id)) continue;
+      const bool foreign = item.home_region != region;
+      const bool unpopular_here =
+          popularity_->rank_of(region, item.id) > config_.prefetch_top_k;
+      if (foreign && unpopular_here) victims.push_back(item.id);
+    }
+    for (cdn::ContentId id : victims) (void)cache.erase(id);
+  }
+
+  std::uint64_t inserted = 0;
+  for (cdn::ContentId id : popularity_->top_k(region, config_.prefetch_top_k)) {
+    if (cache.contains(id)) continue;
+    if (cache.insert(catalog_->item(id), now)) ++inserted;
+  }
+  return inserted;
+}
+
+}  // namespace spacecdn::space

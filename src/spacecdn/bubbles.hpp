@@ -1,0 +1,53 @@
+// Content bubbles: predictive, geography-aware prefetching (paper section 5).
+//
+// Satellite orbits and regional content popularity are both predictable, so
+// a satellite approaching a region's field of view can prefetch that
+// region's popular objects and evict the previous region's ("a satellite
+// moving from over the US to Europe can use content-aware cache eviction to
+// eliminate American Football and pre-fetch soccer content").  The bubble
+// is the locus of regionally-relevant content that stays over the region
+// while the hardware moves through it.
+#pragma once
+
+#include <cstdint>
+
+#include "cdn/content.hpp"
+#include "cdn/popularity.hpp"
+#include "data/datasets.hpp"
+#include "spacecdn/fleet.hpp"
+
+namespace spacecdn::space {
+
+/// Bubble policy configuration.
+struct BubbleConfig {
+  /// Objects of the region's popularity head to keep resident.
+  std::uint64_t prefetch_top_k = 500;
+  /// Evict objects whose home region differs from the region below before
+  /// inserting prefetched ones (content-aware eviction).
+  bool evict_foreign = true;
+};
+
+/// Maintains each satellite's cache as it crosses regions.
+class ContentBubbleManager {
+ public:
+  ContentBubbleManager(const cdn::ContentCatalog& catalog,
+                       const cdn::RegionalPopularity& popularity, BubbleConfig config);
+
+  /// Region under a sub-satellite point (nearest dataset city's region).
+  [[nodiscard]] data::Region region_under(const geo::GeoPoint& subpoint) const;
+
+  /// Refreshes one satellite's cache for the region it currently overflies:
+  /// optionally evicts foreign-region objects, then prefetches the region's
+  /// top-k.  Returns the number of objects newly inserted.
+  std::uint64_t refresh(SatelliteFleet& fleet, std::uint32_t sat,
+                        const geo::GeoPoint& subpoint, Milliseconds now) const;
+
+  [[nodiscard]] const BubbleConfig& config() const noexcept { return config_; }
+
+ private:
+  const cdn::ContentCatalog* catalog_;
+  const cdn::RegionalPopularity* popularity_;
+  BubbleConfig config_;
+};
+
+}  // namespace spacecdn::space

@@ -1,0 +1,59 @@
+#include "spacecdn/duty_cycle.hpp"
+
+#include <cmath>
+
+#include "geo/propagation.hpp"
+#include "spacecdn/lookup.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::space {
+
+DutyCycleSimulation::DutyCycleSimulation(const lsn::StarlinkNetwork& network,
+                                         SatelliteFleet& fleet, DutyCycleConfig config)
+    : network_(&network), fleet_(&fleet), config_(config) {
+  SPACECDN_EXPECT(config.cache_fraction > 0.0 && config.cache_fraction <= 1.0,
+                  "cache fraction must be within (0, 1]");
+  SPACECDN_EXPECT(fleet.size() == network.constellation().size(),
+                  "fleet must match the constellation");
+}
+
+void DutyCycleSimulation::new_slot(des::Rng& rng) {
+  const auto active = static_cast<std::uint32_t>(
+      std::max(1.0, std::round(config_.cache_fraction * fleet_->size())));
+  fleet_->set_enabled(rng.sample_without_replacement(fleet_->size(), active));
+}
+
+std::optional<Milliseconds> DutyCycleSimulation::sample_fetch_rtt(
+    const geo::GeoPoint& client, des::Rng& rng) const {
+  const auto& snapshot = network_->snapshot();
+  const auto serving =
+      snapshot.serving_satellite(client, network_->config().user_min_elevation_deg);
+  if (!serving) return std::nullopt;
+
+  const auto nearest =
+      find_enabled_cache(network_->isl(), *fleet_, *serving, config_.max_relay_hops);
+  if (!nearest) return std::nullopt;
+
+  const Milliseconds uplink = geo::propagation_delay(
+      snapshot.slant_range(client, *serving), geo::Medium::kVacuum);
+  const Milliseconds overhead{rng.lognormal_median(config_.service_overhead_rtt.value(),
+                                                   config_.service_overhead_sigma)};
+  return (uplink + nearest->isl_latency) * 2.0 + overhead;
+}
+
+des::SampleSet DutyCycleSimulation::run(std::span<const geo::GeoPoint> clients,
+                                        std::uint32_t samples_per_client,
+                                        std::uint32_t slots, des::Rng& rng) {
+  des::SampleSet samples;
+  for (std::uint32_t slot = 0; slot < slots; ++slot) {
+    new_slot(rng);
+    for (const auto& client : clients) {
+      for (std::uint32_t i = 0; i < samples_per_client; ++i) {
+        if (const auto rtt = sample_fetch_rtt(client, rng)) samples.add(rtt->value());
+      }
+    }
+  }
+  return samples;
+}
+
+}  // namespace spacecdn::space

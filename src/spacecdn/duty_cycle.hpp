@@ -1,0 +1,62 @@
+// Duty-cycled satellite caching (paper section 5, Figure 8).
+//
+// Thermal and power limits mean a satellite cannot serve cache traffic
+// continuously; the paper's first-cut mitigation duty-cycles the fleet:
+// each slot, a random x% of satellites offer cache service while the rest
+// only relay requests over ISLs to the nearest active cache.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "des/stats.hpp"
+#include "lsn/starlink.hpp"
+#include "spacecdn/fleet.hpp"
+
+namespace spacecdn::space {
+
+/// Duty-cycle experiment configuration.
+struct DutyCycleConfig {
+  /// Fraction of the fleet acting as caches in a slot, in (0, 1].
+  double cache_fraction = 0.5;
+  /// Safety bound on the relay search (the fabric diameter is ~47 for
+  /// Shell 1, so this never binds in practice).
+  std::uint32_t max_relay_hops = 64;
+  /// Median service overhead of a satellite cache fetch; see
+  /// RouterConfig::service_overhead_rtt for why this is far below the
+  /// bent-pipe access overhead.
+  Milliseconds service_overhead_rtt{2.0};
+  double service_overhead_sigma = 0.3;
+};
+
+/// Runs duty-cycle slots and measures user-to-cache fetch RTTs.
+class DutyCycleSimulation {
+ public:
+  /// @throws spacecdn::ConfigError on a fraction outside (0, 1].
+  DutyCycleSimulation(const lsn::StarlinkNetwork& network, SatelliteFleet& fleet,
+                      DutyCycleConfig config);
+
+  /// Re-draws the active cache subset for a new duty-cycle slot.
+  void new_slot(des::Rng& rng);
+
+  /// RTT for a client fetching from the hop-nearest active cache: uplink +
+  /// ISL relays + downlink + access overhead.  nullopt when the client has
+  /// no coverage.
+  [[nodiscard]] std::optional<Milliseconds> sample_fetch_rtt(const geo::GeoPoint& client,
+                                                             des::Rng& rng) const;
+
+  /// Collects fetch RTT samples: `slots` duty-cycle slots, with
+  /// `samples_per_client` draws from each client location per slot.
+  [[nodiscard]] des::SampleSet run(std::span<const geo::GeoPoint> clients,
+                                   std::uint32_t samples_per_client, std::uint32_t slots,
+                                   des::Rng& rng);
+
+  [[nodiscard]] const DutyCycleConfig& config() const noexcept { return config_; }
+
+ private:
+  const lsn::StarlinkNetwork* network_;
+  SatelliteFleet* fleet_;
+  DutyCycleConfig config_;
+};
+
+}  // namespace spacecdn::space

@@ -1,0 +1,39 @@
+#include "spacecdn/lookup.hpp"
+
+namespace spacecdn::space {
+
+namespace {
+
+template <typename Predicate>
+std::optional<LookupResult> bfs_find(const lsn::IslNetwork& isl, std::uint32_t origin,
+                                     std::uint32_t max_hops, Predicate&& holds) {
+  // BFS yields the hop-minimal candidate; latency is then the shortest ISL
+  // path to it (Dijkstra with early exit inside path_latency).
+  for (const net::HopDistance& hd : isl.within_hops(origin, max_hops)) {
+    if (holds(hd.node)) {
+      const Milliseconds latency =
+          hd.node == origin ? Milliseconds{0.0} : isl.path_latency(origin, hd.node);
+      return LookupResult{hd.node, hd.hops, latency};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<LookupResult> find_replica(const lsn::IslNetwork& isl,
+                                         const SatelliteFleet& fleet, std::uint32_t origin,
+                                         cdn::ContentId id, std::uint32_t max_hops) {
+  return bfs_find(isl, origin, max_hops,
+                  [&](std::uint32_t sat) { return fleet.holds(sat, id); });
+}
+
+std::optional<LookupResult> find_enabled_cache(const lsn::IslNetwork& isl,
+                                               const SatelliteFleet& fleet,
+                                               std::uint32_t origin,
+                                               std::uint32_t max_hops) {
+  return bfs_find(isl, origin, max_hops,
+                  [&](std::uint32_t sat) { return fleet.cache_enabled(sat); });
+}
+
+}  // namespace spacecdn::space

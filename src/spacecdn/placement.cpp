@@ -1,0 +1,96 @@
+#include "spacecdn/placement.hpp"
+
+#include <algorithm>
+
+#include "des/stats.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::space {
+
+namespace {
+
+/// Cheap deterministic mixer to rotate replica slots per object.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+ContentPlacement::ContentPlacement(const orbit::WalkerConstellation& constellation,
+                                   PlacementConfig config)
+    : constellation_(&constellation), config_(config) {
+  SPACECDN_EXPECT(config.copies_per_plane > 0, "need at least one copy per plane");
+  SPACECDN_EXPECT(config.copies_per_plane <= constellation.design().sats_per_plane,
+                  "cannot place more copies than satellites in a plane");
+  SPACECDN_EXPECT(config.plane_stride > 0, "plane stride must be positive");
+}
+
+std::vector<std::uint32_t> ContentPlacement::replicas(cdn::ContentId id) const {
+  const auto& design = constellation_->design();
+  const std::uint32_t s = design.sats_per_plane;
+  std::vector<std::uint32_t> out;
+  out.reserve((design.planes / config_.plane_stride + 1) * config_.copies_per_plane);
+
+  for (std::uint32_t p = 0; p < design.planes; p += config_.plane_stride) {
+    // Per-object, per-plane rotation so replicas of different objects do not
+    // pile onto the same satellites.
+    const auto rotation = static_cast<std::uint32_t>(mix(id * 1315423911ULL + p) % s);
+    for (std::uint32_t c = 0; c < config_.copies_per_plane; ++c) {
+      const std::uint32_t slot = (rotation + c * s / config_.copies_per_plane) % s;
+      out.push_back(constellation_->id_of({p, slot}));
+    }
+  }
+  return out;
+}
+
+void ContentPlacement::place(SatelliteFleet& fleet, const cdn::ContentItem& item,
+                             Milliseconds now) const {
+  for (std::uint32_t sat : replicas(item.id)) {
+    (void)fleet.cache(sat).insert(item, now);
+  }
+}
+
+std::uint32_t ContentPlacement::grid_hop_distance(std::uint32_t a, std::uint32_t b) const {
+  const auto ia = constellation_->index_of(a);
+  const auto ib = constellation_->index_of(b);
+  const std::uint32_t planes = constellation_->design().planes;
+  const std::uint32_t slots = constellation_->design().sats_per_plane;
+  const std::uint32_t dp =
+      ia.plane > ib.plane ? ia.plane - ib.plane : ib.plane - ia.plane;
+  const std::uint32_t ds =
+      ia.in_plane > ib.in_plane ? ia.in_plane - ib.in_plane : ib.in_plane - ia.in_plane;
+  return std::min(dp, planes - dp) + std::min(ds, slots - ds);
+}
+
+std::uint32_t ContentPlacement::hops_to_replica(std::uint32_t sat,
+                                                cdn::ContentId id) const {
+  std::uint32_t best = UINT32_MAX;
+  for (std::uint32_t replica : replicas(id)) {
+    best = std::min(best, grid_hop_distance(sat, replica));
+    if (best == 0) break;
+  }
+  return best;
+}
+
+ContentPlacement::HopStats ContentPlacement::analyze(std::uint32_t probes,
+                                                     std::uint64_t catalog_size,
+                                                     des::Rng& rng) const {
+  SPACECDN_EXPECT(probes > 0, "need at least one probe");
+  SPACECDN_EXPECT(catalog_size > 0, "catalog must not be empty");
+  des::SampleSet hops;
+  std::uint32_t max_hops = 0;
+  for (std::uint32_t i = 0; i < probes; ++i) {
+    const auto sat =
+        static_cast<std::uint32_t>(rng.uniform_int(0, constellation_->size() - 1));
+    const cdn::ContentId id = rng.uniform_int(0, catalog_size - 1);
+    const std::uint32_t h = hops_to_replica(sat, id);
+    hops.add(static_cast<double>(h));
+    max_hops = std::max(max_hops, h);
+  }
+  return HopStats{hops.mean(), max_hops, hops.quantile(0.99)};
+}
+
+}  // namespace spacecdn::space

@@ -1,0 +1,79 @@
+#include "spacecdn/router.hpp"
+
+#include "geo/propagation.hpp"
+#include "geo/visibility.hpp"
+
+namespace spacecdn::space {
+
+std::string_view to_string(FetchTier tier) noexcept {
+  switch (tier) {
+    case FetchTier::kServingSatellite: return "serving-satellite";
+    case FetchTier::kIslNeighbor: return "isl-neighbor";
+    case FetchTier::kGround: return "ground";
+  }
+  return "unknown";
+}
+
+SpaceCdnRouter::SpaceCdnRouter(const lsn::StarlinkNetwork& network, SatelliteFleet& fleet,
+                               cdn::CdnDeployment& ground_cdn, RouterConfig config)
+    : network_(&network), fleet_(&fleet), ground_cdn_(&ground_cdn), config_(config) {}
+
+std::optional<FetchResult> SpaceCdnRouter::fetch(const geo::GeoPoint& client,
+                                                 const data::CountryInfo& country,
+                                                 const cdn::ContentItem& item,
+                                                 des::Rng& rng, Milliseconds now) {
+  const auto& snapshot = network_->snapshot();
+  const auto serving =
+      snapshot.serving_satellite(client, network_->config().user_min_elevation_deg);
+  if (!serving) return std::nullopt;
+
+  const Milliseconds uplink = geo::propagation_delay(
+      snapshot.slant_range(client, *serving), geo::Medium::kVacuum);
+  const Milliseconds space_overhead{rng.lognormal_median(
+      config_.service_overhead_rtt.value(), config_.service_overhead_sigma)};
+
+  // Tier (i): overhead satellite.
+  if (fleet_->cache_enabled(*serving) && fleet_->cache(*serving).access(item.id, now)) {
+    return FetchResult{FetchTier::kServingSatellite, uplink * 2.0 + space_overhead, 0,
+                       *serving, false};
+  }
+
+  // Tier (ii): nearest replica over ISLs.
+  if (const auto found =
+          find_replica(network_->isl(), *fleet_, *serving, item.id, config_.max_isl_hops)) {
+    // Register the hit on the holder's cache.
+    (void)fleet_->cache(found->satellite).access(item.id, now);
+    if (config_.admit_on_fetch && fleet_->cache_enabled(*serving)) {
+      (void)fleet_->cache(*serving).insert(item, now);
+    }
+    return FetchResult{FetchTier::kIslNeighbor,
+                       (uplink + found->isl_latency) * 2.0 + space_overhead, found->hops,
+                       found->satellite, false};
+  }
+
+  // Tier (iii): bent pipe to the ground CDN edge nearest the assigned PoP.
+  auto breakdown = network_->router().route_to_pop(client, country);
+  if (!breakdown) return std::nullopt;
+  const geo::GeoPoint pop_location =
+      data::location(network_->ground().pop(breakdown->pop));
+  const std::size_t site = ground_cdn_->nearest_site(pop_location);
+  breakdown->pop_to_destination = network_->ground().backbone().one_way_latency(
+      pop_location, ground_cdn_->site_location(site));
+
+  // The ground fallback rides the ordinary bent pipe, so it pays the full
+  // measured Starlink access-layer overhead.
+  const Milliseconds client_site_rtt =
+      breakdown->propagation_rtt() + network_->access().sample_idle_overhead(rng);
+  const Milliseconds site_origin_rtt = network_->ground().backbone().rtt(
+      ground_cdn_->site_location(site), ground_cdn_->origin_location());
+  const cdn::ServeResult served =
+      ground_cdn_->serve(site, item, client_site_rtt, site_origin_rtt, now);
+
+  if (config_.admit_on_fetch && fleet_->cache_enabled(*serving)) {
+    (void)fleet_->cache(*serving).insert(item, now);
+  }
+  return FetchResult{FetchTier::kGround, served.first_byte, breakdown->isl_hops, 0,
+                     served.hit};
+}
+
+}  // namespace spacecdn::space

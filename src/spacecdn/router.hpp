@@ -1,0 +1,79 @@
+// The SpaceCDN request router: the paper's three-tier fetch (Figure 6).
+//
+//   (i)  content cached on the satellite directly overhead -> fetch it
+//        straight down (red arrow);
+//   (ii) otherwise route over ISLs to the nearest satellite with the object
+//        (blue arrow);
+//   (iii) otherwise fall back to the ground cache near the gateway / PoP
+//        (black arrow) -- i.e. today's bent-pipe CDN path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cdn/deployment.hpp"
+#include "lsn/starlink.hpp"
+#include "spacecdn/fleet.hpp"
+#include "spacecdn/lookup.hpp"
+
+namespace spacecdn::space {
+
+/// Where a request was ultimately served from.
+enum class FetchTier {
+  kServingSatellite,  ///< tier (i): the overhead satellite's cache
+  kIslNeighbor,       ///< tier (ii): a nearby satellite over ISLs
+  kGround,            ///< tier (iii): ground CDN via bent pipe
+};
+
+[[nodiscard]] std::string_view to_string(FetchTier tier) noexcept;
+
+/// Outcome of one SpaceCDN fetch.
+struct FetchResult {
+  FetchTier tier = FetchTier::kGround;
+  /// Client-observed first-byte round trip (includes access overhead).
+  Milliseconds rtt{0.0};
+  std::uint32_t isl_hops = 0;     ///< hops used in tier (ii) / ground path
+  std::uint32_t source_satellite = 0;  ///< holder for tiers (i)/(ii)
+  bool ground_cache_hit = false;  ///< tier (iii): did the ground edge hit?
+};
+
+/// Router configuration.
+struct RouterConfig {
+  /// Hop budget of the ISL lookup (tier ii).
+  std::uint32_t max_isl_hops = 10;
+  /// Admit objects into the serving satellite's cache after a tier (ii)/(iii)
+  /// fetch (pull-through caching).
+  bool admit_on_fetch = true;
+  /// Median request-service overhead of a satellite cache fetch (MAC slot +
+  /// onboard processing).  Deliberately far below the bent-pipe access
+  /// overhead: the paper's xeoverse simulation charges satellite fetches
+  /// propagation plus small processing only, while measured Starlink paths
+  /// carry the full scheduler/queueing overhead (see EXPERIMENTS.md).
+  Milliseconds service_overhead_rtt{2.0};
+  double service_overhead_sigma = 0.3;
+};
+
+/// Serves content requests across the three tiers.
+class SpaceCdnRouter {
+ public:
+  SpaceCdnRouter(const lsn::StarlinkNetwork& network, SatelliteFleet& fleet,
+                 cdn::CdnDeployment& ground_cdn, RouterConfig config = {});
+
+  /// Serves one request from a client.  Returns nullopt when the client has
+  /// no satellite coverage.
+  [[nodiscard]] std::optional<FetchResult> fetch(const geo::GeoPoint& client,
+                                                 const data::CountryInfo& country,
+                                                 const cdn::ContentItem& item,
+                                                 des::Rng& rng, Milliseconds now);
+
+  [[nodiscard]] const RouterConfig& config() const noexcept { return config_; }
+  [[nodiscard]] SatelliteFleet& fleet() noexcept { return *fleet_; }
+
+ private:
+  const lsn::StarlinkNetwork* network_;
+  SatelliteFleet* fleet_;
+  cdn::CdnDeployment* ground_cdn_;
+  RouterConfig config_;
+};
+
+}  // namespace spacecdn::space

@@ -1,0 +1,94 @@
+#include "spacecdn/space_vm.hpp"
+
+#include <algorithm>
+
+#include "geo/propagation.hpp"
+#include "orbit/ephemeris.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::space {
+
+SpaceVmOrchestrator::SpaceVmOrchestrator(const orbit::WalkerConstellation& constellation,
+                                         VmConfig config, double min_elevation_deg)
+    : constellation_(&constellation),
+      config_(config),
+      tracker_(constellation, min_elevation_deg) {
+  SPACECDN_EXPECT(config.isl_bandwidth.value() > 0.0, "ISL bandwidth must be positive");
+  SPACECDN_EXPECT(config.sync_interval.value() > 0.0, "sync interval must be positive");
+  SPACECDN_EXPECT(
+      config.residual_dirty_fraction >= 0.0 && config.residual_dirty_fraction <= 1.0,
+      "residual dirty fraction must be within [0, 1]");
+}
+
+Milliseconds SpaceVmOrchestrator::transfer_time(Megabytes size,
+                                                Kilometers distance) const {
+  return geo::propagation_delay(distance, geo::Medium::kVacuum) +
+         transmission_delay(size, config_.isl_bandwidth);
+}
+
+std::vector<MigrationEvent> SpaceVmOrchestrator::plan_migrations(
+    const geo::GeoPoint& area, Milliseconds start, Milliseconds end,
+    des::Rng& rng) const {
+  const auto timeline = tracker_.timeline(area, start, end);
+  std::vector<MigrationEvent> out;
+
+  const lsn::ServingInterval* previous = nullptr;
+  for (const auto& interval : timeline) {
+    if (!interval.satellite) continue;  // outage: no one to migrate to yet
+    if (previous != nullptr && previous->satellite &&
+        *previous->satellite != *interval.satellite) {
+      MigrationEvent event;
+      event.at = interval.start;
+      event.from_satellite = *previous->satellite;
+      event.to_satellite = *interval.satellite;
+      // Residual dirty state pushed during stop-and-copy, over the actual
+      // ISL distance between the two satellites at handover time.
+      const orbit::EphemerisSnapshot snapshot(*constellation_, interval.start);
+      const Kilometers distance =
+          snapshot.isl_distance(event.from_satellite, event.to_satellite);
+      const Megabytes residual{
+          rng.lognormal_median(config_.state_delta.value(), config_.delta_sigma) *
+          config_.residual_dirty_fraction};
+      event.switchover = transfer_time(residual, distance);
+      out.push_back(event);
+    }
+    previous = &interval;
+  }
+  return out;
+}
+
+VmRunReport SpaceVmOrchestrator::run(const geo::GeoPoint& area, Milliseconds start,
+                                     Milliseconds end, des::Rng& rng) const {
+  VmRunReport report;
+  const auto timeline = tracker_.timeline(area, start, end);
+  const auto migrations = plan_migrations(area, start, end, rng);
+
+  report.migrations = static_cast<std::uint32_t>(migrations.size());
+  double switchover_total = 0.0;
+  for (const auto& m : migrations) {
+    switchover_total += m.switchover.value();
+    report.worst_switchover =
+        Milliseconds{std::max(report.worst_switchover.value(), m.switchover.value())};
+    report.migration_traffic += Megabytes{
+        config_.state_delta.value() * config_.residual_dirty_fraction};
+  }
+  if (!migrations.empty()) {
+    report.mean_switchover =
+        Milliseconds{switchover_total / static_cast<double>(migrations.size())};
+  }
+
+  // Background sync traffic: one delta per sync interval while served.
+  double served_ms = 0.0;
+  for (const auto& interval : timeline) {
+    if (interval.satellite) served_ms += interval.duration().value();
+  }
+  const double syncs = served_ms / config_.sync_interval.value();
+  report.sync_traffic = Megabytes{syncs * config_.state_delta.value()};
+
+  const double window_ms = (end - start).value();
+  const double downtime = switchover_total + (window_ms - served_ms);
+  report.continuity = window_ms > 0 ? std::max(0.0, 1.0 - downtime / window_ms) : 1.0;
+  return report;
+}
+
+}  // namespace spacecdn::space

@@ -1,0 +1,90 @@
+// Space VMs: stateful edge services on moving satellites.
+//
+// Paper section 5: "we plan to explore the possibility of locating
+// replicated VMs on successive satellites that will be serving a geographic
+// area, and use techniques developed for VM migration in data centers to
+// sync the state change deltas (~< 100 MBs) from the satellite currently
+// serving an area to the satellite(s) which will be overhead next, thereby
+// providing seamless operations".
+//
+// The orchestrator anchors a VM to a geographic service area, follows the
+// serving-satellite timeline (handovers every few minutes), pre-copies state
+// deltas to the successor over ISLs, and accounts the switchover downtime
+// and sync traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/random.hpp"
+#include "geo/coordinates.hpp"
+#include "lsn/handover.hpp"
+#include "orbit/walker.hpp"
+
+namespace spacecdn::space {
+
+/// Service/VM parameters.
+struct VmConfig {
+  Megabytes image_size{2000.0};  ///< full image, shipped once per satellite
+  /// Mean accumulated dirty state between syncs; the paper's "< 100 MB".
+  Megabytes state_delta{80.0};
+  double delta_sigma = 0.4;        ///< lognormal spread of delta sizes
+  Mbps isl_bandwidth{2000.0};      ///< optical ISL line rate
+  Milliseconds sync_interval{5000.0};  ///< background delta sync cadence
+  /// Fraction of the final delta still dirty at switchover (pre-copy leaves
+  /// a residual working set, as in live VM migration).
+  double residual_dirty_fraction = 0.15;
+};
+
+/// One handover-driven migration event.
+struct MigrationEvent {
+  Milliseconds at{0.0};
+  std::uint32_t from_satellite = 0;
+  std::uint32_t to_satellite = 0;
+  /// Stop-and-copy time: residual delta over the ISL path (the service is
+  /// unavailable for this long).
+  Milliseconds switchover{0.0};
+};
+
+/// Aggregate outcome of running a service over a window.
+struct VmRunReport {
+  std::uint32_t migrations = 0;
+  Milliseconds mean_switchover{0.0};
+  Milliseconds worst_switchover{0.0};
+  Megabytes sync_traffic{0.0};      ///< background delta traffic over ISLs
+  Megabytes migration_traffic{0.0}; ///< stop-and-copy residual transfers
+  /// Fraction of the window the service was reachable (excludes switchover
+  /// downtime and coverage outages).
+  double continuity = 1.0;
+};
+
+/// Plans and accounts VM replication across successive serving satellites.
+class SpaceVmOrchestrator {
+ public:
+  SpaceVmOrchestrator(const orbit::WalkerConstellation& constellation, VmConfig config,
+                      double min_elevation_deg = 25.0);
+
+  [[nodiscard]] const VmConfig& config() const noexcept { return config_; }
+
+  /// Time to push one state delta of `size` to a satellite `distance` away:
+  /// ISL propagation plus transmission at the ISL line rate.
+  [[nodiscard]] Milliseconds transfer_time(Megabytes size, Kilometers distance) const;
+
+  /// Runs the service anchored at `area` over [start, end) and returns the
+  /// migration/continuity accounting.
+  [[nodiscard]] VmRunReport run(const geo::GeoPoint& area, Milliseconds start,
+                                Milliseconds end, des::Rng& rng) const;
+
+  /// The migration events alone (for inspection/tests).
+  [[nodiscard]] std::vector<MigrationEvent> plan_migrations(const geo::GeoPoint& area,
+                                                            Milliseconds start,
+                                                            Milliseconds end,
+                                                            des::Rng& rng) const;
+
+ private:
+  const orbit::WalkerConstellation* constellation_;
+  VmConfig config_;
+  lsn::HandoverTracker tracker_;
+};
+
+}  // namespace spacecdn::space

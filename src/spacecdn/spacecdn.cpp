@@ -1,0 +1,46 @@
+#include "spacecdn/spacecdn.hpp"
+
+namespace spacecdn::space {
+
+SpaceCdn::SpaceCdn(SpaceCdnConfig config)
+    : config_(config),
+      network_(config.network),
+      fleet_(network_.constellation().size(), config.fleet),
+      placement_(network_.constellation(), config.placement),
+      ground_(data::cdn_sites(), config.ground),
+      router_(network_, fleet_, ground_, config.router) {}
+
+void SpaceCdn::publish(const cdn::ContentItem& item) {
+  placement_.place(fleet_, item, network_.time());
+}
+
+std::optional<FetchResult> SpaceCdn::fetch(std::string_view city_name,
+                                           const cdn::ContentItem& item, des::Rng& rng) {
+  const auto& city = data::city(city_name);
+  return fetch(data::location(city), data::country(city.country_code), item, rng);
+}
+
+std::optional<FetchResult> SpaceCdn::fetch(const geo::GeoPoint& client,
+                                           const data::CountryInfo& country,
+                                           const cdn::ContentItem& item, des::Rng& rng) {
+  return router_.fetch(client, country, item, rng, network_.time());
+}
+
+void SpaceCdn::set_time(Milliseconds t) { network_.set_time(t); }
+
+std::optional<Milliseconds> SpaceCdn::bent_pipe_baseline(
+    std::string_view city_name) const {
+  const auto& city = data::city(city_name);
+  const auto& country = data::country(city.country_code);
+  const auto route = network_.router().route_to_pop(data::location(city), country);
+  if (!route) return std::nullopt;
+  // Baseline to the CDN site anycast picks for the PoP.
+  const geo::GeoPoint pop_location = data::location(network_.ground().pop(route->pop));
+  const std::size_t site = ground_.nearest_site(pop_location);
+  lsn::RouteBreakdown full = *route;
+  full.pop_to_destination = network_.ground().backbone().one_way_latency(
+      pop_location, ground_.site_location(site));
+  return network_.baseline_rtt(full);
+}
+
+}  // namespace spacecdn::space

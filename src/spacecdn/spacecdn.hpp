@@ -1,0 +1,80 @@
+// The SpaceCDN facade: one object wiring the whole system together.
+//
+// Downstream users who do not want to assemble the constellation, fleet,
+// placement, ground CDN and router by hand get the paper's complete design
+// behind three calls:
+//
+//   space::SpaceCdn cdn;                            // Shell 1, defaults
+//   cdn.publish(item);                              // replicate into orbit
+//   auto r = cdn.fetch("Maputo", item, rng);        // three-tier fetch
+//
+// Everything remains overridable through SpaceCdnConfig, and the underlying
+// subsystems stay reachable via accessors for advanced use.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "cdn/deployment.hpp"
+#include "lsn/starlink.hpp"
+#include "spacecdn/bubbles.hpp"
+#include "spacecdn/placement.hpp"
+#include "spacecdn/router.hpp"
+
+namespace spacecdn::space {
+
+/// Top-level configuration; every sub-config keeps its own defaults.
+struct SpaceCdnConfig {
+  lsn::StarlinkConfig network = {};
+  FleetConfig fleet = {};
+  PlacementConfig placement = {};
+  RouterConfig router = {};
+  cdn::DeploymentConfig ground = {};
+};
+
+/// The assembled system.
+class SpaceCdn {
+ public:
+  explicit SpaceCdn(SpaceCdnConfig config = {});
+
+  /// Replicates an object across the constellation per the placement policy.
+  void publish(const cdn::ContentItem& item);
+
+  /// Serves one request from a client city (dataset name) or point.
+  /// Returns nullopt when the client has no satellite coverage.
+  [[nodiscard]] std::optional<FetchResult> fetch(std::string_view city_name,
+                                                 const cdn::ContentItem& item,
+                                                 des::Rng& rng);
+  [[nodiscard]] std::optional<FetchResult> fetch(const geo::GeoPoint& client,
+                                                 const data::CountryInfo& country,
+                                                 const cdn::ContentItem& item,
+                                                 des::Rng& rng);
+
+  /// Advances simulation time: re-propagates the constellation and rebuilds
+  /// the ISL fabric and routers (satellite handovers happen here).
+  void set_time(Milliseconds t);
+  [[nodiscard]] Milliseconds time() const noexcept { return network_.time(); }
+
+  /// Baseline for comparisons: today's bent-pipe RTT from a city to the CDN
+  /// site its PoP maps to.
+  [[nodiscard]] std::optional<Milliseconds> bent_pipe_baseline(
+      std::string_view city_name) const;
+
+  // Subsystem access for advanced composition.
+  [[nodiscard]] lsn::StarlinkNetwork& network() noexcept { return network_; }
+  [[nodiscard]] const lsn::StarlinkNetwork& network() const noexcept { return network_; }
+  [[nodiscard]] SatelliteFleet& fleet() noexcept { return fleet_; }
+  [[nodiscard]] const ContentPlacement& placement() const noexcept { return placement_; }
+  [[nodiscard]] cdn::CdnDeployment& ground_cdn() noexcept { return ground_; }
+  [[nodiscard]] SpaceCdnRouter& router() noexcept { return router_; }
+
+ private:
+  SpaceCdnConfig config_;
+  lsn::StarlinkNetwork network_;
+  SatelliteFleet fleet_;
+  ContentPlacement placement_;
+  cdn::CdnDeployment ground_;
+  SpaceCdnRouter router_;
+};
+
+}  // namespace spacecdn::space

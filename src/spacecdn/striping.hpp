@@ -1,0 +1,94 @@
+// Video striping across successive satellites (paper section 4).
+//
+// "A video object can be striped ... such that the first stripe of n
+// minutes is cached on the first satellite if it will be visible to the
+// user for the first n minutes of playback; the next few stripes can be
+// located on the second satellite which will be overhead of the user while
+// its stripes are being served ... subsequent stripes can be uploaded onto
+// the caches of the satellites that follow, thereby hiding the latency of
+// the bent pipe."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lsn/starlink.hpp"
+#include "orbit/ephemeris.hpp"
+#include "spacecdn/fleet.hpp"
+
+namespace spacecdn::space {
+
+/// One stripe of a striped video: a playback interval bound to the
+/// satellite that will be overhead during it.
+struct StripeAssignment {
+  std::uint32_t index = 0;
+  Milliseconds start{0.0};  ///< playback time the stripe begins
+  Milliseconds end{0.0};
+  /// Satellite overhead of the viewer during the interval (nullopt =
+  /// coverage gap; the stripe must come from the ground).
+  std::optional<std::uint32_t> satellite;
+};
+
+/// Plans stripe-to-satellite assignments from the orbital ephemeris.
+class StripingPlanner {
+ public:
+  StripingPlanner(const orbit::WalkerConstellation& constellation,
+                  double user_min_elevation_deg = 25.0);
+
+  /// Splits [start, start + video_duration) into stripes of
+  /// `stripe_duration` and assigns each the satellite serving `user` at the
+  /// stripe's midpoint.
+  /// @throws spacecdn::ConfigError on non-positive durations.
+  [[nodiscard]] std::vector<StripeAssignment> plan(const geo::GeoPoint& user,
+                                                   Milliseconds start,
+                                                   Milliseconds video_duration,
+                                                   Milliseconds stripe_duration) const;
+
+ private:
+  const orbit::WalkerConstellation* constellation_;
+  double user_min_elevation_deg_;
+};
+
+/// Result of simulating one playback session.
+struct PlaybackReport {
+  std::uint32_t stripes_total = 0;
+  std::uint32_t stripes_from_space = 0;  ///< served by the overhead satellite
+  std::uint32_t stripes_from_ground = 0;
+  Milliseconds startup_latency{0.0};  ///< first-byte time of stripe 0
+  /// Mean/worst first-byte RTT across stripes.
+  Milliseconds mean_stripe_rtt{0.0};
+  Milliseconds worst_stripe_rtt{0.0};
+  /// Bytes pre-positioned onto satellites over the bent pipe, invisible to
+  /// the viewer (the cost hidden by striping).
+  Megabytes prefetch_upload{0.0};
+};
+
+/// Simulates striped playback against ground-CDN playback.
+class StripedPlaybackSimulator {
+ public:
+  StripedPlaybackSimulator(const lsn::StarlinkNetwork& network,
+                           const StripingPlanner& planner);
+
+  /// Striped session: each stripe's first byte comes from the satellite
+  /// overhead at that moment (pre-positioned), falling back to the bent
+  /// pipe during coverage gaps.
+  [[nodiscard]] PlaybackReport simulate_striped(const geo::GeoPoint& user,
+                                                const data::CountryInfo& country,
+                                                Milliseconds video_duration,
+                                                Milliseconds stripe_duration,
+                                                Megabytes stripe_size, des::Rng& rng) const;
+
+  /// Baseline: every stripe fetched over today's bent-pipe CDN path.
+  [[nodiscard]] PlaybackReport simulate_ground(const geo::GeoPoint& user,
+                                               const data::CountryInfo& country,
+                                               Milliseconds video_duration,
+                                               Milliseconds stripe_duration,
+                                               Megabytes stripe_size, des::Rng& rng) const;
+
+ private:
+  const lsn::StarlinkNetwork* network_;
+  const StripingPlanner* planner_;
+};
+
+}  // namespace spacecdn::space

@@ -1,0 +1,105 @@
+#include "spacecdn/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace spacecdn::space {
+
+ThermalModel::ThermalModel(std::uint32_t satellite_count, ThermalConfig config)
+    : config_(config), temperature_(satellite_count, config.ambient_c) {
+  SPACECDN_EXPECT(satellite_count > 0, "thermal model needs satellites");
+  SPACECDN_EXPECT(config.serving_equilibrium_c > config.ambient_c,
+                  "serving must heat the payload");
+  SPACECDN_EXPECT(config.time_constant_min > 0.0, "time constant must be positive");
+}
+
+double ThermalModel::temperature(std::uint32_t sat) const {
+  SPACECDN_EXPECT(sat < temperature_.size(), "satellite id out of range");
+  return temperature_[sat];
+}
+
+bool ThermalModel::eligible(std::uint32_t sat) const {
+  return temperature(sat) < config_.max_safe_c - config_.margin_c;
+}
+
+void ThermalModel::advance(Milliseconds slot, const std::vector<bool>& serving) {
+  SPACECDN_EXPECT(serving.size() == temperature_.size(),
+                  "serving mask must match the fleet");
+  // First-order lag: T += (T_eq - T) * (1 - exp(-dt / tau)).
+  const double dt_min = slot.value() / 60000.0;
+  const double alpha = 1.0 - std::exp(-dt_min / config_.time_constant_min);
+  for (std::size_t sat = 0; sat < temperature_.size(); ++sat) {
+    const double equilibrium =
+        serving[sat] ? config_.serving_equilibrium_c : config_.ambient_c;
+    temperature_[sat] += (equilibrium - temperature_[sat]) * alpha;
+  }
+}
+
+std::uint32_t ThermalModel::violations() const noexcept {
+  return static_cast<std::uint32_t>(
+      std::count_if(temperature_.begin(), temperature_.end(),
+                    [this](double t) { return t > config_.max_safe_c; }));
+}
+
+double ThermalModel::mean_temperature() const noexcept {
+  return std::accumulate(temperature_.begin(), temperature_.end(), 0.0) /
+         static_cast<double>(temperature_.size());
+}
+
+ScheduleResult ThermalScheduler::select(const ThermalModel& model, double fraction,
+                                        des::Rng& rng) const {
+  SPACECDN_EXPECT(fraction > 0.0 && fraction <= 1.0, "fraction must be within (0, 1]");
+  const auto requested = static_cast<std::uint32_t>(
+      std::max(1.0, std::round(fraction * model.size())));
+
+  ScheduleResult result;
+  if (policy_ == Policy::kRandom) {
+    result.serving = rng.sample_without_replacement(model.size(), requested);
+    return result;
+  }
+
+  // kCoolestFirst: rank eligible satellites by temperature, coolest first.
+  std::vector<std::uint32_t> eligible;
+  eligible.reserve(model.size());
+  for (std::uint32_t sat = 0; sat < model.size(); ++sat) {
+    if (model.eligible(sat)) eligible.push_back(sat);
+  }
+  std::sort(eligible.begin(), eligible.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return model.temperature(a) < model.temperature(b);
+  });
+  const std::uint32_t take =
+      std::min<std::uint32_t>(requested, static_cast<std::uint32_t>(eligible.size()));
+  result.serving.assign(eligible.begin(), eligible.begin() + take);
+  result.shortfall = requested - take;
+  return result;
+}
+
+ThermalRunReport run_thermal_schedule(ThermalModel& model,
+                                      const ThermalScheduler& scheduler, double fraction,
+                                      std::uint32_t slots, Milliseconds slot,
+                                      des::Rng& rng) {
+  ThermalRunReport report;
+  double served_fraction_sum = 0.0;
+  for (std::uint32_t s = 0; s < slots; ++s) {
+    const ScheduleResult chosen = scheduler.select(model, fraction, rng);
+    std::vector<bool> mask(model.size(), false);
+    for (std::uint32_t sat : chosen.serving) mask[sat] = true;
+    model.advance(slot, mask);
+
+    report.violation_slot_count += model.violations();
+    for (std::uint32_t sat = 0; sat < model.size(); ++sat) {
+      report.peak_temperature_c = std::max(report.peak_temperature_c,
+                                           model.temperature(sat));
+    }
+    served_fraction_sum +=
+        static_cast<double>(chosen.serving.size()) / model.size();
+    report.total_shortfall += chosen.shortfall;
+  }
+  report.mean_served_fraction = served_fraction_sum / slots;
+  return report;
+}
+
+}  // namespace spacecdn::space

@@ -1,0 +1,102 @@
+// Thermal model and thermally-aware duty-cycle scheduling.
+//
+// Paper section 5: satellites are passively cooled and "must remain below
+// 30 C to maintain safe operations"; serving cache traffic heats the
+// payload, but "the overall temperature only exceeds the threshold after
+// hours of continuous computation, which can be mitigated by intelligent
+// request scheduling" (citing Xing et al., MobiCom'24).  This module
+// implements that scheduling: a first-order thermal state per satellite and
+// a scheduler that rotates cache duty onto the coolest satellites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/random.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::space {
+
+/// First-order thermal parameters (exponential approach to equilibrium).
+struct ThermalConfig {
+  double ambient_c = 12.0;        ///< passive equilibrium while idle/relaying
+  double serving_equilibrium_c = 38.0;  ///< equilibrium under sustained serving
+  double max_safe_c = 30.0;       ///< paper's safety ceiling
+  /// Scheduling margin: satellites at or above (max_safe - margin) are not
+  /// eligible for cache duty next slot.
+  double margin_c = 2.0;
+  /// Thermal time constant: minutes to close ~63% of the gap to equilibrium.
+  double time_constant_min = 45.0;
+};
+
+/// Per-satellite payload temperatures, advanced slot by slot.
+class ThermalModel {
+ public:
+  ThermalModel(std::uint32_t satellite_count, ThermalConfig config);
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(temperature_.size());
+  }
+  [[nodiscard]] const ThermalConfig& config() const noexcept { return config_; }
+  [[nodiscard]] double temperature(std::uint32_t sat) const;
+
+  /// Whether `sat` may take cache duty next slot (below ceiling - margin).
+  [[nodiscard]] bool eligible(std::uint32_t sat) const;
+
+  /// Advances all temperatures by `slot`: satellites in `serving` relax
+  /// towards the serving equilibrium, the rest towards ambient.
+  void advance(Milliseconds slot, const std::vector<bool>& serving);
+
+  /// Number of satellites currently above the safety ceiling.
+  [[nodiscard]] std::uint32_t violations() const noexcept;
+
+  [[nodiscard]] double mean_temperature() const noexcept;
+
+ private:
+  ThermalConfig config_;
+  std::vector<double> temperature_;
+};
+
+/// Outcome of one scheduling decision.
+struct ScheduleResult {
+  std::vector<std::uint32_t> serving;  ///< satellites given cache duty
+  std::uint32_t shortfall = 0;  ///< requested minus thermally-eligible count
+};
+
+/// Chooses which satellites serve each slot.
+class ThermalScheduler {
+ public:
+  enum class Policy {
+    kRandom,        ///< paper's first cut: random x% per slot (Figure 8)
+    kCoolestFirst,  ///< intelligent scheduling: coolest eligible satellites
+  };
+
+  explicit ThermalScheduler(Policy policy) : policy_(policy) {}
+
+  /// Selects ~fraction * N satellites for duty.  kCoolestFirst picks the
+  /// coolest eligible ones; kRandom ignores temperatures entirely.
+  [[nodiscard]] ScheduleResult select(const ThermalModel& model, double fraction,
+                                      des::Rng& rng) const;
+
+  [[nodiscard]] Policy policy() const noexcept { return policy_; }
+
+ private:
+  Policy policy_;
+};
+
+/// Longitudinal comparison of the two policies.
+struct ThermalRunReport {
+  std::uint64_t violation_slot_count = 0;  ///< (satellite, slot) pairs > 30 C
+  double peak_temperature_c = 0.0;
+  double mean_served_fraction = 0.0;  ///< achieved duty fraction
+  std::uint32_t total_shortfall = 0;
+};
+
+/// Runs `slots` duty-cycle slots of length `slot` at target `fraction` and
+/// reports thermal outcomes.
+[[nodiscard]] ThermalRunReport run_thermal_schedule(ThermalModel& model,
+                                                    const ThermalScheduler& scheduler,
+                                                    double fraction, std::uint32_t slots,
+                                                    Milliseconds slot, des::Rng& rng);
+
+}  // namespace spacecdn::space

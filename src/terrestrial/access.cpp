@@ -1,0 +1,23 @@
+#include "terrestrial/access.hpp"
+
+#include "util/error.hpp"
+
+namespace spacecdn::terrestrial {
+
+AccessNetwork::AccessNetwork(AccessConfig config)
+    : config_(config), bloat_(config.bloat_at_full_load) {
+  SPACECDN_EXPECT(config_.median_latency.value() > 0.0,
+                  "median access latency must be positive");
+  SPACECDN_EXPECT(config_.bandwidth.value() > 0.0, "access bandwidth must be positive");
+}
+
+Milliseconds AccessNetwork::sample_idle_rtt(des::Rng& rng) const {
+  return Milliseconds{
+      rng.lognormal_median(config_.median_latency.value(), config_.latency_sigma)};
+}
+
+Milliseconds AccessNetwork::sample_loaded_rtt(double load, des::Rng& rng) const {
+  return sample_idle_rtt(rng) + bloat_.sample_bloat(load, rng);
+}
+
+}  // namespace spacecdn::terrestrial

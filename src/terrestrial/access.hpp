@@ -1,0 +1,43 @@
+// Terrestrial last-mile (access network) model.
+//
+// The AIM dataset mixes wired and wireless access indistinguishably (paper
+// section 3.1); the model therefore captures the aggregate: a country-level
+// median last-mile latency with lognormal spread, plus bandwidth.
+#pragma once
+
+#include "des/random.hpp"
+#include "net/link.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::terrestrial {
+
+/// Per-client access characteristics.
+struct AccessConfig {
+  Milliseconds median_latency{8.0};
+  double latency_sigma = 0.4;  ///< lognormal sigma of the last-mile latency
+  Mbps bandwidth{100.0};
+  /// Bufferbloat of typical home routers; far smaller than Starlink's.
+  Milliseconds bloat_at_full_load{60.0};
+};
+
+/// Samples access-network contributions to RTT.
+class AccessNetwork {
+ public:
+  explicit AccessNetwork(AccessConfig config);
+
+  [[nodiscard]] const AccessConfig& config() const noexcept { return config_; }
+
+  /// One round-trip contribution of the last mile when idle.
+  [[nodiscard]] Milliseconds sample_idle_rtt(des::Rng& rng) const;
+
+  /// Round-trip contribution under load fraction `load` in [0, 1].
+  [[nodiscard]] Milliseconds sample_loaded_rtt(double load, des::Rng& rng) const;
+
+  [[nodiscard]] Mbps bandwidth() const noexcept { return config_.bandwidth; }
+
+ private:
+  AccessConfig config_;
+  net::BufferbloatModel bloat_;
+};
+
+}  // namespace spacecdn::terrestrial

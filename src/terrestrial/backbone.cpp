@@ -1,0 +1,32 @@
+#include "terrestrial/backbone.hpp"
+
+#include <cmath>
+
+#include "geo/propagation.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::terrestrial {
+
+Backbone::Backbone(BackboneConfig config) : config_(config) {
+  SPACECDN_EXPECT(config_.path_stretch >= 1.0, "path stretch must be >= 1");
+  SPACECDN_EXPECT(config_.hop_spacing.value() > 0.0, "hop spacing must be positive");
+}
+
+Kilometers Backbone::route_length(const geo::GeoPoint& a,
+                                  const geo::GeoPoint& b) const noexcept {
+  return geo::great_circle_distance(a, b) * config_.path_stretch;
+}
+
+Milliseconds Backbone::one_way_latency(const geo::GeoPoint& a,
+                                       const geo::GeoPoint& b) const noexcept {
+  const Kilometers route = route_length(a, b);
+  const double hops = std::ceil(route.value() / config_.hop_spacing.value());
+  return geo::propagation_delay(route, geo::Medium::kFiber) +
+         config_.per_hop_overhead * hops;
+}
+
+Milliseconds Backbone::rtt(const geo::GeoPoint& a, const geo::GeoPoint& b) const noexcept {
+  return one_way_latency(a, b) * 2.0;
+}
+
+}  // namespace spacecdn::terrestrial

@@ -1,0 +1,47 @@
+// Terrestrial backbone latency model.
+//
+// Terrestrial paths follow fiber routes, not great circles.  The model is
+// distance * stretch at fiber speed plus per-segment router/switching
+// overhead; the stretch factor is a per-country calibration (well-meshed
+// Europe ~1.5x vs Africa ~2.6x, following Formoso et al.'s measured
+// inter-country latencies that the paper cites).
+#pragma once
+
+#include "geo/distance.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::terrestrial {
+
+/// Tunables of the backbone model.
+struct BackboneConfig {
+  /// Fiber route length / great-circle distance.
+  double path_stretch = 1.6;
+  /// Forwarding overhead added per router hop.
+  Milliseconds per_hop_overhead{0.15};
+  /// Mean fiber distance between backbone routers; determines hop count.
+  Kilometers hop_spacing{400.0};
+};
+
+/// Computes one-way and round-trip latencies across the terrestrial WAN.
+class Backbone {
+ public:
+  explicit Backbone(BackboneConfig config);
+
+  [[nodiscard]] const BackboneConfig& config() const noexcept { return config_; }
+
+  /// Fiber route length between two points.
+  [[nodiscard]] Kilometers route_length(const geo::GeoPoint& a,
+                                        const geo::GeoPoint& b) const noexcept;
+
+  /// One-way latency: propagation along the route plus router overheads.
+  [[nodiscard]] Milliseconds one_way_latency(const geo::GeoPoint& a,
+                                             const geo::GeoPoint& b) const noexcept;
+
+  [[nodiscard]] Milliseconds rtt(const geo::GeoPoint& a,
+                                 const geo::GeoPoint& b) const noexcept;
+
+ private:
+  BackboneConfig config_;
+};
+
+}  // namespace spacecdn::terrestrial

@@ -1,0 +1,47 @@
+#include "terrestrial/isp.hpp"
+
+namespace spacecdn::terrestrial {
+
+namespace {
+
+AccessConfig access_from_country(const data::CountryInfo& country) {
+  AccessConfig cfg;
+  cfg.median_latency = country.access_latency;
+  cfg.bandwidth = country.access_bandwidth;
+  return cfg;
+}
+
+BackboneConfig backbone_from_country(const data::CountryInfo& country) {
+  BackboneConfig cfg;
+  cfg.path_stretch = country.path_stretch;
+  return cfg;
+}
+
+}  // namespace
+
+TerrestrialIsp::TerrestrialIsp(const data::CountryInfo& country)
+    : TerrestrialIsp(std::string(country.code), access_from_country(country),
+                     backbone_from_country(country)) {}
+
+TerrestrialIsp::TerrestrialIsp(std::string country_code, AccessConfig access,
+                               BackboneConfig backbone)
+    : country_code_(std::move(country_code)), access_(access), backbone_(backbone) {}
+
+Milliseconds TerrestrialIsp::baseline_rtt(const geo::GeoPoint& client,
+                                          const geo::GeoPoint& server) const noexcept {
+  return access_.config().median_latency + backbone_.rtt(client, server);
+}
+
+Milliseconds TerrestrialIsp::sample_idle_rtt(const geo::GeoPoint& client,
+                                             const geo::GeoPoint& server,
+                                             des::Rng& rng) const {
+  return access_.sample_idle_rtt(rng) + backbone_.rtt(client, server);
+}
+
+Milliseconds TerrestrialIsp::sample_loaded_rtt(const geo::GeoPoint& client,
+                                               const geo::GeoPoint& server, double load,
+                                               des::Rng& rng) const {
+  return access_.sample_loaded_rtt(load, rng) + backbone_.rtt(client, server);
+}
+
+}  // namespace spacecdn::terrestrial

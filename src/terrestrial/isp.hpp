@@ -1,0 +1,52 @@
+// A terrestrial client-serving ISP for one country: last mile + backbone.
+//
+// This is the comparison network of the whole study -- every figure puts
+// "terrestrial" next to "Starlink".
+#pragma once
+
+#include <string>
+
+#include "data/types.hpp"
+#include "des/random.hpp"
+#include "terrestrial/access.hpp"
+#include "terrestrial/backbone.hpp"
+
+namespace spacecdn::terrestrial {
+
+/// Terrestrial ISP model parameterised from the country dataset.
+class TerrestrialIsp {
+ public:
+  /// Builds an ISP from country calibration data.
+  explicit TerrestrialIsp(const data::CountryInfo& country);
+
+  /// Explicit construction for tests and sweeps.
+  TerrestrialIsp(std::string country_code, AccessConfig access, BackboneConfig backbone);
+
+  [[nodiscard]] const std::string& country_code() const noexcept { return country_code_; }
+  [[nodiscard]] const AccessNetwork& access() const noexcept { return access_; }
+  [[nodiscard]] const Backbone& backbone() const noexcept { return backbone_; }
+
+  /// Deterministic baseline RTT from a client location to a server location
+  /// (median last mile + backbone propagation).
+  [[nodiscard]] Milliseconds baseline_rtt(const geo::GeoPoint& client,
+                                          const geo::GeoPoint& server) const noexcept;
+
+  /// One stochastic idle-RTT sample.
+  [[nodiscard]] Milliseconds sample_idle_rtt(const geo::GeoPoint& client,
+                                             const geo::GeoPoint& server,
+                                             des::Rng& rng) const;
+
+  /// One stochastic loaded-RTT sample (bulk transfer in progress).
+  [[nodiscard]] Milliseconds sample_loaded_rtt(const geo::GeoPoint& client,
+                                               const geo::GeoPoint& server, double load,
+                                               des::Rng& rng) const;
+
+  [[nodiscard]] Mbps download_bandwidth() const noexcept { return access_.bandwidth(); }
+
+ private:
+  std::string country_code_;
+  AccessNetwork access_;
+  Backbone backbone_;
+};
+
+}  // namespace spacecdn::terrestrial

@@ -1,0 +1,76 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace spacecdn {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  SPACECDN_EXPECT(argc >= 1, "argv must carry the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    SPACECDN_EXPECT(!body.empty() && body[0] != '=', "malformed flag: " + arg);
+    // Only --key=value and bare --flag forms: "--key value" is ambiguous
+    // with a following positional argument, so it is not supported.
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else {
+      flags_[body] = "";  // bare boolean
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  queried_[key] = true;
+  return flags_.count(key) != 0;
+}
+
+std::string CliArgs::get(const std::string& key, const std::string& fallback) const {
+  queried_[key] = true;
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double CliArgs::get(const std::string& key, double fallback) const {
+  queried_[key] = true;
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  SPACECDN_EXPECT(end != nullptr && *end == '\0' && !it->second.empty(),
+                  "flag --" + key + " expects a number, got '" + it->second + "'");
+  return value;
+}
+
+long CliArgs::get(const std::string& key, long fallback) const {
+  return static_cast<long>(get(key, static_cast<double>(fallback)));
+}
+
+bool CliArgs::get(const std::string& key, bool fallback) const {
+  queried_[key] = true;
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw ConfigError("flag --" + key + " expects a boolean, got '" + v + "'");
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : flags_) {
+    if (queried_.find(key) == queried_.end()) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace spacecdn

@@ -1,0 +1,50 @@
+// Minimal command-line flag parsing for the examples and benches.
+//
+// Supports --key=value and bare --flag booleans; anything not starting with
+// "--" is a positional argument ("--key value" is deliberately unsupported:
+// it is ambiguous with a following positional).  No registration step -- the
+// caller queries by name with a default, so adding a knob to an example is
+// one line.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spacecdn {
+
+/// Parsed argv.
+class CliArgs {
+ public:
+  /// @throws spacecdn::ConfigError on malformed input such as "--=x".
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// String value of --key, or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+
+  /// Numeric value of --key.  @throws spacecdn::ConfigError when the value
+  /// is present but not a number.
+  [[nodiscard]] double get(const std::string& key, double fallback) const;
+  [[nodiscard]] long get(const std::string& key, long fallback) const;
+
+  /// True when --key was given bare or with a truthy value (1/true/yes/on).
+  [[nodiscard]] bool get(const std::string& key, bool fallback) const;
+
+  /// Keys that were provided but never queried; lets examples warn on typos.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace spacecdn

@@ -1,0 +1,123 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace spacecdn {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), arity_(header.size()) {
+  SPACECDN_EXPECT(!header.empty(), "CSV header must not be empty");
+  write_cells(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  SPACECDN_EXPECT(cells.size() == arity_, "CSV row arity must match header");
+  write_cells(cells);
+  ++rows_;
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(format_number(v));
+  row(formatted);
+}
+
+void CsvWriter::row_labeled(std::string_view label, const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size() + 1);
+  formatted.emplace_back(label);
+  for (double v : cells) formatted.push_back(format_number(v));
+  row(formatted);
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string{cell};
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string CsvWriter::format_number(double v) {
+  if (std::isnan(v)) return "nan";
+  char buf[64];
+  // %.6g keeps integers exact up to 1e6 and trims trailing zeros.
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) out_ << ',';
+    out_ << escape(cell);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;  // escaped quote
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"' && cell.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c == '\r' && i + 1 == line.size()) {
+      // tolerate CRLF line endings
+    } else {
+      cell.push_back(c);
+    }
+  }
+  SPACECDN_EXPECT(!quoted, "unterminated quoted CSV cell");
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+CsvReader::CsvReader(std::istream& in, std::vector<std::string> expected_header)
+    : in_(in) {
+  std::string line;
+  SPACECDN_EXPECT(static_cast<bool>(std::getline(in_, line)),
+                  "CSV input must carry a header line");
+  header_ = parse_csv_line(line);
+  if (!expected_header.empty()) {
+    SPACECDN_EXPECT(header_ == expected_header, "CSV header does not match schema");
+  }
+}
+
+bool CsvReader::next_row(std::vector<std::string>& cells) {
+  std::string line;
+  if (!std::getline(in_, line)) return false;
+  cells = parse_csv_line(line);
+  SPACECDN_EXPECT(cells.size() == header_.size(), "CSV row arity must match header");
+  ++rows_;
+  return true;
+}
+
+}  // namespace spacecdn

@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace spacecdn::detail {
+
+void precondition_failure(const char* expr, const char* file, int line,
+                          const std::string& message) {
+  std::ostringstream os;
+  os << "precondition failed: " << message << " [" << expr << " at " << file << ":" << line
+     << "]";
+  throw ConfigError(os.str());
+}
+
+}  // namespace spacecdn::detail

@@ -1,0 +1,52 @@
+// Error types for the library.
+//
+// Per C++ Core Guidelines E.2/E.14, errors that a caller cannot reasonably
+// prevent are reported via exceptions derived from std::exception; programming
+// errors (violated preconditions) are caught with SPACECDN_EXPECT which is
+// active in all build types.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spacecdn {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An entity lookup (city, country, satellite, content item, ...) failed.
+class NotFoundError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A configuration value is out of its documented domain.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Simulation reached a state that violates a model invariant.
+class SimulationError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void precondition_failure(const char* expr, const char* file, int line,
+                                       const std::string& message);
+}  // namespace detail
+
+}  // namespace spacecdn
+
+/// Precondition check, active in all build types (Core Guidelines I.6).
+/// Throws spacecdn::ConfigError on failure so tests can assert on violations.
+#define SPACECDN_EXPECT(cond, message)                                              \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      ::spacecdn::detail::precondition_failure(#cond, __FILE__, __LINE__, message); \
+    }                                                                               \
+  } while (false)

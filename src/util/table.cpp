@@ -1,0 +1,95 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <iomanip>
+
+#include "util/error.hpp"
+
+namespace spacecdn {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header) : header_(std::move(header)) {
+  SPACECDN_EXPECT(!header_.empty(), "table header must not be empty");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  SPACECDN_EXPECT(cells.size() == header_.size(), "table row arity must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::add_row(std::string_view label, const std::vector<double>& values,
+                           int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.emplace_back(label);
+  for (double v : values) cells.push_back(format_fixed(v, decimals));
+  add_row(std::move(cells));
+}
+
+std::string ConsoleTable::format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+bool ConsoleTable::looks_numeric(std::string_view cell) noexcept {
+  if (cell.empty()) return false;
+  std::size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+  if (i == cell.size()) return false;
+  bool digit_seen = false;
+  for (; i < cell.size(); ++i) {
+    const char c = cell[i];
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      digit_seen = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+void ConsoleTable::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      const bool right = looks_numeric(row[c]);
+      os << (right ? std::right : std::left) << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << " |\n";
+  };
+
+  emit_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string ascii_bar(std::string_view label, double value, double max_value, int width) {
+  const double frac = max_value > 0 ? std::clamp(value / max_value, 0.0, 1.0) : 0.0;
+  const int filled = static_cast<int>(frac * width + 0.5);
+  std::string out;
+  out.reserve(label.size() + static_cast<std::size_t>(width) + 24);
+  out.append(label);
+  out.append("  ");
+  out.append(static_cast<std::size_t>(filled), '#');
+  out.append(static_cast<std::size_t>(width - filled), ' ');
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "  %.1f", value);
+  out.append(buf);
+  return out;
+}
+
+}  // namespace spacecdn

@@ -1,0 +1,43 @@
+// Console table rendering used by the bench harnesses to print the paper's
+// tables/figure series in a readable, diff-able form.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spacecdn {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+///
+/// Numeric-looking cells are right-aligned; everything else is left-aligned.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: a label cell followed by numeric cells with fixed decimals.
+  void add_row(std::string_view label, const std::vector<double>& values, int decimals = 1);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders header, separator, and all rows.
+  void render(std::ostream& os) const;
+
+  [[nodiscard]] static std::string format_fixed(double v, int decimals);
+
+ private:
+  [[nodiscard]] static bool looks_numeric(std::string_view cell) noexcept;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a horizontal ASCII bar chart line: label, bar, value.  Used by the
+/// figure benches for quick visual inspection of distributions.
+[[nodiscard]] std::string ascii_bar(std::string_view label, double value, double max_value,
+                                    int width = 50);
+
+}  // namespace spacecdn

@@ -1,0 +1,12 @@
+#include "util/units.hpp"
+
+#include <ostream>
+
+namespace spacecdn {
+
+std::ostream& operator<<(std::ostream& os, Milliseconds v) { return os << v.value() << " ms"; }
+std::ostream& operator<<(std::ostream& os, Kilometers v) { return os << v.value() << " km"; }
+std::ostream& operator<<(std::ostream& os, Mbps v) { return os << v.value() << " Mbps"; }
+std::ostream& operator<<(std::ostream& os, Megabytes v) { return os << v.value() << " MB"; }
+
+}  // namespace spacecdn

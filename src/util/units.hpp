@@ -1,0 +1,190 @@
+// Strong unit types used across the library.
+//
+// The simulator mixes three physical dimensions constantly (time, distance,
+// data rate); mixing them up silently is the classic source of latency-model
+// bugs.  Following C++ Core Guidelines I.4 ("make interfaces precisely and
+// strongly typed"), each dimension gets a tiny value type with explicit
+// construction and only the arithmetic that is dimensionally meaningful.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+
+namespace spacecdn {
+
+/// Time duration in milliseconds.  The canonical time unit of the simulator.
+class Milliseconds {
+ public:
+  constexpr Milliseconds() noexcept = default;
+  constexpr explicit Milliseconds(double ms) noexcept : ms_(ms) {}
+
+  [[nodiscard]] constexpr double value() const noexcept { return ms_; }
+  [[nodiscard]] constexpr double seconds() const noexcept { return ms_ / 1000.0; }
+
+  [[nodiscard]] static constexpr Milliseconds from_seconds(double s) noexcept {
+    return Milliseconds{s * 1000.0};
+  }
+  [[nodiscard]] static constexpr Milliseconds from_minutes(double m) noexcept {
+    return Milliseconds{m * 60'000.0};
+  }
+
+  constexpr Milliseconds& operator+=(Milliseconds o) noexcept { ms_ += o.ms_; return *this; }
+  constexpr Milliseconds& operator-=(Milliseconds o) noexcept { ms_ -= o.ms_; return *this; }
+  constexpr Milliseconds& operator*=(double k) noexcept { ms_ *= k; return *this; }
+  constexpr Milliseconds& operator/=(double k) noexcept { ms_ /= k; return *this; }
+
+  friend constexpr Milliseconds operator+(Milliseconds a, Milliseconds b) noexcept {
+    return Milliseconds{a.ms_ + b.ms_};
+  }
+  friend constexpr Milliseconds operator-(Milliseconds a, Milliseconds b) noexcept {
+    return Milliseconds{a.ms_ - b.ms_};
+  }
+  friend constexpr Milliseconds operator*(Milliseconds a, double k) noexcept {
+    return Milliseconds{a.ms_ * k};
+  }
+  friend constexpr Milliseconds operator*(double k, Milliseconds a) noexcept {
+    return Milliseconds{a.ms_ * k};
+  }
+  friend constexpr Milliseconds operator/(Milliseconds a, double k) noexcept {
+    return Milliseconds{a.ms_ / k};
+  }
+  /// Ratio of two durations is a dimensionless scalar.
+  friend constexpr double operator/(Milliseconds a, Milliseconds b) noexcept {
+    return a.ms_ / b.ms_;
+  }
+  friend constexpr auto operator<=>(Milliseconds, Milliseconds) noexcept = default;
+
+ private:
+  double ms_ = 0.0;
+};
+
+/// Distance in kilometres.
+class Kilometers {
+ public:
+  constexpr Kilometers() noexcept = default;
+  constexpr explicit Kilometers(double km) noexcept : km_(km) {}
+
+  [[nodiscard]] constexpr double value() const noexcept { return km_; }
+  [[nodiscard]] constexpr double meters() const noexcept { return km_ * 1000.0; }
+
+  constexpr Kilometers& operator+=(Kilometers o) noexcept { km_ += o.km_; return *this; }
+  constexpr Kilometers& operator-=(Kilometers o) noexcept { km_ -= o.km_; return *this; }
+
+  friend constexpr Kilometers operator+(Kilometers a, Kilometers b) noexcept {
+    return Kilometers{a.km_ + b.km_};
+  }
+  friend constexpr Kilometers operator-(Kilometers a, Kilometers b) noexcept {
+    return Kilometers{a.km_ - b.km_};
+  }
+  friend constexpr Kilometers operator*(Kilometers a, double k) noexcept {
+    return Kilometers{a.km_ * k};
+  }
+  friend constexpr Kilometers operator*(double k, Kilometers a) noexcept {
+    return Kilometers{a.km_ * k};
+  }
+  friend constexpr Kilometers operator/(Kilometers a, double k) noexcept {
+    return Kilometers{a.km_ / k};
+  }
+  friend constexpr double operator/(Kilometers a, Kilometers b) noexcept {
+    return a.km_ / b.km_;
+  }
+  friend constexpr auto operator<=>(Kilometers, Kilometers) noexcept = default;
+
+ private:
+  double km_ = 0.0;
+};
+
+/// Data rate in megabits per second.
+class Mbps {
+ public:
+  constexpr Mbps() noexcept = default;
+  constexpr explicit Mbps(double v) noexcept : mbps_(v) {}
+
+  [[nodiscard]] constexpr double value() const noexcept { return mbps_; }
+  /// Bytes transferable per millisecond at this rate.
+  [[nodiscard]] constexpr double bytes_per_ms() const noexcept {
+    return mbps_ * 1e6 / 8.0 / 1000.0;
+  }
+
+  friend constexpr Mbps operator*(Mbps a, double k) noexcept { return Mbps{a.mbps_ * k}; }
+  friend constexpr Mbps operator*(double k, Mbps a) noexcept { return Mbps{a.mbps_ * k}; }
+  friend constexpr auto operator<=>(Mbps, Mbps) noexcept = default;
+
+ private:
+  double mbps_ = 0.0;
+};
+
+/// Data volume in megabytes (decimal, 1 MB = 1e6 bytes).
+class Megabytes {
+ public:
+  constexpr Megabytes() noexcept = default;
+  constexpr explicit Megabytes(double v) noexcept : mb_(v) {}
+
+  [[nodiscard]] constexpr double value() const noexcept { return mb_; }
+  [[nodiscard]] constexpr double bytes() const noexcept { return mb_ * 1e6; }
+  [[nodiscard]] constexpr double megabits() const noexcept { return mb_ * 8.0; }
+
+  [[nodiscard]] static constexpr Megabytes from_bytes(double b) noexcept {
+    return Megabytes{b / 1e6};
+  }
+
+  constexpr Megabytes& operator+=(Megabytes o) noexcept { mb_ += o.mb_; return *this; }
+  constexpr Megabytes& operator-=(Megabytes o) noexcept { mb_ -= o.mb_; return *this; }
+
+  friend constexpr Megabytes operator+(Megabytes a, Megabytes b) noexcept {
+    return Megabytes{a.mb_ + b.mb_};
+  }
+  friend constexpr Megabytes operator-(Megabytes a, Megabytes b) noexcept {
+    return Megabytes{a.mb_ - b.mb_};
+  }
+  friend constexpr Megabytes operator*(Megabytes a, double k) noexcept {
+    return Megabytes{a.mb_ * k};
+  }
+  friend constexpr auto operator<=>(Megabytes, Megabytes) noexcept = default;
+
+ private:
+  double mb_ = 0.0;
+};
+
+/// Time to push `volume` through a link of rate `rate` (transmission delay).
+[[nodiscard]] constexpr Milliseconds transmission_delay(Megabytes volume, Mbps rate) noexcept {
+  return Milliseconds{volume.megabits() / rate.value() * 1000.0};
+}
+
+namespace literals {
+
+constexpr Milliseconds operator""_ms(long double v) noexcept {
+  return Milliseconds{static_cast<double>(v)};
+}
+constexpr Milliseconds operator""_ms(unsigned long long v) noexcept {
+  return Milliseconds{static_cast<double>(v)};
+}
+constexpr Kilometers operator""_km(long double v) noexcept {
+  return Kilometers{static_cast<double>(v)};
+}
+constexpr Kilometers operator""_km(unsigned long long v) noexcept {
+  return Kilometers{static_cast<double>(v)};
+}
+constexpr Mbps operator""_mbps(long double v) noexcept {
+  return Mbps{static_cast<double>(v)};
+}
+constexpr Mbps operator""_mbps(unsigned long long v) noexcept {
+  return Mbps{static_cast<double>(v)};
+}
+constexpr Megabytes operator""_mb(long double v) noexcept {
+  return Megabytes{static_cast<double>(v)};
+}
+constexpr Megabytes operator""_mb(unsigned long long v) noexcept {
+  return Megabytes{static_cast<double>(v)};
+}
+
+}  // namespace literals
+
+std::ostream& operator<<(std::ostream& os, Milliseconds v);
+std::ostream& operator<<(std::ostream& os, Kilometers v);
+std::ostream& operator<<(std::ostream& os, Mbps v);
+std::ostream& operator<<(std::ostream& os, Megabytes v);
+
+}  // namespace spacecdn

@@ -1,0 +1,194 @@
+// Dataset integrity tests: the embedded geography must satisfy the
+// structural properties the paper's analysis depends on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/datasets.hpp"
+#include "geo/distance.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::data {
+namespace {
+
+TEST(Countries, LookupByCode) {
+  EXPECT_EQ(country("MZ").name, "Mozambique");
+  EXPECT_EQ(country("JP").region, Region::kAsia);
+  EXPECT_THROW((void)country("XX"), spacecdn::NotFoundError);
+}
+
+TEST(Countries, CodesAreUnique) {
+  std::set<std::string_view> codes;
+  for (const auto& c : countries()) {
+    EXPECT_TRUE(codes.insert(c.code).second) << "duplicate " << c.code;
+    EXPECT_EQ(c.code.size(), 2u);
+  }
+}
+
+TEST(Countries, StarlinkCoverageMatchesPaperScale) {
+  // The paper analyses 55 countries with Starlink coverage (~60% of the
+  // coverage footprint); our dataset carries a comparable population.
+  const auto covered = starlink_countries();
+  EXPECT_GE(covered.size(), 55u);
+}
+
+TEST(Countries, CalibrationValuesAreSane) {
+  for (const auto& c : countries()) {
+    EXPECT_GE(c.path_stretch, 1.0) << c.code;
+    EXPECT_LE(c.path_stretch, 4.0) << c.code;
+    EXPECT_GT(c.access_latency.value(), 0.0) << c.code;
+    EXPECT_LT(c.access_latency.value(), 100.0) << c.code;
+    EXPECT_GT(c.access_bandwidth.value(), 0.0) << c.code;
+  }
+}
+
+TEST(Countries, AssignedPopsExist) {
+  for (const auto& c : countries()) {
+    if (!c.assigned_pop.empty()) {
+      EXPECT_NO_THROW((void)pop(c.assigned_pop)) << c.code << " -> " << c.assigned_pop;
+    }
+  }
+}
+
+TEST(Countries, PaperTable1CountriesPresent) {
+  // Every country in the paper's Table 1 must be representable.
+  for (const char* code :
+       {"GT", "MZ", "CY", "SZ", "HT", "KE", "ZM", "RW", "LT", "ES", "JP"}) {
+    EXPECT_TRUE(country(code).starlink_available) << code;
+  }
+}
+
+TEST(Countries, AfricanIslCountriesMapToFrankfurt) {
+  // Paper: southern/eastern African subscribers land in Frankfurt.
+  for (const char* code : {"MZ", "KE", "ZM", "RW", "SZ", "MW"}) {
+    EXPECT_EQ(country(code).assigned_pop, "frankfurt") << code;
+  }
+  // Nigeria has its own PoP (the paper's outlier).
+  EXPECT_EQ(country("NG").assigned_pop, "lagos");
+}
+
+TEST(Cities, LookupAndMembership) {
+  EXPECT_EQ(city("Maputo").country_code, "MZ");
+  EXPECT_THROW((void)city("Atlantis"), spacecdn::NotFoundError);
+  const auto mz = cities_in("MZ");
+  EXPECT_GE(mz.size(), 2u);
+  EXPECT_THROW((void)cities_in("XX"), spacecdn::NotFoundError);
+}
+
+TEST(Cities, EveryStarlinkCountryHasACity) {
+  for (const CountryInfo* c : starlink_countries()) {
+    EXPECT_NO_THROW((void)cities_in(c->code)) << c->code;
+  }
+}
+
+TEST(Cities, CoordinatesValid) {
+  for (const auto& c : cities()) {
+    EXPECT_GE(c.lat_deg, -90.0) << c.name;
+    EXPECT_LE(c.lat_deg, 90.0) << c.name;
+    EXPECT_GE(c.lon_deg, -180.0) << c.name;
+    EXPECT_LE(c.lon_deg, 180.0) << c.name;
+    EXPECT_GT(c.population_k, 0.0) << c.name;
+    EXPECT_NO_THROW((void)country(c.country_code)) << c.name;
+  }
+}
+
+TEST(Cities, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (const auto& c : cities()) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate " << c.name;
+  }
+}
+
+TEST(Cities, NearestCityIsItself) {
+  const auto& maputo = city("Maputo");
+  EXPECT_EQ(nearest_city(location(maputo)).name, "Maputo");
+}
+
+TEST(Cities, NearestCityOfOffshorePoint) {
+  // A point in the English Channel resolves to a nearby European city.
+  const auto& near = nearest_city({50.5, -0.5, 0.0});
+  const Region region = country(near.country_code).region;
+  EXPECT_EQ(region, Region::kEurope);
+}
+
+TEST(Pops, ExactlyTwentyTwo) {
+  // Figure 2: "the currently 22 operational Starlink PoP locations".
+  EXPECT_EQ(starlink_pops().size(), 22u);
+}
+
+TEST(Pops, KeysUniqueAndLookupWorks) {
+  std::set<std::string_view> keys;
+  for (const auto& p : starlink_pops()) {
+    EXPECT_TRUE(keys.insert(p.key).second) << "duplicate " << p.key;
+  }
+  EXPECT_EQ(pop("frankfurt").country_code, "DE");
+  EXPECT_THROW((void)pop("nowhere"), spacecdn::NotFoundError);
+}
+
+TEST(GroundStations, ThinAfricanFootprint) {
+  // The reproduction's key structural property: nearly no gateways in
+  // Africa (only Lagos), so southern/eastern African traffic must ride ISLs.
+  int african = 0;
+  for (const auto& gs : ground_stations()) {
+    if (country(gs.country_code).region == Region::kAfrica) ++african;
+  }
+  EXPECT_EQ(african, 1);
+}
+
+TEST(GroundStations, EveryPopHasAGatewayWithin1500km) {
+  // Traffic must be able to land near each PoP.
+  for (const auto& p : starlink_pops()) {
+    double best = 1e18;
+    for (const auto& gs : ground_stations()) {
+      best = std::min(best,
+                      geo::great_circle_distance(location(p), location(gs)).value());
+    }
+    EXPECT_LT(best, 1500.0) << p.key;
+  }
+}
+
+TEST(CdnSites, CoverageAndLookup) {
+  EXPECT_GE(cdn_sites().size(), 100u);
+  EXPECT_EQ(cdn_site("MPM").city, "Maputo");
+  EXPECT_THROW((void)cdn_site("ZZZ"), spacecdn::NotFoundError);
+}
+
+TEST(CdnSites, IataCodesUnique) {
+  std::set<std::string_view> codes;
+  for (const auto& s : cdn_sites()) {
+    EXPECT_TRUE(codes.insert(s.iata).second) << "duplicate " << s.iata;
+  }
+}
+
+TEST(CdnSites, AfricanGapsMatchPaperTable1) {
+  // Table 1 implies: no site in Zambia (terrestrial users travel ~1,200 km)
+  // nor Eswatini (~300 km), but Maputo and Kigali have local sites.
+  std::set<std::string_view> countries_with_sites;
+  for (const auto& s : cdn_sites()) countries_with_sites.insert(s.country_code);
+  EXPECT_FALSE(countries_with_sites.count("ZM"));
+  EXPECT_FALSE(countries_with_sites.count("SZ"));
+  EXPECT_TRUE(countries_with_sites.count("MZ"));
+  EXPECT_TRUE(countries_with_sites.count("RW"));
+  EXPECT_TRUE(countries_with_sites.count("KE"));
+}
+
+TEST(CdnSites, PopMetrosHaveSites) {
+  // Anycast must have somewhere near each PoP to land requests.
+  for (const auto& p : starlink_pops()) {
+    double best = 1e18;
+    for (const auto& s : cdn_sites()) {
+      best =
+          std::min(best, geo::great_circle_distance(location(p), location(s)).value());
+    }
+    EXPECT_LT(best, 300.0) << p.key;
+  }
+}
+
+TEST(Regions, ToStringCoversAll) {
+  EXPECT_EQ(to_string(Region::kAfrica), "Africa");
+  EXPECT_EQ(to_string(Region::kEurope), "Europe");
+  EXPECT_EQ(to_string(Region::kOceania), "Oceania");
+}
+
+}  // namespace
+}  // namespace spacecdn::data

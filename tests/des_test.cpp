@@ -1,0 +1,282 @@
+// Unit tests for the discrete-event core: simulator semantics, RNG
+// distributions, statistics containers.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "des/random.hpp"
+#include "des/simulator.hpp"
+#include "des/stats.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::des {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(Milliseconds{30.0}, [&] { order.push_back(3); });
+  sim.schedule(Milliseconds{10.0}, [&] { order.push_back(1); });
+  sim.schedule(Milliseconds{20.0}, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now().value(), 30.0);
+  EXPECT_EQ(sim.processed_events(), 3u);
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(Milliseconds{5.0}, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Milliseconds{1.0}, [&] {
+    ++fired;
+    sim.schedule(Milliseconds{1.0}, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now().value(), 2.0);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Milliseconds{10.0}, [&] { ++fired; });
+  sim.schedule(Milliseconds{50.0}, [&] { ++fired; });
+  sim.run_until(Milliseconds{20.0});
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now().value(), 20.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule(Milliseconds{5.0}, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // already cancelled
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, StepRunsExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Milliseconds{1.0}, [&] { ++fired; });
+  sim.schedule(Milliseconds{2.0}, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RejectsNegativeDelayAndPastSchedule) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(Milliseconds{-1.0}, [] {}), ConfigError);
+  sim.schedule(Milliseconds{10.0}, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(Milliseconds{5.0}, [] {}), ConfigError);
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, LognormalMedianIsMedian) {
+  Rng rng(3);
+  SampleSet s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.lognormal_median(20.0, 0.5));
+  EXPECT_NEAR(s.median(), 20.0, 0.6);
+  // Zero sigma degenerates to the median exactly.
+  EXPECT_DOUBLE_EQ(rng.lognormal_median(7.0, 0.0), 7.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(4);
+  OnlineSummary s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential(10.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.3);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> counts(3, 0.0);
+  for (int i = 0; i < 30000; ++i) counts[rng.weighted_index({1.0, 2.0, 7.0})] += 1.0;
+  EXPECT_NEAR(counts[2] / 30000.0, 0.7, 0.02);
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(6);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::uint32_t v : sample) EXPECT_LT(v, 100u);
+  EXPECT_THROW((void)rng.sample_without_replacement(5, 6), ConfigError);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfDistribution zipf(1000, 0.9);
+  double total = 0.0;
+  for (std::uint64_t r = 1; r <= 1000; ++r) total += zipf.pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankOneMostPopular) {
+  const ZipfDistribution zipf(100, 1.0);
+  EXPECT_GT(zipf.pmf(1), zipf.pmf(2));
+  EXPECT_GT(zipf.pmf(2), zipf.pmf(50));
+}
+
+TEST(Zipf, SampleFrequenciesFollowPmf) {
+  const ZipfDistribution zipf(50, 0.8);
+  Rng rng(7);
+  std::vector<double> counts(51, 0.0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[zipf.sample(rng)] += 1.0;
+  EXPECT_NEAR(counts[1] / n, zipf.pmf(1), 0.01);
+  EXPECT_NEAR(counts[10] / n, zipf.pmf(10), 0.01);
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  const ZipfDistribution zipf(10, 0.0);
+  EXPECT_NEAR(zipf.pmf(1), 0.1, 1e-12);
+  EXPECT_NEAR(zipf.pmf(10), 0.1, 1e-12);
+}
+
+TEST(OnlineSummary, MatchesDirectComputation) {
+  OnlineSummary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleSet, QuantilesInterpolate) {
+  SampleSet s({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 1.75);
+}
+
+TEST(SampleSet, SingleSample) {
+  SampleSet s({42.0});
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 42.0);
+}
+
+TEST(SampleSet, RejectsEmptyAndBadQuantile) {
+  SampleSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW((void)s.median(), ConfigError);
+  s.add(1.0);
+  EXPECT_THROW((void)s.quantile(1.5), ConfigError);
+}
+
+TEST(SampleSet, CdfIsMonotone) {
+  Rng rng(8);
+  SampleSet s;
+  for (int i = 0; i < 1000; ++i) s.add(rng.normal(50.0, 10.0));
+  const auto cdf = s.cdf(20);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LT(cdf[i - 1].cumulative_probability, cdf[i].cumulative_probability);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative_probability, 1.0);
+}
+
+TEST(SampleSet, FractionBelow) {
+  SampleSet s({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.fraction_below(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_below(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_below(10.0), 1.0);
+}
+
+TEST(SampleSet, BoxStats) {
+  SampleSet s({1.0, 2.0, 3.0, 4.0, 100.0});
+  const BoxStats box = s.box_stats();
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.median, 3.0);
+  EXPECT_DOUBLE_EQ(box.max, 100.0);
+  EXPECT_DOUBLE_EQ(box.mean, 22.0);
+  EXPECT_EQ(box.count, 5u);
+}
+
+TEST(SampleSet, AddAllInvalidatesCache) {
+  SampleSet s({5.0});
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add_all({1.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(100.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, RenderSketchesBars) {
+  Histogram h(0.0, 10.0, 2);
+  for (int i = 0; i < 8; ++i) h.add(2.0);
+  h.add(7.0);
+  std::ostringstream os;
+  h.render(os, 8);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("########"), std::string::npos);  // peak bin at full width
+  EXPECT_NE(out.find("[     0.0,      5.0)"), std::string::npos);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-5.0);  // clamps to bin 0
+  h.add(50.0);  // clamps to bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(1), 4.0);
+  EXPECT_THROW((void)h.count(5), ConfigError);
+}
+
+}  // namespace
+}  // namespace spacecdn::des

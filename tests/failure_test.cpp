@@ -1,0 +1,142 @@
+// Failure-injection tests: the ISL fabric and the SpaceCDN layers under
+// laser-terminal outages.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/datasets.hpp"
+#include "lsn/starlink.hpp"
+#include "spacecdn/fleet.hpp"
+#include "spacecdn/lookup.hpp"
+#include "spacecdn/placement.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn {
+namespace {
+
+const orbit::WalkerConstellation& shell1() {
+  static const orbit::WalkerConstellation shell(orbit::starlink_shell1());
+  return shell;
+}
+
+std::vector<std::uint32_t> random_failures(double fraction, des::Rng& rng) {
+  const auto count = static_cast<std::uint32_t>(fraction * shell1().size());
+  return rng.sample_without_replacement(shell1().size(), count);
+}
+
+TEST(Failures, FailedSatellitesCarryNoEdges) {
+  const orbit::EphemerisSnapshot snapshot(shell1(), Milliseconds{0.0});
+  const std::vector<std::uint32_t> failed{10, 20, 20, 30};  // duplicate tolerated
+  const lsn::IslNetwork isl(shell1(), snapshot, {}, failed);
+  EXPECT_EQ(isl.failed_count(), 3u);
+  EXPECT_TRUE(isl.is_failed(10));
+  EXPECT_FALSE(isl.is_failed(11));
+  for (const std::uint32_t sat : {10u, 20u, 30u}) {
+    EXPECT_TRUE(isl.graph().neighbors(sat).empty());
+  }
+  // Neighbours of a failed satellite lost exactly the links towards it.
+  for (const auto& edge : isl.graph().neighbors(9)) EXPECT_NE(edge.to, 10u);
+}
+
+TEST(Failures, FabricSurvivesFivePercentLoss) {
+  const orbit::EphemerisSnapshot snapshot(shell1(), Milliseconds{0.0});
+  des::Rng rng(31);
+  const auto failed = random_failures(0.05, rng);
+  const lsn::IslNetwork isl(shell1(), snapshot, {}, failed);
+
+  // Pick a healthy source and count reachable healthy satellites.
+  std::uint32_t source = 0;
+  while (isl.is_failed(source)) ++source;
+  const auto dist = isl.latencies_from(source);
+  std::uint32_t reachable = 0, healthy = 0;
+  for (std::uint32_t s = 0; s < shell1().size(); ++s) {
+    if (isl.is_failed(s)) continue;
+    ++healthy;
+    if (!std::isinf(dist[s].value())) ++reachable;
+  }
+  // The +grid is 4-connected: sparse random loss must not shatter it.
+  EXPECT_GT(static_cast<double>(reachable) / healthy, 0.99);
+}
+
+TEST(Failures, PathsDetourAndGetLonger) {
+  const orbit::EphemerisSnapshot snapshot(shell1(), Milliseconds{0.0});
+  const lsn::IslNetwork healthy(shell1(), snapshot, {});
+  // Fail a wall of satellites across the direct corridor between 0 and 110.
+  const auto direct = net::shortest_path(healthy.graph(), 0, 110);
+  ASSERT_TRUE(direct.has_value());
+  ASSERT_GT(direct->nodes.size(), 2u);
+  std::vector<std::uint32_t> wall(direct->nodes.begin() + 1, direct->nodes.end() - 1);
+  const lsn::IslNetwork broken(shell1(), snapshot, {}, wall);
+  const auto detour = net::shortest_path(broken.graph(), 0, 110);
+  ASSERT_TRUE(detour.has_value());
+  EXPECT_GT(detour->total.value(), direct->total.value());
+}
+
+TEST(Failures, LookupSkipsUnreachableReplicaHolders) {
+  const orbit::EphemerisSnapshot snapshot(shell1(), Milliseconds{0.0});
+  space::SatelliteFleet fleet(shell1().size(),
+                              space::FleetConfig{Megabytes{1000.0},
+                                                 cdn::CachePolicy::kLru});
+  const cdn::ContentItem obj{1, Megabytes{5.0}, data::Region::kEurope};
+  // Two replicas: a close one that we fail, and a farther healthy one.
+  const auto n1 = shell1().grid_neighbors(0)[0];
+  const auto n2 = shell1().grid_neighbors(shell1().grid_neighbors(0)[2])[2];
+  (void)fleet.cache(n1).insert(obj, Milliseconds{0.0});
+  (void)fleet.cache(n2).insert(obj, Milliseconds{0.0});
+
+  const std::vector<std::uint32_t> failed{n1};
+  const lsn::IslNetwork isl(shell1(), snapshot, {}, failed);
+  const auto found = space::find_replica(isl, fleet, 0, obj.id, 10);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->satellite, n2);  // the failed holder is invisible
+}
+
+TEST(Failures, BentPipeRoutesAroundFailures) {
+  lsn::StarlinkConfig cfg;
+  des::Rng rng(32);
+  cfg.failed_satellites = random_failures(0.05, rng);
+  const lsn::StarlinkNetwork degraded(cfg);
+  const lsn::StarlinkNetwork healthy{};
+
+  const geo::GeoPoint maputo = data::location(data::city("Maputo"));
+  const auto broken_route =
+      degraded.router().route_to_pop(maputo, data::country("MZ"));
+  const auto clean_route = healthy.router().route_to_pop(maputo, data::country("MZ"));
+  ASSERT_TRUE(broken_route && clean_route);
+  // Still lands at Frankfurt; latency may only degrade.
+  EXPECT_EQ(degraded.ground().pop(broken_route->pop).key, "frankfurt");
+  EXPECT_GE(broken_route->propagation_rtt().value() + 1e-9,
+            clean_route->propagation_rtt().value() * 0.95);
+}
+
+TEST(Failures, PlacementRedundancyCoversLostReplicas) {
+  // With 4 copies per plane, failing any single holder leaves the object
+  // within a slightly larger but still small hop budget.
+  const orbit::EphemerisSnapshot snapshot(shell1(), Milliseconds{0.0});
+  space::PlacementConfig pcfg;
+  pcfg.copies_per_plane = 4;
+  const space::ContentPlacement placement(shell1(), pcfg);
+  space::SatelliteFleet fleet(shell1().size(),
+                              space::FleetConfig{Megabytes{1000.0},
+                                                 cdn::CachePolicy::kLru});
+  const cdn::ContentItem obj{5, Megabytes{5.0}, data::Region::kAsia};
+  placement.place(fleet, obj, Milliseconds{0.0});
+
+  const auto replicas = placement.replicas(obj.id);
+  const std::vector<std::uint32_t> failed{replicas.front()};
+  const lsn::IslNetwork isl(shell1(), snapshot, {}, failed);
+
+  des::Rng rng(33);
+  for (int probe = 0; probe < 50; ++probe) {
+    std::uint32_t origin = 0;
+    do {
+      origin = static_cast<std::uint32_t>(rng.uniform_int(0, shell1().size() - 1));
+    } while (isl.is_failed(origin));
+    const auto found = space::find_replica(isl, fleet, origin, obj.id, 8);
+    ASSERT_TRUE(found.has_value()) << "origin " << origin;
+    EXPECT_LE(found->hops, 8u);
+  }
+}
+
+}  // namespace
+}  // namespace spacecdn

@@ -1,0 +1,203 @@
+// Unit tests for the orbit module: Kepler propagation, Walker constellation
+// structure, ephemeris queries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "geo/earth.hpp"
+#include "orbit/ephemeris.hpp"
+#include "orbit/kepler.hpp"
+#include "orbit/walker.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::orbit {
+namespace {
+
+TEST(Kepler, PeriodMatchesKeplersThirdLaw) {
+  // 550 km circular orbit: ~95.7 minutes ("satellites revisit roughly every
+  // 90 minutes", paper section 4).
+  const CircularOrbit orbit(Kilometers{550.0}, 53.0, 0.0, 0.0);
+  EXPECT_NEAR(orbit.period().value() / 60000.0, 95.7, 0.5);
+}
+
+TEST(Kepler, SpeedIsAbout27000Kmh) {
+  // Paper section 2: satellites move at speeds reaching ~27,000 km/h.
+  const CircularOrbit orbit(Kilometers{550.0}, 53.0, 0.0, 0.0);
+  EXPECT_NEAR(orbit.speed_km_per_sec() * 3600.0, 27000.0, 800.0);
+}
+
+TEST(Kepler, RadiusIsConstant) {
+  const CircularOrbit orbit(Kilometers{550.0}, 53.0, 30.0, 60.0);
+  for (double t_min : {0.0, 10.0, 47.0, 95.0}) {
+    const geo::Ecef p = orbit.position_eci(Milliseconds::from_minutes(t_min));
+    EXPECT_NEAR(geo::norm(p).value(), geo::kEarthRadiusKm + 550.0, 1e-6);
+  }
+}
+
+TEST(Kepler, PeriodReturnsToStartInEci) {
+  const CircularOrbit orbit(Kilometers{550.0}, 53.0, 10.0, 20.0);
+  const geo::Ecef start = orbit.position_eci(Milliseconds{0.0});
+  const geo::Ecef after = orbit.position_eci(orbit.period());
+  EXPECT_NEAR(start.x, after.x, 1e-3);
+  EXPECT_NEAR(start.y, after.y, 1e-3);
+  EXPECT_NEAR(start.z, after.z, 1e-3);
+}
+
+TEST(Kepler, LatitudeBoundedByInclination) {
+  const CircularOrbit orbit(Kilometers{550.0}, 53.0, 0.0, 0.0);
+  for (double t_min = 0.0; t_min < 96.0; t_min += 1.0) {
+    const geo::GeoPoint sub = orbit.subsatellite_point(Milliseconds::from_minutes(t_min));
+    EXPECT_LE(std::fabs(sub.lat_deg), 53.0 + 1e-6) << "t = " << t_min;
+  }
+}
+
+TEST(Kepler, EquatorialOrbitStaysOnEquator) {
+  const CircularOrbit orbit(Kilometers{550.0}, 0.0, 0.0, 0.0);
+  for (double t_min : {0.0, 20.0, 50.0}) {
+    EXPECT_NEAR(orbit.subsatellite_point(Milliseconds::from_minutes(t_min)).lat_deg, 0.0,
+                1e-9);
+  }
+}
+
+TEST(Kepler, EcefAccountsForEarthRotation) {
+  const CircularOrbit orbit(Kilometers{550.0}, 53.0, 0.0, 0.0);
+  const Milliseconds t = Milliseconds::from_minutes(30.0);
+  const geo::Ecef eci = orbit.position_eci(t);
+  const geo::Ecef ecef = orbit.position_ecef(t);
+  // Same radius, different longitude (Earth rotated ~7.5 degrees in 30 min).
+  EXPECT_NEAR(geo::norm(eci).value(), geo::norm(ecef).value(), 1e-9);
+  EXPECT_GT(std::hypot(eci.x - ecef.x, eci.y - ecef.y), 10.0);
+  EXPECT_NEAR(eci.z, ecef.z, 1e-9);
+}
+
+TEST(Kepler, RejectsBadParameters) {
+  EXPECT_THROW(CircularOrbit(Kilometers{0.0}, 53.0, 0.0, 0.0), ConfigError);
+  EXPECT_THROW(CircularOrbit(Kilometers{550.0}, 181.0, 0.0, 0.0), ConfigError);
+}
+
+TEST(Walker, Shell1Dimensions) {
+  const WalkerDesign shell = starlink_shell1();
+  EXPECT_EQ(shell.planes, 72u);
+  EXPECT_EQ(shell.sats_per_plane, 22u);
+  EXPECT_EQ(shell.total_satellites(), 1584u);
+  EXPECT_DOUBLE_EQ(shell.inclination_deg, 53.0);
+  EXPECT_DOUBLE_EQ(shell.altitude.value(), 550.0);
+}
+
+TEST(Walker, IdIndexRoundTrip) {
+  const WalkerConstellation c(test_shell());
+  for (std::uint32_t id = 0; id < c.size(); ++id) {
+    EXPECT_EQ(c.id_of(c.index_of(id)), id);
+  }
+  EXPECT_THROW((void)c.index_of(c.size()), ConfigError);
+  EXPECT_THROW((void)c.id_of({99, 0}), ConfigError);
+}
+
+TEST(Walker, RaanEvenlySpaced) {
+  const WalkerConstellation c(test_shell());
+  const double step = 360.0 / test_shell().planes;
+  for (std::uint32_t p = 0; p < test_shell().planes; ++p) {
+    EXPECT_DOUBLE_EQ(c.orbit(c.id_of({p, 0})).raan_deg(), p * step);
+  }
+}
+
+TEST(Walker, PhaseOffsetBetweenPlanes) {
+  const WalkerDesign d = test_shell();
+  const WalkerConstellation c(d);
+  const double expected =
+      d.phasing * 360.0 / static_cast<double>(d.total_satellites());
+  const double p0 = c.orbit(c.id_of({0, 0})).initial_phase_deg();
+  const double p1 = c.orbit(c.id_of({1, 0})).initial_phase_deg();
+  EXPECT_NEAR(p1 - p0, expected, 1e-9);
+}
+
+TEST(Walker, RejectsInvalidDesigns) {
+  WalkerDesign d = test_shell();
+  d.planes = 0;
+  EXPECT_THROW(WalkerConstellation{d}, ConfigError);
+  d = test_shell();
+  d.phasing = d.planes;  // phasing must be < planes
+  EXPECT_THROW(WalkerConstellation{d}, ConfigError);
+}
+
+TEST(Walker, GridNeighborsCountAndSymmetryOfIntraPlane) {
+  const WalkerConstellation c(test_shell());
+  for (std::uint32_t id = 0; id < c.size(); ++id) {
+    const auto neighbors = c.grid_neighbors(id);
+    EXPECT_EQ(neighbors.size(), 4u);
+    // No self-links, no out-of-range ids.
+    for (std::uint32_t n : neighbors) {
+      EXPECT_NE(n, id);
+      EXPECT_LT(n, c.size());
+    }
+  }
+}
+
+TEST(Walker, GridNeighborsArePhysicallyClose) {
+  // The motivating bug: naive same-slot seam links span ~10,000 km, beyond
+  // optical line of sight.  Phase-nearest selection keeps every link short.
+  const WalkerConstellation c(starlink_shell1());
+  const EphemerisSnapshot snap(c, Milliseconds{0.0});
+  const double horizon_limited =
+      2.0 * std::sqrt(std::pow(geo::kEarthRadiusKm + 550.0, 2) -
+                      std::pow(geo::kEarthRadiusKm, 2));
+  for (std::uint32_t id = 0; id < c.size(); id += 7) {
+    for (std::uint32_t n : c.grid_neighbors(id)) {
+      EXPECT_LT(snap.isl_distance(id, n).value(), horizon_limited)
+          << "link " << id << " -> " << n;
+    }
+  }
+}
+
+TEST(Ephemeris, PositionsMatchOrbits) {
+  const WalkerConstellation c(test_shell());
+  const Milliseconds t = Milliseconds::from_minutes(12.0);
+  const EphemerisSnapshot snap(c, t);
+  EXPECT_EQ(snap.size(), c.size());
+  for (std::uint32_t id = 0; id < c.size(); id += 5) {
+    const geo::Ecef expected = c.orbit(id).position_ecef(t);
+    EXPECT_NEAR(snap.position(id).x, expected.x, 1e-9);
+  }
+}
+
+TEST(Ephemeris, ServingSatelliteIsBestVisible) {
+  const WalkerConstellation c(starlink_shell1());
+  const EphemerisSnapshot snap(c, Milliseconds{0.0});
+  const geo::GeoPoint berlin{52.52, 13.40, 0.0};
+  const auto serving = snap.serving_satellite(berlin, 25.0);
+  ASSERT_TRUE(serving.has_value());
+  const double serving_elev = geo::elevation_angle_deg(berlin, snap.position(*serving));
+  EXPECT_GE(serving_elev, 25.0);
+  for (std::uint32_t id : snap.visible_satellites(berlin, 25.0)) {
+    EXPECT_LE(geo::elevation_angle_deg(berlin, snap.position(id)), serving_elev + 1e-9);
+  }
+}
+
+TEST(Ephemeris, NoServingSatelliteAtPole) {
+  // 53 degree inclination leaves the poles uncovered.
+  const WalkerConstellation c(starlink_shell1());
+  const EphemerisSnapshot snap(c, Milliseconds{0.0});
+  EXPECT_FALSE(snap.serving_satellite({89.5, 0.0, 0.0}, 25.0).has_value());
+}
+
+TEST(Ephemeris, Shell1CoversMidLatitudes) {
+  const WalkerConstellation c(starlink_shell1());
+  const EphemerisSnapshot snap(c, Milliseconds{0.0});
+  for (double lat : {-50.0, -30.0, 0.0, 30.0, 50.0}) {
+    for (double lon = -180.0; lon < 180.0; lon += 45.0) {
+      EXPECT_TRUE(snap.serving_satellite({lat, lon, 0.0}, 25.0).has_value())
+          << "uncovered at " << lat << "," << lon;
+    }
+  }
+}
+
+TEST(Ephemeris, IslDistanceSymmetric) {
+  const WalkerConstellation c(test_shell());
+  const EphemerisSnapshot snap(c, Milliseconds{0.0});
+  EXPECT_DOUBLE_EQ(snap.isl_distance(0, 5).value(), snap.isl_distance(5, 0).value());
+  EXPECT_THROW((void)snap.isl_distance(0, c.size()), ConfigError);
+}
+
+}  // namespace
+}  // namespace spacecdn::orbit

@@ -1,0 +1,143 @@
+// Unit tests for the terrestrial ISP substrate.
+#include <gtest/gtest.h>
+
+#include "data/datasets.hpp"
+#include "des/stats.hpp"
+#include "terrestrial/access.hpp"
+#include "terrestrial/backbone.hpp"
+#include "terrestrial/isp.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::terrestrial {
+namespace {
+
+TEST(Backbone, RouteLengthAppliesStretch) {
+  BackboneConfig cfg;
+  cfg.path_stretch = 2.0;
+  const Backbone bb(cfg);
+  const geo::GeoPoint a{0.0, 0.0, 0.0};
+  const geo::GeoPoint b{0.0, 10.0, 0.0};
+  const double gc = geo::great_circle_distance(a, b).value();
+  EXPECT_NEAR(bb.route_length(a, b).value(), 2.0 * gc, 1e-9);
+}
+
+TEST(Backbone, LatencyIncludesHops) {
+  BackboneConfig cfg;
+  cfg.path_stretch = 1.0;
+  cfg.per_hop_overhead = Milliseconds{1.0};
+  cfg.hop_spacing = Kilometers{100.0};
+  const Backbone bb(cfg);
+  const geo::GeoPoint a{0.0, 0.0, 0.0};
+  const geo::GeoPoint b{0.0, 1.0, 0.0};  // ~111 km -> 2 hops
+  const double prop = 111.2 / geo::kFiberSpeedKmPerSec * 1000.0;
+  EXPECT_NEAR(bb.one_way_latency(a, b).value(), prop + 2.0, 0.05);
+}
+
+TEST(Backbone, RttIsTwiceOneWay) {
+  const Backbone bb({});
+  const geo::GeoPoint a{10.0, 10.0, 0.0};
+  const geo::GeoPoint b{20.0, 30.0, 0.0};
+  EXPECT_DOUBLE_EQ(bb.rtt(a, b).value(), 2.0 * bb.one_way_latency(a, b).value());
+}
+
+TEST(Backbone, ZeroDistanceIsFree) {
+  const Backbone bb({});
+  const geo::GeoPoint a{10.0, 10.0, 0.0};
+  EXPECT_DOUBLE_EQ(bb.one_way_latency(a, a).value(), 0.0);
+}
+
+TEST(Backbone, RejectsBadConfig) {
+  BackboneConfig cfg;
+  cfg.path_stretch = 0.5;
+  EXPECT_THROW(Backbone{cfg}, ConfigError);
+}
+
+TEST(Backbone, ContinentalRttMagnitude) {
+  // ~6,000 km route at stretch 1.6: RTT ~100 ms, the familiar
+  // transcontinental number.
+  const Backbone bb({});
+  const geo::GeoPoint ny{40.71, -74.01, 0.0};
+  const geo::GeoPoint la{34.05, -118.24, 0.0};
+  EXPECT_NEAR(bb.rtt(ny, la).value(), 66.0, 12.0);
+}
+
+TEST(Access, IdleSamplesCenterOnMedian) {
+  AccessConfig cfg;
+  cfg.median_latency = Milliseconds{8.0};
+  const AccessNetwork access(cfg);
+  des::Rng rng(1);
+  des::SampleSet s;
+  for (int i = 0; i < 20000; ++i) s.add(access.sample_idle_rtt(rng).value());
+  EXPECT_NEAR(s.median(), 8.0, 0.4);
+}
+
+TEST(Access, LoadAddsBloat) {
+  AccessConfig cfg;
+  cfg.median_latency = Milliseconds{8.0};
+  cfg.bloat_at_full_load = Milliseconds{60.0};
+  const AccessNetwork access(cfg);
+  des::Rng rng(2);
+  des::SampleSet idle, loaded;
+  for (int i = 0; i < 5000; ++i) {
+    idle.add(access.sample_idle_rtt(rng).value());
+    loaded.add(access.sample_loaded_rtt(0.9, rng).value());
+  }
+  EXPECT_GT(loaded.median(), idle.median() + 20.0);
+}
+
+TEST(Isp, BaselineComposition) {
+  const TerrestrialIsp isp(data::country("DE"));
+  const geo::GeoPoint berlin = data::location(data::city("Berlin"));
+  const geo::GeoPoint frankfurt = data::location(data::city("Frankfurt"));
+  const double expected = data::country("DE").access_latency.value() +
+                          isp.backbone().rtt(berlin, frankfurt).value();
+  EXPECT_DOUBLE_EQ(isp.baseline_rtt(berlin, frankfurt).value(), expected);
+}
+
+TEST(Isp, LocalCdnIsFast) {
+  // Table 1 terrestrial column: countries with a local site see ~5-15 ms.
+  const TerrestrialIsp isp(data::country("MZ"));
+  const geo::GeoPoint maputo = data::location(data::city("Maputo"));
+  EXPECT_LT(isp.baseline_rtt(maputo, maputo).value(), 15.0);
+}
+
+TEST(Isp, CrossBorderAfricanLatencyIsLarge) {
+  // Zambia -> Johannesburg, ~1,170 km at African stretch: tens of ms
+  // (Table 1: 44 ms).
+  const TerrestrialIsp isp(data::country("ZM"));
+  const geo::GeoPoint lusaka = data::location(data::city("Lusaka"));
+  const geo::GeoPoint jnb = data::location(data::city("Johannesburg"));
+  const double rtt = isp.baseline_rtt(lusaka, jnb).value();
+  EXPECT_GT(rtt, 30.0);
+  EXPECT_LT(rtt, 70.0);
+}
+
+TEST(Isp, SamplesAreStochasticButBounded) {
+  const TerrestrialIsp isp(data::country("GB"));
+  const geo::GeoPoint london = data::location(data::city("London"));
+  const geo::GeoPoint manchester = data::location(data::city("Manchester"));
+  des::Rng rng(3);
+  const double base = isp.baseline_rtt(london, manchester).value();
+  des::SampleSet s;
+  for (int i = 0; i < 5000; ++i) {
+    s.add(isp.sample_idle_rtt(london, manchester, rng).value());
+  }
+  EXPECT_NEAR(s.median(), base, 2.0);
+  EXPECT_GT(s.quantile(0.95), s.median());  // lognormal tail exists
+}
+
+TEST(Isp, LoadedRttExceedsIdle) {
+  const TerrestrialIsp isp(data::country("US"));
+  const geo::GeoPoint a = data::location(data::city("New York"));
+  const geo::GeoPoint b = data::location(data::city("Chicago"));
+  des::Rng rng(4);
+  des::SampleSet idle, loaded;
+  for (int i = 0; i < 3000; ++i) {
+    idle.add(isp.sample_idle_rtt(a, b, rng).value());
+    loaded.add(isp.sample_loaded_rtt(a, b, 0.95, rng).value());
+  }
+  EXPECT_GT(loaded.median(), idle.median());
+}
+
+}  // namespace
+}  // namespace spacecdn::terrestrial
