@@ -10,6 +10,7 @@
 #include "data/datasets.hpp"
 #include "lsn/starlink.hpp"
 #include "spacecdn/duty_cycle.hpp"
+#include "util/csv.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -28,6 +29,8 @@ int main() {
 
   ConsoleTable table({"failed fraction", "healthy reachable", "mean path (ms)",
                       "p99 path (ms)", "duty-50% median RTT (ms)"});
+  CsvWriter csv(std::cout, {"failed_fraction", "healthy_reachable", "mean_path_ms",
+                            "p99_path_ms", "duty50_median_rtt_ms"});
   for (const double fraction : {0.0, 0.02, 0.05, 0.10, 0.20}) {
     const auto count = static_cast<std::uint32_t>(fraction * shell.size());
     const auto failed = rng.sample_without_replacement(shell.size(), count);
@@ -65,7 +68,10 @@ int main() {
                    ConsoleTable::format_fixed(paths.mean(), 1),
                    ConsoleTable::format_fixed(paths.quantile(0.99), 1),
                    rtts.empty() ? "-" : ConsoleTable::format_fixed(rtts.median(), 1)});
+    csv.row_numeric({fraction, static_cast<double>(reachable) / pairs, paths.mean(),
+                     paths.quantile(0.99), rtts.empty() ? 0.0 : rtts.median()});
   }
+  std::cout << "\n";
   table.render(std::cout);
 
   std::cout << "\nExpected shape: the 4-connected +grid degrades gracefully -- "

@@ -50,6 +50,12 @@ bool LruCache::erase(ContentId id) {
   return true;
 }
 
+void LruCache::clear() {
+  lru_.clear();
+  index_.clear();
+  used_ = Megabytes{0.0};
+}
+
 std::uint64_t LruCache::object_count() const { return index_.size(); }
 
 void LruCache::evict_one() {
@@ -98,6 +104,12 @@ bool LfuCache::erase(ContentId id) {
   if (bucket_it->second.empty()) buckets_.erase(bucket_it);
   index_.erase(it);
   return true;
+}
+
+void LfuCache::clear() {
+  buckets_.clear();
+  index_.clear();
+  used_ = Megabytes{0.0};
 }
 
 std::uint64_t LfuCache::object_count() const { return index_.size(); }
@@ -161,6 +173,12 @@ bool FifoCache::erase(ContentId id) {
   return true;
 }
 
+void FifoCache::clear() {
+  fifo_.clear();
+  index_.clear();
+  used_ = Megabytes{0.0};
+}
+
 std::uint64_t FifoCache::object_count() const { return index_.size(); }
 
 void FifoCache::evict_one() {
@@ -206,6 +224,11 @@ bool TtlCache::insert(const ContentItem& item, Milliseconds now) {
 bool TtlCache::erase(ContentId id) {
   inserted_at_.erase(id);
   return inner_->erase(id);
+}
+
+void TtlCache::clear() {
+  inner_->clear();
+  inserted_at_.clear();
 }
 
 std::uint64_t TtlCache::object_count() const { return inner_->object_count(); }

@@ -53,6 +53,11 @@ class Cache {
   /// Removes an object if present; returns whether it was present.
   virtual bool erase(ContentId id) = 0;
 
+  /// Drops every object (a cache-node crash loses its contents).  Counters
+  /// are preserved -- crashes are not evictions -- so hit-rate analyses stay
+  /// meaningful across failures.
+  virtual void clear() = 0;
+
   [[nodiscard]] virtual std::uint64_t object_count() const = 0;
 
   [[nodiscard]] Megabytes capacity() const noexcept { return capacity_; }
@@ -75,6 +80,7 @@ class LruCache final : public Cache {
   [[nodiscard]] bool contains(ContentId id) const override;
   bool insert(const ContentItem& item, Milliseconds now) override;
   bool erase(ContentId id) override;
+  void clear() override;
   [[nodiscard]] std::uint64_t object_count() const override;
 
  private:
@@ -98,6 +104,7 @@ class LfuCache final : public Cache {
   [[nodiscard]] bool contains(ContentId id) const override;
   bool insert(const ContentItem& item, Milliseconds now) override;
   bool erase(ContentId id) override;
+  void clear() override;
   [[nodiscard]] std::uint64_t object_count() const override;
 
  private:
@@ -124,6 +131,7 @@ class FifoCache final : public Cache {
   [[nodiscard]] bool contains(ContentId id) const override;
   bool insert(const ContentItem& item, Milliseconds now) override;
   bool erase(ContentId id) override;
+  void clear() override;
   [[nodiscard]] std::uint64_t object_count() const override;
 
  private:
@@ -147,6 +155,7 @@ class TtlCache final : public Cache {
   [[nodiscard]] bool contains(ContentId id) const override;
   bool insert(const ContentItem& item, Milliseconds now) override;
   bool erase(ContentId id) override;
+  void clear() override;
   [[nodiscard]] std::uint64_t object_count() const override;
 
  private:

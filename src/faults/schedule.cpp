@@ -1,0 +1,96 @@
+#include "faults/schedule.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace spacecdn::faults {
+
+std::string_view to_string(Component component) noexcept {
+  switch (component) {
+    case Component::kSatellite: return "satellite";
+    case Component::kIslTerminal: return "isl-terminal";
+    case Component::kGroundStation: return "ground-station";
+    case Component::kCacheNode: return "cache-node";
+  }
+  return "unknown";
+}
+
+double ChurnProcess::unavailability() const noexcept {
+  if (!enabled()) return 0.0;
+  const double total = mtbf.value() + mttr.value();
+  return total <= 0.0 ? 0.0 : mttr.value() / total;
+}
+
+FaultSchedule::FaultSchedule(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {}
+
+namespace {
+
+/// Draws one component instance's alternating up/down timeline.
+void draw_timeline(Component component, std::uint32_t target, const ChurnProcess& process,
+                   Milliseconds horizon, des::Rng& rng, std::vector<FaultEvent>& out) {
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(process.mtbf.value());  // up interval
+    if (t >= horizon.value()) return;
+    out.push_back({Milliseconds{t}, component, Transition::kFail, target});
+    t += rng.exponential(process.mttr.value());  // down interval
+    if (t >= horizon.value()) return;  // repair outlasts the run: stays down
+    out.push_back({Milliseconds{t}, component, Transition::kRecover, target});
+  }
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::generate(const ChurnConfig& config,
+                                      const ComponentCounts& counts, des::Rng& rng) {
+  SPACECDN_EXPECT(config.horizon.value() > 0.0, "churn horizon must be positive");
+  const std::pair<Component, const ChurnProcess*> classes[] = {
+      {Component::kSatellite, &config.satellite},
+      {Component::kIslTerminal, &config.laser_terminal},
+      {Component::kGroundStation, &config.ground_station},
+      {Component::kCacheNode, &config.cache_node},
+  };
+  std::vector<FaultEvent> events;
+  for (const auto& [component, process] : classes) {
+    if (!process->enabled()) continue;
+    SPACECDN_EXPECT(process->mttr.value() > 0.0,
+                    "an enabled churn process needs a positive MTTR");
+    const std::uint32_t instances = component == Component::kGroundStation
+                                        ? counts.ground_stations
+                                        : counts.satellites;
+    for (std::uint32_t target = 0; target < instances; ++target) {
+      draw_timeline(component, target, *process, config.horizon, rng, events);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return FaultSchedule(std::move(events));
+}
+
+FaultSchedule FaultSchedule::from_trace(std::vector<FaultEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return FaultSchedule(std::move(events));
+}
+
+std::size_t FaultSchedule::count(Component component, Transition transition) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(), [&](const FaultEvent& e) {
+        return e.component == component && e.transition == transition;
+      }));
+}
+
+void FaultSchedule::install(des::Simulator& sim,
+                            std::function<void(const FaultEvent&)> apply) const {
+  // One shared handler; each event captures only its index.
+  auto handler = std::make_shared<std::function<void(const FaultEvent&)>>(std::move(apply));
+  for (const FaultEvent& event : events_) {
+    sim.schedule_at(event.at, [handler, &event] { (*handler)(event); });
+  }
+}
+
+}  // namespace spacecdn::faults

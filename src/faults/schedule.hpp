@@ -1,0 +1,120 @@
+// Dynamic fault injection: time-varying outage/recovery schedules.
+//
+// The paper's section 5 deployment challenges (thermal ceilings, duty-cycled
+// caches, laser terminals failing routinely at constellation scale) describe
+// a system under *continuous* churn, not a static set of dead satellites.
+// This module generates fault timelines -- satellite outages, laser-terminal
+// flaps, ground-station outages, cache-node crashes -- as alternating
+// exponential up/down renewal processes (MTBF/MTTR) from a seeded RNG, or
+// replays a scripted trace for deterministic tests.  The schedule is pure
+// data; applying events to the network/fleet is the resilience layer's job
+// (spacecdn/resilience).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "des/random.hpp"
+#include "des/simulator.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::faults {
+
+/// Which piece of infrastructure a fault event touches.
+enum class Component : std::uint8_t {
+  kSatellite,      ///< whole satellite offline: no serving, no ISLs, no cache
+  kIslTerminal,    ///< laser terminals flap: ISLs drop, bus keeps serving
+  kGroundStation,  ///< gateway offline: bent-pipe traffic must land elsewhere
+  kCacheNode,      ///< cache process crashes: cached contents are lost
+};
+
+[[nodiscard]] std::string_view to_string(Component component) noexcept;
+
+/// Whether the event takes the component down or brings it back.
+enum class Transition : std::uint8_t { kFail, kRecover };
+
+/// One scheduled state change of one component instance.
+struct FaultEvent {
+  Milliseconds at{0.0};
+  Component component = Component::kSatellite;
+  Transition transition = Transition::kFail;
+  /// Satellite id, or gateway index for kGroundStation.
+  std::uint32_t target = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Alternating-renewal churn parameters of one component class.  A process
+/// with mtbf <= 0 is disabled (that class never fails).
+struct ChurnProcess {
+  /// Mean time between failures (mean of the exponential up-time).
+  Milliseconds mtbf{0.0};
+  /// Mean time to repair (mean of the exponential down-time).
+  Milliseconds mttr{0.0};
+
+  [[nodiscard]] bool enabled() const noexcept { return mtbf.value() > 0.0; }
+  /// Long-run fraction of time the component is down: MTTR / (MTBF + MTTR).
+  [[nodiscard]] double unavailability() const noexcept;
+};
+
+/// Fleet-wide churn configuration over a simulation horizon.
+struct ChurnConfig {
+  Milliseconds horizon{0.0};
+  ChurnProcess satellite{};       ///< whole-satellite outages
+  ChurnProcess laser_terminal{};  ///< ISL flaps (short MTTR typically)
+  ChurnProcess ground_station{};
+  ChurnProcess cache_node{};      ///< crashes that drop cached contents
+};
+
+/// How many instances of each component class exist.
+struct ComponentCounts {
+  std::uint32_t satellites = 0;
+  std::uint32_t ground_stations = 0;
+};
+
+/// An immutable, time-sorted fault timeline.
+///
+/// Generation is deterministic: the same config, counts, and RNG seed always
+/// produce the same schedule (component classes and instances are drawn in a
+/// fixed order), so churn experiments are exactly reproducible.
+class FaultSchedule {
+ public:
+  /// Draws alternating exponential up/down intervals for every instance of
+  /// every enabled component class until `config.horizon`.  Every generated
+  /// fail has a matching recover, possibly beyond the horizon (clamped out),
+  /// so a truncated timeline never ends with a stuck-down component unless
+  /// the repair genuinely outlasts the run.
+  /// @throws spacecdn::ConfigError on a non-positive horizon or an enabled
+  /// process with non-positive MTTR.
+  [[nodiscard]] static FaultSchedule generate(const ChurnConfig& config,
+                                              const ComponentCounts& counts,
+                                              des::Rng& rng);
+
+  /// Wraps a hand-written trace (deterministic tests, replayed incidents).
+  /// Events are stably sorted by time; relative order of simultaneous events
+  /// is preserved.
+  [[nodiscard]] static FaultSchedule from_trace(std::vector<FaultEvent> events);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Number of events matching (component, transition).
+  [[nodiscard]] std::size_t count(Component component, Transition transition) const;
+
+  /// Schedules every event on `sim`, invoking `apply` at its timestamp.
+  /// The schedule (whose events the callbacks reference) must outlive the
+  /// simulation run.
+  void install(des::Simulator& sim,
+               std::function<void(const FaultEvent&)> apply) const;
+
+ private:
+  explicit FaultSchedule(std::vector<FaultEvent> events);
+
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace spacecdn::faults

@@ -26,21 +26,29 @@ std::optional<RouteBreakdown> BentPipeRouter::route(const geo::GeoPoint& client,
 
 std::optional<RouteBreakdown> BentPipeRouter::route_to_pop(
     const geo::GeoPoint& client, const data::CountryInfo& country) const {
-  const auto& snapshot = isl_->snapshot();
-  const auto serving = snapshot.serving_satellite(client, user_min_elevation_deg_);
+  const auto serving =
+      isl_->snapshot().serving_satellite(client, user_min_elevation_deg_);
   if (!serving) return std::nullopt;  // coverage gap
+  return route_from_satellite(*serving, client, country);
+}
 
+std::optional<RouteBreakdown> BentPipeRouter::route_from_satellite(
+    std::uint32_t serving, const geo::GeoPoint& client,
+    const data::CountryInfo& country) const {
+  const auto& snapshot = isl_->snapshot();
+  SPACECDN_EXPECT(serving < snapshot.size(), "serving satellite id out of range");
   const std::size_t pop = ground_->assigned_pop(country, client);
 
   // One Dijkstra from the serving satellite, then pick the gateway whose
   // (ISL + downlink + terrestrial haul to the PoP) total is minimal.  This
   // lets traffic land at a distant gateway near the PoP -- the ISL-detour
   // behaviour the paper observes for southern Africa.
-  const std::vector<Milliseconds> isl_latency = isl_->latencies_from(*serving);
+  const std::vector<Milliseconds> isl_latency = isl_->latencies_from(serving);
 
   std::optional<RouteBreakdown> best;
   double best_total = net::kUnreachable;
   for (std::size_t g = 0; g < ground_->gateway_count(); ++g) {
+    if (ground_->gateway_failed(g)) continue;  // teleport outage: land elsewhere
     const Milliseconds haul = ground_->gateway_to_pop(g, pop);
     const geo::GeoPoint gw_location = data::location(ground_->gateway(g));
     // Any visible satellite can land the traffic; pick the one minimising
@@ -55,7 +63,7 @@ std::optional<RouteBreakdown> BentPipeRouter::route_to_pop(
       if (total < best_total) {
         best_total = total;
         RouteBreakdown b;
-        b.serving_satellite = *serving;
+        b.serving_satellite = serving;
         b.landing_satellite = landing;
         b.gateway = g;
         b.pop = pop;
@@ -68,7 +76,7 @@ std::optional<RouteBreakdown> BentPipeRouter::route_to_pop(
   }
   if (!best) return std::nullopt;
 
-  best->uplink = geo::propagation_delay(snapshot.slant_range(client, *serving),
+  best->uplink = geo::propagation_delay(snapshot.slant_range(client, serving),
                                         geo::Medium::kVacuum);
   // Recover the hop count of the chosen ISL path.
   if (best->serving_satellite == best->landing_satellite) {

@@ -63,6 +63,13 @@ class BentPipeRouter {
   [[nodiscard]] std::optional<RouteBreakdown> route_to_pop(
       const geo::GeoPoint& client, const data::CountryInfo& country) const;
 
+  /// Like route_to_pop, but starting from a caller-chosen serving satellite.
+  /// The resilience layer uses this to route around an offline
+  /// highest-elevation satellite that route_to_pop would have picked.
+  [[nodiscard]] std::optional<RouteBreakdown> route_from_satellite(
+      std::uint32_t serving, const geo::GeoPoint& client,
+      const data::CountryInfo& country) const;
+
   [[nodiscard]] const GroundSegment& ground() const noexcept { return *ground_; }
   [[nodiscard]] const IslNetwork& isl() const noexcept { return *isl_; }
 

@@ -1,5 +1,7 @@
 #include "lsn/ground_segment.hpp"
 
+#include <algorithm>
+
 #include "geo/distance.hpp"
 #include "util/error.hpp"
 
@@ -13,9 +15,27 @@ GroundSegment::GroundSegment(terrestrial::BackboneConfig backbone)
 GroundSegment::GroundSegment(std::vector<data::GroundStationInfo> gateways,
                              std::vector<data::PopInfo> pops,
                              terrestrial::BackboneConfig backbone)
-    : gateways_(std::move(gateways)), pops_(std::move(pops)), backbone_(backbone) {
+    : gateways_(std::move(gateways)),
+      pops_(std::move(pops)),
+      backbone_(backbone),
+      gateway_failed_(gateways_.size(), false) {
   SPACECDN_EXPECT(!gateways_.empty(), "ground segment needs at least one gateway");
   SPACECDN_EXPECT(!pops_.empty(), "ground segment needs at least one PoP");
+}
+
+void GroundSegment::set_gateway_failed(std::size_t gateway_index, bool failed) {
+  SPACECDN_EXPECT(gateway_index < gateway_failed_.size(), "gateway index out of range");
+  gateway_failed_[gateway_index] = failed;
+}
+
+bool GroundSegment::gateway_failed(std::size_t gateway_index) const {
+  SPACECDN_EXPECT(gateway_index < gateway_failed_.size(), "gateway index out of range");
+  return gateway_failed_[gateway_index];
+}
+
+std::size_t GroundSegment::failed_gateway_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(gateway_failed_.begin(), gateway_failed_.end(), true));
 }
 
 const data::GroundStationInfo& GroundSegment::gateway(std::size_t i) const {

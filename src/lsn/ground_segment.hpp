@@ -31,6 +31,14 @@ class GroundSegment {
 
   [[nodiscard]] std::size_t gateway_count() const noexcept { return gateways_.size(); }
   [[nodiscard]] std::size_t pop_count() const noexcept { return pops_.size(); }
+
+  /// Marks a gateway down (fiber cut, teleport outage) or back up.  Routing
+  /// skips failed gateways; the antennas and datasets stay in place so
+  /// recovery is instant.
+  void set_gateway_failed(std::size_t gateway_index, bool failed);
+  [[nodiscard]] bool gateway_failed(std::size_t gateway_index) const;
+  [[nodiscard]] std::size_t failed_gateway_count() const noexcept;
+
   [[nodiscard]] const data::GroundStationInfo& gateway(std::size_t i) const;
   [[nodiscard]] const data::PopInfo& pop(std::size_t i) const;
   [[nodiscard]] const terrestrial::Backbone& backbone() const noexcept { return backbone_; }
@@ -67,6 +75,7 @@ class GroundSegment {
   std::vector<data::GroundStationInfo> gateways_;
   std::vector<data::PopInfo> pops_;
   terrestrial::Backbone backbone_;
+  std::vector<bool> gateway_failed_;
 };
 
 }  // namespace spacecdn::lsn

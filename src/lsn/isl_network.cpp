@@ -24,16 +24,20 @@ IslNetwork::IslNetwork(const orbit::WalkerConstellation& constellation,
     }
   }
   // Phase-nearest neighbour selection is not perfectly symmetric, so collect
-  // normalised pairs first and add each undirected link exactly once.
+  // normalised pairs first and add each undirected link exactly once.  The
+  // pair set ignores failures: it defines the physical terminal wiring that
+  // fail()/recover() toggle at runtime.
   std::set<std::pair<std::uint32_t, std::uint32_t>> links;
   for (std::uint32_t sat = 0; sat < constellation.size(); ++sat) {
-    if (failed_[sat]) continue;
     for (std::uint32_t neighbor : constellation.grid_neighbors(sat)) {
-      if (failed_[neighbor]) continue;
       links.emplace(std::min(sat, neighbor), std::max(sat, neighbor));
     }
   }
+  partners_.resize(snapshot.size());
   for (const auto& [a, b] : links) {
+    partners_[a].push_back(b);
+    partners_[b].push_back(a);
+    if (failed_[a] || failed_[b]) continue;
     const Kilometers d = snapshot.isl_distance(a, b);
     const Milliseconds latency =
         geo::propagation_delay(d, geo::Medium::kVacuum) + config_.per_hop_overhead;
@@ -44,6 +48,31 @@ IslNetwork::IslNetwork(const orbit::WalkerConstellation& constellation,
 bool IslNetwork::is_failed(std::uint32_t sat) const {
   SPACECDN_EXPECT(sat < failed_.size(), "satellite id out of range");
   return failed_[sat];
+}
+
+void IslNetwork::fail(std::uint32_t sat) {
+  SPACECDN_EXPECT(sat < failed_.size(), "satellite id out of range");
+  if (failed_[sat]) return;
+  failed_[sat] = true;
+  ++failed_count_;
+  // Links towards already-failed partners are absent; removing them is a no-op.
+  for (const std::uint32_t peer : partners_[sat]) graph_.remove_undirected_edge(sat, peer);
+}
+
+void IslNetwork::recover(std::uint32_t sat) {
+  SPACECDN_EXPECT(sat < failed_.size(), "satellite id out of range");
+  if (!failed_[sat]) return;
+  failed_[sat] = false;
+  --failed_count_;
+  for (const std::uint32_t neighbor : partners_[sat]) {
+    if (failed_[neighbor]) continue;
+    // Same weight formula as construction, from the same snapshot geometry,
+    // so restored links carry bit-identical latencies.
+    const Kilometers d = snapshot_->isl_distance(sat, neighbor);
+    const Milliseconds latency =
+        geo::propagation_delay(d, geo::Medium::kVacuum) + config_.per_hop_overhead;
+    graph_.add_undirected_edge(sat, neighbor, latency);
+  }
 }
 
 Milliseconds IslNetwork::link_latency(std::uint32_t a, std::uint32_t b) const {

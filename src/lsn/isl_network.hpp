@@ -38,6 +38,18 @@ class IslNetwork {
   [[nodiscard]] bool is_failed(std::uint32_t sat) const;
   [[nodiscard]] std::uint32_t failed_count() const noexcept { return failed_count_; }
 
+  /// Incrementally fails a satellite's ISL terminals: every incident link is
+  /// removed, so routes detour around it from now on.  No-op if already
+  /// failed.  O(degree) -- churn simulations flip satellites thousands of
+  /// times without rebuilding the constellation graph.
+  void fail(std::uint32_t sat);
+
+  /// Reverses fail(): re-adds the links towards every currently-healthy
+  /// +grid neighbour, with weights recomputed from the same snapshot
+  /// geometry, so a fail/recover round-trip restores shortest-path
+  /// latencies bit-identically.  No-op if not failed.
+  void recover(std::uint32_t sat);
+
   [[nodiscard]] const net::Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] const orbit::EphemerisSnapshot& snapshot() const noexcept {
     return *snapshot_;
@@ -64,6 +76,11 @@ class IslNetwork {
   net::Graph graph_;
   std::vector<bool> failed_;
   std::uint32_t failed_count_ = 0;
+  /// Full +grid partner lists (failure-independent).  Phase-nearest pairing
+  /// is not symmetric -- a satellite may be chosen by a neighbour it did not
+  /// itself choose -- so recover() needs the materialised undirected
+  /// adjacency, not grid_neighbors() alone.
+  std::vector<std::vector<std::uint32_t>> partners_;
 };
 
 }  // namespace spacecdn::lsn

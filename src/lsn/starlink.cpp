@@ -6,16 +6,33 @@ StarlinkNetwork::StarlinkNetwork(StarlinkConfig config)
     : config_(config),
       constellation_(config.shell),
       ground_(config.gateway_backbone),
-      access_(config.access) {
+      access_(config.access),
+      failed_now_(config.failed_satellites) {
   set_time(Milliseconds{0.0});
 }
 
 void StarlinkNetwork::set_time(Milliseconds t) {
   snapshot_ = std::make_unique<orbit::EphemerisSnapshot>(constellation_, t);
   isl_ = std::make_unique<IslNetwork>(constellation_, *snapshot_, config_.isl,
-                                      config_.failed_satellites);
+                                      failed_now_);
   router_ = std::make_unique<BentPipeRouter>(ground_, *isl_, config_.user_min_elevation_deg,
                                              config_.gateway_min_elevation_deg);
+}
+
+void StarlinkNetwork::fail_satellite(std::uint32_t sat) {
+  if (isl_->is_failed(sat)) return;
+  isl_->fail(sat);
+  failed_now_.push_back(sat);
+}
+
+void StarlinkNetwork::recover_satellite(std::uint32_t sat) {
+  if (!isl_->is_failed(sat)) return;
+  isl_->recover(sat);
+  std::erase(failed_now_, sat);
+}
+
+void StarlinkNetwork::set_gateway_failed(std::size_t gateway_index, bool failed) {
+  ground_.set_gateway_failed(gateway_index, failed);
 }
 
 std::optional<RouteBreakdown> StarlinkNetwork::route(

@@ -37,8 +37,20 @@ class StarlinkNetwork {
   explicit StarlinkNetwork(StarlinkConfig config = {});
 
   /// Re-propagates the constellation to simulation time `t` and rebuilds the
-  /// ISL network and router.
+  /// ISL network and router.  Dynamic fail/recover state (fail_satellite,
+  /// set_gateway_failed) carries over to the rebuilt topology.
   void set_time(Milliseconds t);
+
+  /// Incrementally fails a satellite's ISL terminals (see IslNetwork::fail).
+  /// The failure persists across set_time() re-propagations until recovered.
+  void fail_satellite(std::uint32_t sat);
+
+  /// Reverses fail_satellite(); also clears a construct-time failure for
+  /// `sat` if one was configured.
+  void recover_satellite(std::uint32_t sat);
+
+  /// Marks a gateway down or back up; routing skips failed gateways.
+  void set_gateway_failed(std::size_t gateway_index, bool failed);
 
   [[nodiscard]] Milliseconds time() const noexcept { return snapshot_->time(); }
   [[nodiscard]] const orbit::WalkerConstellation& constellation() const noexcept {
@@ -76,6 +88,9 @@ class StarlinkNetwork {
   orbit::WalkerConstellation constellation_;
   GroundSegment ground_;
   StarlinkAccess access_;
+  /// Current ISL failure set (construct-time failures plus dynamic churn);
+  /// reapplied whenever set_time rebuilds the ISL network.
+  std::vector<std::uint32_t> failed_now_;
   // Rebuilt on set_time; unique_ptr because they bind by reference.
   std::unique_ptr<orbit::EphemerisSnapshot> snapshot_;
   std::unique_ptr<IslNetwork> isl_;

@@ -25,6 +25,22 @@ void Graph::add_undirected_edge(NodeId a, NodeId b, Milliseconds weight) {
   add_edge(b, a, weight);
 }
 
+std::size_t Graph::remove_edge(NodeId from, NodeId to) {
+  SPACECDN_EXPECT(from < adjacency_.size() && to < adjacency_.size(),
+                  "edge endpoints must be existing nodes");
+  auto& adj = adjacency_[from];
+  const auto removed_begin =
+      std::remove_if(adj.begin(), adj.end(), [to](const Edge& e) { return e.to == to; });
+  const auto removed = static_cast<std::size_t>(adj.end() - removed_begin);
+  adj.erase(removed_begin, adj.end());
+  edges_ -= removed;
+  return removed;
+}
+
+std::size_t Graph::remove_undirected_edge(NodeId a, NodeId b) {
+  return remove_edge(a, b) + remove_edge(b, a);
+}
+
 std::span<const Edge> Graph::neighbors(NodeId node) const {
   SPACECDN_EXPECT(node < adjacency_.size(), "node id out of range");
   return adjacency_[node];

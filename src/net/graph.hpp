@@ -52,6 +52,14 @@ class Graph {
   /// Adds edges in both directions with the same weight.
   void add_undirected_edge(NodeId a, NodeId b, Milliseconds weight);
 
+  /// Removes every from->to edge; returns how many were removed.  Used by
+  /// incremental failure injection (lsn::IslNetwork::fail/recover), which
+  /// surgically detaches a node instead of rebuilding the whole topology.
+  std::size_t remove_edge(NodeId from, NodeId to);
+
+  /// Removes a<->b in both directions; returns how many edges were removed.
+  std::size_t remove_undirected_edge(NodeId a, NodeId b);
+
   [[nodiscard]] std::span<const Edge> neighbors(NodeId node) const;
 
   /// Drops all edges but keeps the nodes (used when the topology is

@@ -14,6 +14,8 @@ SatelliteFleet::SatelliteFleet(std::uint32_t satellite_count, const FleetConfig&
     caches_.push_back(cdn::make_cache(config.policy, config.capacity_per_satellite));
   }
   enabled_.assign(satellite_count, true);
+  online_.assign(satellite_count, true);
+  cache_up_.assign(satellite_count, true);
 }
 
 cdn::Cache& SatelliteFleet::cache(std::uint32_t sat) {
@@ -28,7 +30,33 @@ const cdn::Cache& SatelliteFleet::cache(std::uint32_t sat) const {
 
 bool SatelliteFleet::cache_enabled(std::uint32_t sat) const {
   SPACECDN_EXPECT(sat < enabled_.size(), "satellite id out of range");
-  return enabled_[sat];
+  return enabled_[sat] && online_[sat] && cache_up_[sat];
+}
+
+void SatelliteFleet::set_online(std::uint32_t sat, bool online) {
+  SPACECDN_EXPECT(sat < online_.size(), "satellite id out of range");
+  online_[sat] = online;
+}
+
+bool SatelliteFleet::online(std::uint32_t sat) const {
+  SPACECDN_EXPECT(sat < online_.size(), "satellite id out of range");
+  return online_[sat];
+}
+
+void SatelliteFleet::crash_cache(std::uint32_t sat) {
+  SPACECDN_EXPECT(sat < cache_up_.size(), "satellite id out of range");
+  caches_[sat]->clear();
+  cache_up_[sat] = false;
+}
+
+void SatelliteFleet::restore_cache(std::uint32_t sat) {
+  SPACECDN_EXPECT(sat < cache_up_.size(), "satellite id out of range");
+  cache_up_[sat] = true;
+}
+
+bool SatelliteFleet::cache_up(std::uint32_t sat) const {
+  SPACECDN_EXPECT(sat < cache_up_.size(), "satellite id out of range");
+  return cache_up_[sat];
 }
 
 void SatelliteFleet::enable_all() { enabled_.assign(caches_.size(), true); }

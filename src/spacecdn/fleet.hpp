@@ -36,7 +36,8 @@ class SatelliteFleet {
   [[nodiscard]] cdn::Cache& cache(std::uint32_t sat);
   [[nodiscard]] const cdn::Cache& cache(std::uint32_t sat) const;
 
-  /// Whether `sat` currently offers cache service (duty cycle).
+  /// Whether `sat` currently offers cache service: duty-cycle enabled AND
+  /// the satellite is online AND its cache process is up.
   [[nodiscard]] bool cache_enabled(std::uint32_t sat) const;
 
   /// Enables every satellite as a cache (the default).
@@ -46,6 +47,22 @@ class SatelliteFleet {
   void set_enabled(const std::vector<std::uint32_t>& sats);
 
   [[nodiscard]] std::uint32_t enabled_count() const noexcept;
+
+  // --- failure injection (spacecdn/resilience drives these) ---
+
+  /// Whole-satellite power state.  An offline satellite neither serves
+  /// clients nor offers its cache; its contents survive (the bus rebooted,
+  /// the disks did not die).
+  void set_online(std::uint32_t sat, bool online);
+  [[nodiscard]] bool online(std::uint32_t sat) const;
+
+  /// Crashes the cache process on `sat`: all cached contents are lost and
+  /// the cache stays down until restore_cache().
+  void crash_cache(std::uint32_t sat);
+
+  /// Brings a crashed cache back online -- empty, awaiting re-replication.
+  void restore_cache(std::uint32_t sat);
+  [[nodiscard]] bool cache_up(std::uint32_t sat) const;
 
   /// True when `sat` is cache-enabled and holds `id` (no stats update).
   [[nodiscard]] bool holds(std::uint32_t sat, cdn::ContentId id) const;
@@ -60,6 +77,8 @@ class SatelliteFleet {
   FleetConfig config_;
   std::vector<std::unique_ptr<cdn::Cache>> caches_;
   std::vector<bool> enabled_;
+  std::vector<bool> online_;    // whole-satellite power (fault injection)
+  std::vector<bool> cache_up_;  // cache process alive (crashes drop contents)
 };
 
 }  // namespace spacecdn::space

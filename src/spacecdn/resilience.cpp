@@ -1,0 +1,152 @@
+#include "spacecdn/resilience.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spacecdn::space {
+
+// ---------------------------------------------------------- ChurnController
+
+ChurnController::ChurnController(lsn::StarlinkNetwork& network, SatelliteFleet& fleet)
+    : network_(&network),
+      fleet_(&fleet),
+      sat_down_(fleet.size(), false),
+      isl_flapped_(fleet.size(), false) {
+  SPACECDN_EXPECT(network.constellation().size() == fleet.size(),
+                  "fleet must match the constellation");
+}
+
+void ChurnController::sync_isl(std::uint32_t sat) {
+  const bool want_failed = sat_down_[sat] || isl_flapped_[sat];
+  if (want_failed && !network_->isl().is_failed(sat)) {
+    network_->fail_satellite(sat);
+  } else if (!want_failed && network_->isl().is_failed(sat)) {
+    network_->recover_satellite(sat);
+  }
+}
+
+void ChurnController::apply(const faults::FaultEvent& event) {
+  using faults::Component;
+  using faults::Transition;
+  const bool fail = event.transition == Transition::kFail;
+  switch (event.component) {
+    case Component::kSatellite: {
+      const std::uint32_t sat = event.target;
+      SPACECDN_EXPECT(sat < sat_down_.size(), "satellite id out of range");
+      if (sat_down_[sat] == fail) return;  // idempotent
+      sat_down_[sat] = fail;
+      sats_down_ += fail ? 1 : -1;
+      fleet_->set_online(sat, !fail);
+      sync_isl(sat);
+      (fail ? counters_.satellite_failures : counters_.satellite_recoveries) += 1;
+      return;
+    }
+    case Component::kIslTerminal: {
+      const std::uint32_t sat = event.target;
+      SPACECDN_EXPECT(sat < isl_flapped_.size(), "satellite id out of range");
+      if (isl_flapped_[sat] == fail) return;
+      isl_flapped_[sat] = fail;
+      sync_isl(sat);
+      (fail ? counters_.isl_flaps : counters_.isl_flap_recoveries) += 1;
+      return;
+    }
+    case Component::kGroundStation: {
+      network_->set_gateway_failed(event.target, fail);
+      (fail ? counters_.gateway_failures : counters_.gateway_recoveries) += 1;
+      return;
+    }
+    case Component::kCacheNode: {
+      if (fail) {
+        fleet_->crash_cache(event.target);
+        ++counters_.cache_crashes;
+      } else {
+        fleet_->restore_cache(event.target);
+        ++counters_.cache_restores;
+      }
+      return;
+    }
+  }
+  throw ConfigError("unknown fault component");
+}
+
+// -------------------------------------------------------------- RepairDaemon
+
+RepairReport& RepairReport::operator+=(const RepairReport& other) noexcept {
+  objects_scanned += other.objects_scanned;
+  under_replicated += other.under_replicated;
+  re_replicated += other.re_replicated;
+  ground_refills += other.ground_refills;
+  unrepairable += other.unrepairable;
+  return *this;
+}
+
+RepairDaemon::RepairDaemon(SatelliteFleet& fleet, const ContentPlacement& placement,
+                           std::vector<cdn::ContentItem> catalog, RepairConfig config)
+    : fleet_(&fleet),
+      placement_(&placement),
+      catalog_(std::move(catalog)),
+      config_(config) {
+  SPACECDN_EXPECT(config_.scan_interval.value() > 0.0,
+                  "repair scan interval must be positive");
+}
+
+void RepairDaemon::note_crash(std::uint32_t sat, Milliseconds at) {
+  open_crashes_.emplace_back(sat, at);
+}
+
+bool RepairDaemon::fully_replicated_on(std::uint32_t sat) const {
+  if (!fleet_->cache_enabled(sat)) return false;
+  for (const cdn::ContentItem& item : catalog_) {
+    const auto replicas = placement_->replicas(item.id);
+    if (std::find(replicas.begin(), replicas.end(), sat) == replicas.end()) continue;
+    if (!fleet_->cache(sat).contains(item.id)) return false;
+  }
+  return true;
+}
+
+RepairReport RepairDaemon::run_once(Milliseconds now) {
+  RepairReport report;
+  for (const cdn::ContentItem& item : catalog_) {
+    ++report.objects_scanned;
+    const auto replicas = placement_->replicas(item.id);
+    for (const std::uint32_t slot : replicas) {
+      if (fleet_->holds(slot, item.id)) continue;
+      if (!fleet_->cache_enabled(slot)) {
+        // The slot itself is dark (offline / crashed / duty-disabled);
+        // nothing to copy onto yet.
+        ++report.unrepairable;
+        continue;
+      }
+      ++report.under_replicated;
+      // Prefer a surviving space replica as the copy source.
+      const bool space_source =
+          std::any_of(replicas.begin(), replicas.end(), [&](std::uint32_t other) {
+            return other != slot && fleet_->holds(other, item.id);
+          });
+      if (fleet_->cache(slot).insert(item, now)) {
+        (space_source ? report.re_replicated : report.ground_refills) += 1;
+      } else {
+        ++report.unrepairable;  // object larger than the slot's cache
+      }
+    }
+  }
+  ++scans_;
+  totals_ += report;
+
+  // Close every crash whose satellite is back up and fully re-replicated.
+  std::erase_if(open_crashes_, [&](const std::pair<std::uint32_t, Milliseconds>& crash) {
+    if (!fully_replicated_on(crash.first)) return false;
+    time_to_repair_.add((now - crash.second).value());
+    return true;
+  });
+  return report;
+}
+
+void RepairDaemon::install(des::Simulator& sim, Milliseconds horizon) {
+  for (Milliseconds t = config_.scan_interval; t <= horizon; t += config_.scan_interval) {
+    sim.schedule_at(t, [this, t] { (void)run_once(t); });
+  }
+}
+
+}  // namespace spacecdn::space

@@ -1,5 +1,8 @@
 #include "spacecdn/router.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "geo/propagation.hpp"
 #include "geo/visibility.hpp"
 
@@ -22,29 +25,38 @@ std::optional<FetchResult> SpaceCdnRouter::fetch(const geo::GeoPoint& client,
                                                  const data::CountryInfo& country,
                                                  const cdn::ContentItem& item,
                                                  des::Rng& rng, Milliseconds now) {
-  const auto& snapshot = network_->snapshot();
-  const auto serving =
-      snapshot.serving_satellite(client, network_->config().user_min_elevation_deg);
+  const auto serving = network_->snapshot().serving_satellite(
+      client, network_->config().user_min_elevation_deg);
   if (!serving) return std::nullopt;
+  return attempt_from(*serving, client, country, item, rng, now);
+}
 
+std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
+                                                        const geo::GeoPoint& client,
+                                                        const data::CountryInfo& country,
+                                                        const cdn::ContentItem& item,
+                                                        des::Rng& rng, Milliseconds now) {
+  const auto& snapshot = network_->snapshot();
   const Milliseconds uplink = geo::propagation_delay(
-      snapshot.slant_range(client, *serving), geo::Medium::kVacuum);
+      snapshot.slant_range(client, serving), geo::Medium::kVacuum);
   const Milliseconds space_overhead{rng.lognormal_median(
       config_.service_overhead_rtt.value(), config_.service_overhead_sigma)};
 
   // Tier (i): overhead satellite.
-  if (fleet_->cache_enabled(*serving) && fleet_->cache(*serving).access(item.id, now)) {
+  if (fleet_->cache_enabled(serving) && fleet_->cache(serving).access(item.id, now)) {
     return FetchResult{FetchTier::kServingSatellite, uplink * 2.0 + space_overhead, 0,
-                       *serving, false};
+                       serving, false};
   }
 
-  // Tier (ii): nearest replica over ISLs.
+  // Tier (ii): nearest replica over ISLs.  Offline holders carry no ISL
+  // edges and crashed caches are not cache_enabled, so the lookup only ever
+  // surfaces live, reachable replicas.
   if (const auto found =
-          find_replica(network_->isl(), *fleet_, *serving, item.id, config_.max_isl_hops)) {
+          find_replica(network_->isl(), *fleet_, serving, item.id, config_.max_isl_hops)) {
     // Register the hit on the holder's cache.
     (void)fleet_->cache(found->satellite).access(item.id, now);
-    if (config_.admit_on_fetch && fleet_->cache_enabled(*serving)) {
-      (void)fleet_->cache(*serving).insert(item, now);
+    if (config_.admit_on_fetch && fleet_->cache_enabled(serving)) {
+      (void)fleet_->cache(serving).insert(item, now);
     }
     return FetchResult{FetchTier::kIslNeighbor,
                        (uplink + found->isl_latency) * 2.0 + space_overhead, found->hops,
@@ -52,7 +64,7 @@ std::optional<FetchResult> SpaceCdnRouter::fetch(const geo::GeoPoint& client,
   }
 
   // Tier (iii): bent pipe to the ground CDN edge nearest the assigned PoP.
-  auto breakdown = network_->router().route_to_pop(client, country);
+  auto breakdown = network_->router().route_from_satellite(serving, client, country);
   if (!breakdown) return std::nullopt;
   const geo::GeoPoint pop_location =
       data::location(network_->ground().pop(breakdown->pop));
@@ -69,11 +81,64 @@ std::optional<FetchResult> SpaceCdnRouter::fetch(const geo::GeoPoint& client,
   const cdn::ServeResult served =
       ground_cdn_->serve(site, item, client_site_rtt, site_origin_rtt, now);
 
-  if (config_.admit_on_fetch && fleet_->cache_enabled(*serving)) {
-    (void)fleet_->cache(*serving).insert(item, now);
+  if (config_.admit_on_fetch && fleet_->cache_enabled(serving)) {
+    (void)fleet_->cache(serving).insert(item, now);
   }
   return FetchResult{FetchTier::kGround, served.first_byte, breakdown->isl_hops, 0,
                      served.hit};
+}
+
+std::optional<std::uint32_t> SpaceCdnRouter::healthy_serving_satellite(
+    const geo::GeoPoint& client) const {
+  const auto& snapshot = network_->snapshot();
+  const auto visible = snapshot.visible_satellites(
+      client, network_->config().user_min_elevation_deg);
+  std::optional<std::uint32_t> best;
+  double best_range = 0.0;
+  for (const std::uint32_t sat : visible) {
+    if (!fleet_->online(sat)) continue;
+    // At a single-altitude shell, minimum slant range == maximum elevation.
+    const double range = snapshot.slant_range(client, sat).value();
+    if (!best || range < best_range) {
+      best = sat;
+      best_range = range;
+    }
+  }
+  return best;
+}
+
+ResilientFetchResult SpaceCdnRouter::fetch_resilient(const geo::GeoPoint& client,
+                                                     const data::CountryInfo& country,
+                                                     const cdn::ContentItem& item,
+                                                     des::Rng& rng, Milliseconds now) {
+  const ResilienceConfig& rc = config_.resilience;
+  ResilientFetchResult out;
+  double waited = 0.0;
+  for (std::uint32_t attempt = 0; attempt < std::max(rc.max_attempts, 1u); ++attempt) {
+    ++out.attempts;
+    const auto serving = healthy_serving_satellite(client);
+    std::optional<FetchResult> served;
+    if (serving) served = attempt_from(*serving, client, country, item, rng, now);
+    // The response can be lost in flight even when a path exists; the
+    // server-side effects (cache admissions) still happened.
+    const bool lost = rc.transient_loss > 0.0 && rng.chance(rc.transient_loss);
+    if (served && !lost && served->rtt <= rc.attempt_timeout) {
+      out.success = true;
+      out.served = served;
+      out.total_latency = Milliseconds{waited} + served->rtt;
+      out.retries = out.attempts - 1;
+      return out;
+    }
+    // Timed out, lost, or no path: the client burns the full deadline, then
+    // backs off exponentially before trying again.
+    waited += rc.attempt_timeout.value();
+    if (attempt + 1 < rc.max_attempts) {
+      waited += rc.backoff_base.value() * std::pow(rc.backoff_multiplier, attempt);
+    }
+  }
+  out.retries = out.attempts - 1;
+  out.total_latency = Milliseconds{waited};
+  return out;
 }
 
 }  // namespace spacecdn::space

@@ -37,6 +37,37 @@ struct FetchResult {
   bool ground_cache_hit = false;  ///< tier (iii): did the ground edge hit?
 };
 
+/// Retry/timeout policy of the resilient fetch path (fetch_resilient).
+///
+/// Attempts are bounded; each failed attempt costs the client the attempt
+/// timeout plus an exponentially growing backoff before the retry, mirroring
+/// an HTTP client riding over a flapping LEO path.
+struct ResilienceConfig {
+  /// Total tries per fetch (1 initial + max_attempts-1 retries).
+  std::uint32_t max_attempts = 4;
+  /// A response slower than this counts as a timeout and is retried.
+  Milliseconds attempt_timeout{1500.0};
+  /// Backoff before retry k (0-based) is base * multiplier^k.
+  Milliseconds backoff_base{50.0};
+  double backoff_multiplier = 2.0;
+  /// Probability that an attempt is lost in flight even when a path exists
+  /// (handover stalls, transient link flaps below the fault model's
+  /// granularity).  0 disables.
+  double transient_loss = 0.0;
+};
+
+/// Outcome of one resilient fetch (possibly after retries/escalation).
+struct ResilientFetchResult {
+  bool success = false;
+  /// Tier/RTT/source of the attempt that succeeded (unset on failure).
+  std::optional<FetchResult> served;
+  /// Everything the client waited: successful RTT plus timeouts and backoff
+  /// of the failed attempts before it.
+  Milliseconds total_latency{0.0};
+  std::uint32_t attempts = 0;
+  std::uint32_t retries = 0;
+};
+
 /// Router configuration.
 struct RouterConfig {
   /// Hop budget of the ISL lookup (tier ii).
@@ -51,6 +82,8 @@ struct RouterConfig {
   /// carry the full scheduler/queueing overhead (see EXPERIMENTS.md).
   Milliseconds service_overhead_rtt{2.0};
   double service_overhead_sigma = 0.3;
+  /// Retry/timeout policy for fetch_resilient.
+  ResilienceConfig resilience = {};
 };
 
 /// Serves content requests across the three tiers.
@@ -66,10 +99,33 @@ class SpaceCdnRouter {
                                                  const cdn::ContentItem& item,
                                                  des::Rng& rng, Milliseconds now);
 
+  /// Fault-aware fetch with bounded retry, per-attempt timeout, and tier
+  /// escalation: offline satellites are never chosen to serve, crashed or
+  /// unreachable replica holders are skipped (tier ii falls through to the
+  /// ground), and failed gateways are routed around.  A fetch only fails
+  /// outright when every tier is unreachable on every attempt (e.g. total
+  /// coverage gap).
+  [[nodiscard]] ResilientFetchResult fetch_resilient(const geo::GeoPoint& client,
+                                                     const data::CountryInfo& country,
+                                                     const cdn::ContentItem& item,
+                                                     des::Rng& rng, Milliseconds now);
+
   [[nodiscard]] const RouterConfig& config() const noexcept { return config_; }
   [[nodiscard]] SatelliteFleet& fleet() noexcept { return *fleet_; }
 
  private:
+  /// The highest satellite above `client` that is online (fault-aware
+  /// variant of EphemerisSnapshot::serving_satellite).
+  [[nodiscard]] std::optional<std::uint32_t> healthy_serving_satellite(
+      const geo::GeoPoint& client) const;
+
+  /// One fault-aware attempt across the three tiers from `serving`.
+  [[nodiscard]] std::optional<FetchResult> attempt_from(std::uint32_t serving,
+                                                        const geo::GeoPoint& client,
+                                                        const data::CountryInfo& country,
+                                                        const cdn::ContentItem& item,
+                                                        des::Rng& rng, Milliseconds now);
+
   const lsn::StarlinkNetwork* network_;
   SatelliteFleet* fleet_;
   cdn::CdnDeployment* ground_cdn_;

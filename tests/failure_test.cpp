@@ -138,5 +138,114 @@ TEST(Failures, PlacementRedundancyCoversLostReplicas) {
   }
 }
 
+TEST(Failures, FailRecoverRestoresRoutesBitIdentically) {
+  // Incremental surgery must be exact: recover() re-adds every edge with the
+  // same weight formula over the same snapshot geometry, so shortest-path
+  // latencies return to the pristine values bit-for-bit (not just within a
+  // tolerance).  The asymmetric phase-nearest pairing is the trap here --
+  // restoring only a satellite's *own* chosen partners would leave dangling
+  // one-way edges.
+  const orbit::WalkerConstellation shell(orbit::test_shell());
+  const orbit::EphemerisSnapshot snapshot(shell, Milliseconds{0.0});
+  lsn::IslNetwork isl(shell, snapshot, {});
+
+  std::vector<std::vector<Milliseconds>> pristine;
+  for (std::uint32_t s = 0; s < shell.size(); ++s) {
+    pristine.push_back(isl.latencies_from(s));
+  }
+
+  for (const std::uint32_t sat : {0u, 13u, 42u}) isl.fail(sat);
+  EXPECT_EQ(isl.failed_count(), 3u);
+  EXPECT_TRUE(isl.graph().neighbors(13).empty());
+  for (const std::uint32_t sat : {42u, 0u, 13u}) isl.recover(sat);
+  EXPECT_EQ(isl.failed_count(), 0u);
+
+  for (std::uint32_t s = 0; s < shell.size(); ++s) {
+    const auto restored = isl.latencies_from(s);
+    for (std::uint32_t d = 0; d < shell.size(); ++d) {
+      ASSERT_EQ(restored[d].value(), pristine[s][d].value())
+          << "path " << s << " -> " << d << " not bit-identical after recovery";
+    }
+  }
+}
+
+TEST(Failures, FailRecoverAreIdempotent) {
+  const orbit::WalkerConstellation shell(orbit::test_shell());
+  const orbit::EphemerisSnapshot snapshot(shell, Milliseconds{0.0});
+  lsn::IslNetwork isl(shell, snapshot, {});
+  const std::size_t edges = isl.graph().edge_count();
+
+  isl.fail(7);
+  isl.fail(7);  // double-fail must not corrupt counters or adjacency
+  EXPECT_EQ(isl.failed_count(), 1u);
+  isl.recover(7);
+  isl.recover(7);
+  EXPECT_EQ(isl.failed_count(), 0u);
+  EXPECT_EQ(isl.graph().edge_count(), edges);
+}
+
+TEST(Failures, CacheCrashLosesContentsUntilRestore) {
+  space::SatelliteFleet fleet(16, space::FleetConfig{Megabytes{1000.0},
+                                                     cdn::CachePolicy::kLru});
+  const cdn::ContentItem obj{9, Megabytes{5.0}, data::Region::kEurope};
+  ASSERT_TRUE(fleet.cache(3).insert(obj, Milliseconds{0.0}));
+  ASSERT_TRUE(fleet.holds(3, obj.id));
+
+  fleet.crash_cache(3);
+  EXPECT_FALSE(fleet.cache_up(3));
+  EXPECT_FALSE(fleet.cache_enabled(3));  // no service while crashed
+  EXPECT_FALSE(fleet.holds(3, obj.id));  // contents are gone, not hidden
+  EXPECT_FALSE(fleet.cache(3).contains(obj.id));
+
+  fleet.restore_cache(3);
+  EXPECT_TRUE(fleet.cache_up(3));
+  EXPECT_TRUE(fleet.cache_enabled(3));
+  // Back up but empty: a restore is not a recovery of the lost bytes.
+  EXPECT_FALSE(fleet.holds(3, obj.id));
+  ASSERT_TRUE(fleet.cache(3).insert(obj, Milliseconds{1.0}));
+  EXPECT_TRUE(fleet.holds(3, obj.id));
+}
+
+TEST(Failures, OfflineSatelliteKeepsContentsButServesNothing) {
+  space::SatelliteFleet fleet(16, space::FleetConfig{Megabytes{1000.0},
+                                                     cdn::CachePolicy::kLru});
+  const cdn::ContentItem obj{4, Megabytes{5.0}, data::Region::kAsia};
+  ASSERT_TRUE(fleet.cache(5).insert(obj, Milliseconds{0.0}));
+
+  fleet.set_online(5, false);
+  EXPECT_FALSE(fleet.cache_enabled(5));
+  EXPECT_FALSE(fleet.holds(5, obj.id));  // dark satellites serve nothing
+  fleet.set_online(5, true);
+  EXPECT_TRUE(fleet.holds(5, obj.id));  // the bus rebooted; the disks survived
+}
+
+TEST(Failures, AddingFailuresNeverShortensAnyPath) {
+  // Monotonicity: removing edges can only keep shortest paths equal or make
+  // them longer (or unreachable).  Checked over all pairs of the test shell
+  // as satellites fail one by one.
+  const orbit::WalkerConstellation shell(orbit::test_shell());
+  const orbit::EphemerisSnapshot snapshot(shell, Milliseconds{0.0});
+  lsn::IslNetwork isl(shell, snapshot, {});
+
+  std::vector<std::vector<Milliseconds>> before;
+  for (std::uint32_t s = 0; s < shell.size(); ++s) {
+    before.push_back(isl.latencies_from(s));
+  }
+
+  for (const std::uint32_t failed : {9u, 27u, 50u}) {
+    isl.fail(failed);
+    for (std::uint32_t s = 0; s < shell.size(); ++s) {
+      if (isl.is_failed(s)) continue;
+      const auto after = isl.latencies_from(s);
+      for (std::uint32_t d = 0; d < shell.size(); ++d) {
+        if (isl.is_failed(d)) continue;
+        ASSERT_GE(after[d].value(), before[s][d].value())
+            << "failing " << failed << " shortened " << s << " -> " << d;
+      }
+      before[s] = after;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace spacecdn

@@ -1,0 +1,306 @@
+// Tests for the dynamic fault-injection engine (faults/) and the
+// self-healing layer on top of it (spacecdn/resilience, fetch_resilient).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "data/datasets.hpp"
+#include "faults/schedule.hpp"
+#include "lsn/starlink.hpp"
+#include "spacecdn/placement.hpp"
+#include "spacecdn/resilience.hpp"
+#include "spacecdn/router.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn {
+namespace {
+
+using faults::ChurnConfig;
+using faults::Component;
+using faults::FaultEvent;
+using faults::FaultSchedule;
+using faults::Transition;
+
+ChurnConfig small_churn() {
+  ChurnConfig config;
+  config.horizon = Milliseconds::from_minutes(24.0 * 60.0);
+  config.satellite = {Milliseconds::from_minutes(6.0 * 60.0),
+                      Milliseconds::from_minutes(30.0)};
+  config.cache_node = {Milliseconds::from_minutes(12.0 * 60.0),
+                       Milliseconds::from_minutes(20.0)};
+  return config;
+}
+
+TEST(FaultSchedule, SameSeedSameTimeline) {
+  des::Rng a(77), b(77), c(78);
+  const auto one = FaultSchedule::generate(small_churn(), {100, 8}, a);
+  const auto two = FaultSchedule::generate(small_churn(), {100, 8}, b);
+  const auto other = FaultSchedule::generate(small_churn(), {100, 8}, c);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(one.events(), two.events());
+  EXPECT_NE(one.events(), other.events());
+}
+
+TEST(FaultSchedule, EventsSortedAndWithinHorizon) {
+  des::Rng rng(5);
+  const auto config = small_churn();
+  const auto schedule = FaultSchedule::generate(config, {64, 4}, rng);
+  Milliseconds prev{0.0};
+  for (const FaultEvent& event : schedule.events()) {
+    EXPECT_GE(event.at.value(), prev.value());
+    EXPECT_LE(event.at.value(), config.horizon.value());
+    prev = event.at;
+  }
+}
+
+TEST(FaultSchedule, PerInstanceAlternatingRenewal) {
+  // Every instance's own timeline must strictly alternate fail, recover,
+  // fail, ... starting from the up state, with strictly increasing times.
+  des::Rng rng(6);
+  const auto schedule = FaultSchedule::generate(small_churn(), {32, 0}, rng);
+  std::map<std::pair<Component, std::uint32_t>, std::pair<Transition, double>> last;
+  for (const FaultEvent& event : schedule.events()) {
+    const auto key = std::make_pair(event.component, event.target);
+    const auto it = last.find(key);
+    if (it == last.end()) {
+      EXPECT_EQ(event.transition, Transition::kFail) << "instance starts up";
+    } else {
+      EXPECT_NE(event.transition, it->second.first) << "must alternate";
+      EXPECT_GT(event.at.value(), it->second.second);
+    }
+    last[key] = {event.transition, event.at.value()};
+  }
+  // Failure counts bracket recovery counts: each recover has its fail.
+  EXPECT_GE(schedule.count(Component::kSatellite, Transition::kFail),
+            schedule.count(Component::kSatellite, Transition::kRecover));
+}
+
+TEST(FaultSchedule, DisabledClassesProduceNoEvents) {
+  ChurnConfig config;
+  config.horizon = Milliseconds::from_minutes(60.0);
+  config.satellite = {Milliseconds::from_minutes(60.0), Milliseconds::from_minutes(5.0)};
+  des::Rng rng(9);
+  const auto schedule = FaultSchedule::generate(config, {16, 16}, rng);
+  EXPECT_EQ(schedule.count(Component::kGroundStation, Transition::kFail), 0u);
+  EXPECT_EQ(schedule.count(Component::kIslTerminal, Transition::kFail), 0u);
+  EXPECT_EQ(schedule.count(Component::kCacheNode, Transition::kFail), 0u);
+}
+
+TEST(FaultSchedule, RejectsBadConfig) {
+  des::Rng rng(1);
+  ChurnConfig no_horizon;  // horizon 0
+  EXPECT_THROW((void)FaultSchedule::generate(no_horizon, {4, 0}, rng), ConfigError);
+  ChurnConfig no_mttr;
+  no_mttr.horizon = Milliseconds::from_minutes(60.0);
+  no_mttr.satellite = {Milliseconds::from_minutes(10.0), Milliseconds{0.0}};
+  EXPECT_THROW((void)FaultSchedule::generate(no_mttr, {4, 0}, rng), ConfigError);
+}
+
+TEST(FaultSchedule, TraceModeReplaysSortedStable) {
+  const FaultEvent late{Milliseconds{20.0}, Component::kSatellite, Transition::kRecover, 3};
+  const FaultEvent early{Milliseconds{5.0}, Component::kSatellite, Transition::kFail, 3};
+  const FaultEvent tie_a{Milliseconds{20.0}, Component::kCacheNode, Transition::kFail, 1};
+  const auto schedule = FaultSchedule::from_trace({late, early, tie_a});
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_EQ(schedule.events()[0], early);
+  EXPECT_EQ(schedule.events()[1], late);  // ties keep insertion order
+  EXPECT_EQ(schedule.events()[2], tie_a);
+
+  des::Simulator sim;
+  std::vector<FaultEvent> fired;
+  schedule.install(sim, [&](const FaultEvent& event) { fired.push_back(event); });
+  sim.run();
+  EXPECT_EQ(fired, schedule.events());
+}
+
+class ChurnControllerTest : public ::testing::Test {
+ protected:
+  ChurnControllerTest()
+      : network_([] {
+          lsn::StarlinkConfig cfg;
+          cfg.shell = orbit::test_shell();
+          return cfg;
+        }()),
+        fleet_(network_.constellation().size(),
+               space::FleetConfig{Megabytes{1000.0}, cdn::CachePolicy::kLru}),
+        controller_(network_, fleet_) {}
+
+  static FaultEvent event(Component component, Transition transition,
+                          std::uint32_t target) {
+    return {Milliseconds{0.0}, component, transition, target};
+  }
+
+  lsn::StarlinkNetwork network_;
+  space::SatelliteFleet fleet_;
+  space::ChurnController controller_;
+};
+
+TEST_F(ChurnControllerTest, SatelliteOutageDropsIslsAndService) {
+  controller_.apply(event(Component::kSatellite, Transition::kFail, 12));
+  EXPECT_TRUE(network_.isl().is_failed(12));
+  EXPECT_FALSE(fleet_.online(12));
+  EXPECT_EQ(controller_.satellites_down(), 1u);
+
+  controller_.apply(event(Component::kSatellite, Transition::kRecover, 12));
+  EXPECT_FALSE(network_.isl().is_failed(12));
+  EXPECT_TRUE(fleet_.online(12));
+  EXPECT_EQ(controller_.satellites_down(), 0u);
+  EXPECT_EQ(controller_.counters().satellite_failures, 1u);
+  EXPECT_EQ(controller_.counters().satellite_recoveries, 1u);
+}
+
+TEST_F(ChurnControllerTest, DuplicateEventsAreIdempotent) {
+  controller_.apply(event(Component::kSatellite, Transition::kFail, 3));
+  controller_.apply(event(Component::kSatellite, Transition::kFail, 3));
+  EXPECT_EQ(controller_.counters().satellite_failures, 1u);
+  EXPECT_EQ(controller_.satellites_down(), 1u);
+}
+
+TEST_F(ChurnControllerTest, FlapAndOutageCompose) {
+  // A laser flap during a whole-satellite outage: the ISLs stay down until
+  // BOTH processes have recovered, and the bus comes back serving as soon as
+  // the outage (alone) ends.
+  controller_.apply(event(Component::kSatellite, Transition::kFail, 20));
+  controller_.apply(event(Component::kIslTerminal, Transition::kFail, 20));
+  controller_.apply(event(Component::kSatellite, Transition::kRecover, 20));
+  EXPECT_TRUE(fleet_.online(20));              // bus is back...
+  EXPECT_TRUE(network_.isl().is_failed(20));   // ...but terminals still flapped
+  controller_.apply(event(Component::kIslTerminal, Transition::kRecover, 20));
+  EXPECT_FALSE(network_.isl().is_failed(20));
+}
+
+TEST_F(ChurnControllerTest, GatewayOutageIsTracked) {
+  controller_.apply(event(Component::kGroundStation, Transition::kFail, 0));
+  EXPECT_TRUE(network_.ground().gateway_failed(0));
+  EXPECT_EQ(network_.ground().failed_gateway_count(), 1u);
+  controller_.apply(event(Component::kGroundStation, Transition::kRecover, 0));
+  EXPECT_EQ(network_.ground().failed_gateway_count(), 0u);
+}
+
+TEST_F(ChurnControllerTest, CacheCrashDropsContents) {
+  const cdn::ContentItem obj{2, Megabytes{1.0}, data::Region::kEurope};
+  ASSERT_TRUE(fleet_.cache(8).insert(obj, Milliseconds{0.0}));
+  controller_.apply(event(Component::kCacheNode, Transition::kFail, 8));
+  EXPECT_FALSE(fleet_.cache_up(8));
+  EXPECT_FALSE(fleet_.cache(8).contains(obj.id));
+  // The satellite itself still flies and relays: no ISL surgery happened.
+  EXPECT_FALSE(network_.isl().is_failed(8));
+  controller_.apply(event(Component::kCacheNode, Transition::kRecover, 8));
+  EXPECT_TRUE(fleet_.cache_up(8));
+  EXPECT_EQ(controller_.counters().cache_crashes, 1u);
+  EXPECT_EQ(controller_.counters().cache_restores, 1u);
+}
+
+TEST(RepairDaemon, RestoresReplicasFromSurvivingHolders) {
+  const orbit::WalkerConstellation shell(orbit::test_shell());
+  space::SatelliteFleet fleet(shell.size(), space::FleetConfig{Megabytes{1000.0},
+                                                               cdn::CachePolicy::kLru});
+  space::PlacementConfig pcfg;
+  pcfg.copies_per_plane = 2;
+  const space::ContentPlacement placement(shell, pcfg);
+  const std::vector<cdn::ContentItem> catalog{
+      {1, Megabytes{2.0}, data::Region::kEurope},
+      {2, Megabytes{2.0}, data::Region::kAsia}};
+  for (const auto& item : catalog) placement.place(fleet, item, Milliseconds{0.0});
+
+  space::RepairDaemon daemon(fleet, placement, catalog, {});
+  // Invariant holds: a scan repairs nothing.
+  const auto clean = daemon.run_once(Milliseconds{1.0});
+  EXPECT_EQ(clean.objects_scanned, catalog.size());
+  EXPECT_EQ(clean.under_replicated, 0u);
+
+  // Crash one holder of object 1: its copies are lost until the process
+  // restarts, then the next audit re-replicates from a surviving holder.
+  const std::uint32_t victim = placement.replicas(1).front();
+  fleet.crash_cache(victim);
+  daemon.note_crash(victim, Milliseconds{10.0});
+  const auto while_down = daemon.run_once(Milliseconds{20.0});
+  EXPECT_GT(while_down.unrepairable, 0u);  // slot dark; repair deferred
+  EXPECT_EQ(daemon.open_crashes(), 1u);
+
+  fleet.restore_cache(victim);
+  const auto repaired = daemon.run_once(Milliseconds{500.0});
+  EXPECT_GT(repaired.re_replicated, 0u);
+  EXPECT_EQ(repaired.ground_refills, 0u);  // space copies survived
+  EXPECT_TRUE(fleet.holds(victim, 1));
+  EXPECT_EQ(daemon.open_crashes(), 0u);
+  ASSERT_EQ(daemon.time_to_repair().size(), 1u);
+  EXPECT_DOUBLE_EQ(daemon.time_to_repair().mean(), 490.0);  // crash at 10, fixed at 500
+}
+
+TEST(RepairDaemon, FallsBackToGroundWhenAllSpaceCopiesDie) {
+  const orbit::WalkerConstellation shell(orbit::test_shell());
+  space::SatelliteFleet fleet(shell.size(), space::FleetConfig{Megabytes{1000.0},
+                                                               cdn::CachePolicy::kLru});
+  space::PlacementConfig pcfg;
+  pcfg.copies_per_plane = 1;
+  pcfg.plane_stride = 8;  // a single replica in the whole test shell
+  const space::ContentPlacement placement(shell, pcfg);
+  const std::vector<cdn::ContentItem> catalog{{7, Megabytes{2.0}, data::Region::kEurope}};
+  placement.place(fleet, catalog.front(), Milliseconds{0.0});
+
+  const auto replicas = placement.replicas(7);
+  ASSERT_EQ(replicas.size(), 1u);
+  fleet.crash_cache(replicas.front());
+  fleet.restore_cache(replicas.front());
+
+  space::RepairDaemon daemon(fleet, placement, catalog, {});
+  const auto report = daemon.run_once(Milliseconds{100.0});
+  EXPECT_EQ(report.re_replicated, 0u);
+  EXPECT_EQ(report.ground_refills, 1u);  // no surviving space holder
+  EXPECT_TRUE(fleet.holds(replicas.front(), 7));
+}
+
+TEST(ResilientFetch, HealthyPathSucceedsWithoutRetry) {
+  static lsn::StarlinkNetwork network;  // Shell 1; shared, never mutated here
+  space::SatelliteFleet fleet(network.constellation().size(),
+                              space::FleetConfig{Megabytes{1000.0},
+                                                 cdn::CachePolicy::kLru});
+  cdn::CdnDeployment ground(data::cdn_sites(), {});
+  space::SpaceCdnRouter router(network, fleet, ground);
+
+  const auto& city = data::city("London");
+  const cdn::ContentItem obj{3, Megabytes{5.0}, data::Region::kEurope};
+  des::Rng rng(40);
+  const auto result = router.fetch_resilient(data::location(city),
+                                             data::country(city.country_code), obj, rng,
+                                             Milliseconds{0.0});
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_EQ(result.retries, 0u);
+  ASSERT_TRUE(result.served.has_value());
+  EXPECT_EQ(result.served->tier, space::FetchTier::kGround);  // cold caches
+  EXPECT_DOUBLE_EQ(result.total_latency.value(), result.served->rtt.value());
+}
+
+TEST(ResilientFetch, ExhaustsBoundedRetriesUnderTotalLoss) {
+  static lsn::StarlinkNetwork network;
+  space::SatelliteFleet fleet(network.constellation().size(),
+                              space::FleetConfig{Megabytes{1000.0},
+                                                 cdn::CachePolicy::kLru});
+  cdn::CdnDeployment ground(data::cdn_sites(), {});
+  space::RouterConfig config;
+  config.resilience.max_attempts = 3;
+  config.resilience.attempt_timeout = Milliseconds{100.0};
+  config.resilience.backoff_base = Milliseconds{10.0};
+  config.resilience.backoff_multiplier = 2.0;
+  config.resilience.transient_loss = 1.0;  // every attempt is lost in flight
+  space::SpaceCdnRouter router(network, fleet, ground, config);
+
+  const auto& city = data::city("Tokyo");
+  const cdn::ContentItem obj{6, Megabytes{5.0}, data::Region::kAsia};
+  des::Rng rng(41);
+  const auto result = router.fetch_resilient(data::location(city),
+                                             data::country(city.country_code), obj, rng,
+                                             Milliseconds{0.0});
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.served.has_value());
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_EQ(result.retries, 2u);
+  // 3 burned timeouts plus backoffs 10 and 20 ms between the attempts.
+  EXPECT_DOUBLE_EQ(result.total_latency.value(), 3 * 100.0 + 10.0 + 20.0);
+}
+
+}  // namespace
+}  // namespace spacecdn

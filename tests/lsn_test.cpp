@@ -71,6 +71,38 @@ TEST(IslNetwork, WithinHopsGrowsMonotonically) {
   EXPECT_EQ(net.isl().within_hops(42, 1).size(), 5u);
 }
 
+TEST(IslNetwork, InterPlaneLinksStayWithinLaserReach) {
+  // Regression for the +grid seam: naive same-slot pairing across the
+  // plane 71 -> plane 0 wrap ignores the accumulated Walker phase offset
+  // (F * 360 / T per plane) and produces "links" thousands of kilometres
+  // beyond optical LoS.  Phase-nearest partner selection must keep every
+  // inter-plane ISL within laser-terminal reach everywhere, seam included.
+  constexpr double kMaxIslRangeKm = 5'400.0;  // optical LoS budget at 550 km
+  const auto& net = shell1();
+  const auto& shell = net.constellation();
+  const std::uint32_t last_plane = shell.design().planes - 1;
+  std::size_t inter_plane = 0, seam = 0;
+  for (std::uint32_t sat = 0; sat < shell.size(); ++sat) {
+    const auto a = shell.index_of(sat);
+    for (const net::Edge& edge : net.isl().graph().neighbors(sat)) {
+      const auto b = shell.index_of(edge.to);
+      if (a.plane == b.plane) continue;
+      ++inter_plane;
+      const double km = net.snapshot().isl_distance(sat, edge.to).value();
+      ASSERT_LE(km, kMaxIslRangeKm)
+          << "ISL " << sat << " (plane " << a.plane << ") <-> " << edge.to
+          << " (plane " << b.plane << ") spans " << km << " km";
+      const auto lo = std::min(a.plane, b.plane);
+      const auto hi = std::max(a.plane, b.plane);
+      if (lo == 0 && hi == last_plane) ++seam;
+    }
+  }
+  // Every satellite keeps both east and west terminals busy somewhere.
+  EXPECT_GE(inter_plane, static_cast<std::size_t>(shell.size()));
+  // The wrap-around seam itself carries links (and passed the bound above).
+  EXPECT_GT(seam, 0u);
+}
+
 TEST(GroundSegment, DefaultsFromDataset) {
   const GroundSegment ground;
   EXPECT_EQ(ground.pop_count(), 22u);
