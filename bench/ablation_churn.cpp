@@ -143,7 +143,10 @@ ChurnRunResult run_churn(Milliseconds mtbf, Milliseconds mttr, std::uint32_t see
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bench::BenchTelemetry telemetry(args);
+  bench::warn_unused_flags(args);
   bench::banner("Ablation: self-healing SpaceCDN under 24 h of churn",
                 "dynamic fault injection sweep (DESIGN.md, faults/ + resilience)");
 

@@ -13,8 +13,11 @@
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
+  const CliArgs args(argc, argv);
+  const bench::BenchTelemetry telemetry(args);
+  bench::warn_unused_flags(args);
   bench::banner("Ablation: ISL fabric under laser-terminal failures",
                 "resilience sweep (DESIGN.md, failure injection)");
 

@@ -2,14 +2,84 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "des/stats.hpp"
+#include "obs/telemetry.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace spacecdn::bench {
+
+/// Opt-in telemetry for figure/ablation binaries.  Construct one from the
+/// parsed CLI and keep it alive for the whole run:
+///
+///   --metrics-out=FILE   metrics registry dump at exit (Prometheus text,
+///                        or JSON when FILE ends in ".json")
+///   --trace-out=FILE     per-fetch trace spans, streamed as JSONL
+///   --profile            SPACECDN_PROFILE wall-clock table on stderr at exit
+///
+/// With none of the flags present nothing is installed and the bench runs
+/// with telemetry fully disabled (the zero-cost default).
+class BenchTelemetry {
+ public:
+  explicit BenchTelemetry(const CliArgs& args)
+      : metrics_path_(args.get("metrics-out", std::string{})),
+        profile_(args.get("profile", false)) {
+    const std::string trace_path = args.get("trace-out", std::string{});
+    if (metrics_path_.empty() && trace_path.empty() && !profile_) return;
+    session_.emplace();
+    if (!trace_path.empty()) {
+      trace_file_.open(trace_path);
+      if (trace_file_) {
+        session_->tracer().set_jsonl_sink(&trace_file_);
+      } else {
+        std::cerr << "warning: cannot open --trace-out=" << trace_path
+                  << "; traces will not be written\n";
+      }
+    }
+  }
+
+  ~BenchTelemetry() {
+    if (!session_) return;
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      if (!out) {
+        std::cerr << "warning: cannot open --metrics-out=" << metrics_path_
+                  << "; metrics will not be written\n";
+      } else if (metrics_path_.size() >= 5 &&
+          metrics_path_.compare(metrics_path_.size() - 5, 5, ".json") == 0) {
+        session_->metrics().export_json(out);
+      } else {
+        session_->metrics().export_prometheus(out);
+      }
+    }
+    if (profile_) session_->profiler().report(std::cerr);
+  }
+
+  BenchTelemetry(const BenchTelemetry&) = delete;
+  BenchTelemetry& operator=(const BenchTelemetry&) = delete;
+
+  [[nodiscard]] bool active() const noexcept { return session_.has_value(); }
+
+ private:
+  std::string metrics_path_;
+  bool profile_;
+  std::ofstream trace_file_;
+  std::optional<obs::TelemetrySession> session_;
+};
+
+/// Standard bench prologue: parse argv, warn about typo'd flags later via
+/// warn_unused_flags() once the bench has queried everything it supports.
+inline void warn_unused_flags(const CliArgs& args) {
+  for (const auto& unknown : args.unused()) {
+    std::cerr << "warning: unknown flag --" << unknown << "\n";
+  }
+}
 
 inline void banner(const std::string& title, const std::string& paper_ref) {
   std::cout << "\n=== " << title << " ===\n";

@@ -15,8 +15,11 @@
 #include "spacecdn/router.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
+  const CliArgs args(argc, argv);
+  const bench::BenchTelemetry telemetry(args);
+  bench::warn_unused_flags(args);
   bench::banner("Figure 6 companion: three-tier fetch breakdown while warming",
                 "Bose et al., HotNets '24, Figure 6 (SpaceCDN overview)");
 

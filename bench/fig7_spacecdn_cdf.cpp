@@ -16,8 +16,11 @@
 #include "measurement/analysis.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
+  const CliArgs args(argc, argv);
+  const bench::BenchTelemetry telemetry(args);
+  bench::warn_unused_flags(args);
   bench::banner("Figure 7: SpaceCDN fetch-latency CDF vs Starlink/terrestrial CDN",
                 "Bose et al., HotNets '24, Figure 7");
 

@@ -1,0 +1,163 @@
+// Telemetry overhead micro-benchmark: proves the observability hooks cost
+// < 2% on the hot path (SpaceCdnRouter::fetch) when aggregate telemetry is
+// enabled, and reports the price of the heavier diagnostic modes.
+//
+// Three configurations over an identical fetch workload (same seeds, same
+// request sequence, caches frozen by admit_on_fetch=false so every round
+// does identical work):
+//
+//   disabled  -- no sinks installed; the zero-cost default every simulation
+//                runs with.  This is the baseline.
+//   metrics   -- MetricsRegistry + FlightRecorder installed: the "always-on"
+//                aggregate-telemetry deployment.  Gate: < --limit (2%)
+//                overhead versus disabled.
+//   full      -- everything on (metrics, tracer building a span tree per
+//                fetch, flight recorder, wall-clock profiler).  Reported for
+//                information only: tracing/profiling are per-capture
+//                diagnostic modes, priced here so nobody enables them
+//                expecting them to be free.
+//
+// Rounds are interleaved (disabled, metrics, full, disabled, ...) and each
+// mode takes its minimum round time, so drift and frequency scaling hit all
+// modes equally.  A work checksum (summed RTTs) asserts the three modes
+// really performed the same fetches.
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cdn/popularity.hpp"
+#include "data/datasets.hpp"
+#include "lsn/starlink.hpp"
+#include "spacecdn/placement.hpp"
+#include "spacecdn/router.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace spacecdn;
+
+struct Workload {
+  const lsn::StarlinkNetwork* network = nullptr;
+  space::SpaceCdnRouter* router = nullptr;
+  const cdn::ContentCatalog* catalog = nullptr;
+  const cdn::RegionalPopularity* popularity = nullptr;
+  std::vector<const data::CityInfo*> clients;
+};
+
+/// Runs one round of `fetches` requests; returns (seconds, rtt checksum).
+std::pair<double, double> run_round(const Workload& w, int fetches, std::uint32_t seed) {
+  des::Rng rng(seed);
+  double checksum = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < fetches; ++i) {
+    const auto* city = w.clients[static_cast<std::size_t>(i) % w.clients.size()];
+    const auto& country = data::country(city->country_code);
+    const auto id = w.popularity->sample(country.region, rng);
+    const auto result = w.router->fetch(data::location(*city), country,
+                                        w.catalog->item(id), rng, Milliseconds{0.0});
+    if (result) checksum += result->rtt.value();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return {std::chrono::duration<double>(stop - start).count(), checksum};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int fetches = static_cast<int>(args.get("fetches", 2000L));
+  const int rounds = static_cast<int>(args.get("rounds", 7L));
+  const double limit_pct = args.get("limit", 2.0);
+  bench::warn_unused_flags(args);
+  bench::banner("Telemetry overhead on SpaceCdnRouter::fetch",
+                "acceptance: aggregate telemetry costs < " +
+                    ConsoleTable::format_fixed(limit_pct, 1) + "% (DESIGN.md, obs/)");
+
+  // Fixed-epoch SpaceCDN stack; admit_on_fetch=false freezes cache contents
+  // so every round performs identical lookups regardless of ordering.
+  lsn::StarlinkNetwork network;
+  des::Rng catalog_rng(90);
+  const cdn::ContentCatalog catalog({.object_count = 200}, catalog_rng);
+  const cdn::RegionalPopularity popularity(catalog.size(), {});
+  space::SatelliteFleet fleet(network.constellation().size(), space::FleetConfig{});
+  cdn::CdnDeployment ground(data::cdn_sites(), {});
+  space::SpaceCdnRouter router(network, fleet, ground, {.admit_on_fetch = false});
+
+  const space::ContentPlacement placement(network.constellation(), {});
+  for (cdn::ContentId id = 0; id < catalog.size(); ++id) {
+    placement.place(fleet, catalog.item(id), Milliseconds{0.0});
+  }
+
+  Workload w;
+  w.network = &network;
+  w.router = &router;
+  w.catalog = &catalog;
+  w.popularity = &popularity;
+  for (const char* name : {"London", "Sao Paulo", "Tokyo", "Nairobi", "Denver"}) {
+    w.clients.push_back(&data::city(name));
+  }
+
+  // Warm-up: touch every code path (and page in the caches) before timing.
+  (void)run_round(w, fetches / 4, 1);
+
+  enum Mode { kDisabled = 0, kMetrics = 1, kFull = 2 };
+  const char* mode_names[] = {"disabled", "metrics", "full"};
+  obs::MetricsRegistry registry;
+  obs::FlightRecorder recorder;
+  obs::Tracer tracer;
+  obs::Profiler profiler;
+  tracer.set_recorder(&recorder);
+
+  double best[3] = {1e300, 1e300, 1e300};
+  double checksum[3] = {0.0, 0.0, 0.0};
+  for (int r = 0; r < rounds; ++r) {
+    for (int mode = 0; mode < 3; ++mode) {
+      obs::TelemetrySinks sinks;
+      if (mode >= kMetrics) {
+        sinks.metrics = &registry;
+        sinks.recorder = &recorder;
+      }
+      if (mode == kFull) {
+        sinks.tracer = &tracer;
+        sinks.profiler = &profiler;
+      }
+      const obs::TelemetryScope scope(sinks);
+      // Same seed in every mode/round: identical request sequence.
+      const auto [seconds, sum] = run_round(w, fetches, 2);
+      best[mode] = std::min(best[mode], seconds);
+      checksum[mode] = sum;
+    }
+  }
+
+  ConsoleTable table({"mode", "min round (ms)", "ns / fetch", "overhead"});
+  CsvWriter csv(std::cout, {"mode", "min_round_ms", "ns_per_fetch", "overhead_pct"});
+  std::cout << "\n";
+  double overhead_pct[3] = {0.0, 0.0, 0.0};
+  for (int mode = 0; mode < 3; ++mode) {
+    overhead_pct[mode] = 100.0 * (best[mode] / best[kDisabled] - 1.0);
+    table.add_row({mode_names[mode], ConsoleTable::format_fixed(best[mode] * 1e3, 2),
+                   ConsoleTable::format_fixed(best[mode] * 1e9 / fetches, 0),
+                   ConsoleTable::format_fixed(overhead_pct[mode], 2) + "%"});
+    csv.row({mode_names[mode], ConsoleTable::format_fixed(best[mode] * 1e3, 3),
+             ConsoleTable::format_fixed(best[mode] * 1e9 / fetches, 0),
+             ConsoleTable::format_fixed(overhead_pct[mode], 3)});
+  }
+  std::cout << "\n";
+  table.render(std::cout);
+
+  const bool same_work = checksum[kDisabled] == checksum[kMetrics] &&
+                         checksum[kDisabled] == checksum[kFull];
+  const bool pass = overhead_pct[kMetrics] < limit_pct;
+  std::cout << "\nWork checksum identical across modes: " << (same_work ? "yes" : "NO")
+            << "\nAggregate-telemetry overhead "
+            << ConsoleTable::format_fixed(overhead_pct[kMetrics], 2) << "% "
+            << (pass ? "[pass < " : "[FAIL >= ")
+            << ConsoleTable::format_fixed(limit_pct, 1) << "%]\n";
+  std::cout << "Full diagnostics (tracing + profiling) cost "
+            << ConsoleTable::format_fixed(overhead_pct[kFull], 2)
+            << "% -- per-capture modes, priced for reference.\n";
+  return pass && same_work ? 0 : 1;
+}

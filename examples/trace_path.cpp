@@ -3,11 +3,18 @@
 //
 //   $ ./examples/trace_path                      # Maputo -> Frankfurt
 //   $ ./examples/trace_path --city="Nairobi" --dest="Johannesburg"
+//   $ ./examples/trace_path --waterfall          # + SpaceCDN fetch trace
 #include <iostream>
 
+#include "cdn/content.hpp"
 #include "data/datasets.hpp"
 #include "lsn/starlink.hpp"
 #include "measurement/traceroute.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "spacecdn/fleet.hpp"
+#include "spacecdn/placement.hpp"
+#include "spacecdn/router.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -26,6 +33,53 @@ void print(const char* title, const spacecdn::measurement::Traceroute& trace) {
   table.render(std::cout);
 }
 
+/// --waterfall: run three SpaceCDN fetches (one per tier) through the
+/// instrumented router and render each request's span tree.
+void print_fetch_waterfalls(const spacecdn::lsn::StarlinkNetwork& network,
+                            const spacecdn::data::CityInfo& client_city) {
+  using namespace spacecdn;
+  space::SatelliteFleet fleet(network.constellation().size(),
+                              space::FleetConfig{Megabytes{1000.0}});
+  cdn::CdnDeployment ground(data::cdn_sites(), {});
+  space::RouterConfig rcfg;
+  rcfg.admit_on_fetch = false;  // keep each demo fetch on its own tier
+  space::SpaceCdnRouter router(network, fleet, ground, rcfg);
+
+  obs::TelemetrySession telemetry;
+  telemetry.tracer().set_retain(1);
+
+  const geo::GeoPoint client = data::location(client_city);
+  const auto& country = data::country(client_city.country_code);
+  const auto serving = network.snapshot().serving_satellite(
+      client, network.config().user_min_elevation_deg);
+  if (!serving) {
+    std::cout << "\n(no satellite coverage over " << client_city.name
+              << "; skipping fetch waterfalls)\n";
+    return;
+  }
+
+  // Tier (i): on the overhead satellite.  Tier (ii): on a grid neighbour.
+  // Tier (iii): nowhere in space, so the bent pipe serves.
+  const cdn::ContentItem tier1{1, Megabytes{10.0}, country.region};
+  const cdn::ContentItem tier2{2, Megabytes{10.0}, country.region};
+  const cdn::ContentItem tier3{3, Megabytes{10.0}, country.region};
+  (void)fleet.cache(*serving).insert(tier1, Milliseconds{0.0});
+  (void)fleet.cache(network.constellation().grid_neighbors(*serving)[2])
+      .insert(tier2, Milliseconds{0.0});
+
+  des::Rng rng(24);
+  std::cout << "\n=== SpaceCDN fetch waterfalls from " << client_city.name
+            << " (simulated ms) ===\n";
+  for (const auto& item : {tier1, tier2, tier3}) {
+    const auto result = router.fetch(client, country, item, rng, Milliseconds{0.0});
+    std::cout << "\n";
+    obs::render_waterfall(std::cout, telemetry.tracer().last());
+    if (result) {
+      std::cout << "served by tier: " << space::to_string(result->tier) << "\n";
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -33,6 +87,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const std::string city_name = args.get("city", std::string("Maputo"));
   const std::string dest_name = args.get("dest", std::string("Frankfurt"));
+  const bool waterfall = args.get("waterfall", false);
   for (const auto& unknown : args.unused()) {
     std::cerr << "warning: unknown flag --" << unknown << "\n";
   }
@@ -57,5 +112,7 @@ int main(int argc, char** argv) {
 
   const auto terr = synth.terrestrial(client, destination, rng);
   print("=== over a terrestrial ISP ===", terr);
+
+  if (waterfall) print_fetch_waterfalls(network, client);
   return 0;
 }

@@ -1,11 +1,54 @@
 #include "cdn/cache.hpp"
 
+#include "obs/profile.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace spacecdn::cdn {
 
+struct CacheTelemetry {
+  explicit CacheTelemetry(const std::string& tier)
+      : hit("spacecdn_cache_hit_total", {{"tier", tier}}),
+        miss("spacecdn_cache_miss_total", {{"tier", tier}}),
+        insert("spacecdn_cache_insert_total", {{"tier", tier}}),
+        evict("spacecdn_cache_evict_total", {{"tier", tier}}) {}
+
+  obs::CounterHandle hit;
+  obs::CounterHandle miss;
+  obs::CounterHandle insert;
+  obs::CounterHandle evict;
+};
+
 Cache::Cache(Megabytes capacity) : capacity_(capacity) {
   SPACECDN_EXPECT(capacity.value() > 0.0, "cache capacity must be positive");
+}
+
+Cache::~Cache() = default;
+
+void Cache::set_telemetry_tier(std::string_view tier) {
+  telemetry_tier_ = tier;
+  telemetry_ =
+      telemetry_tier_.empty() ? nullptr : std::make_unique<CacheTelemetry>(telemetry_tier_);
+}
+
+void Cache::note_hit() {
+  ++stats_.hits;
+  if (telemetry_) telemetry_->hit.inc();
+}
+
+void Cache::note_miss() {
+  ++stats_.misses;
+  if (telemetry_) telemetry_->miss.inc();
+}
+
+void Cache::note_insert() {
+  ++stats_.insertions;
+  if (telemetry_) telemetry_->insert.inc();
+}
+
+void Cache::note_evict() {
+  ++stats_.evictions;
+  if (telemetry_) telemetry_->evict.inc();
 }
 
 // ---------------------------------------------------------------- LruCache
@@ -13,13 +56,14 @@ Cache::Cache(Megabytes capacity) : capacity_(capacity) {
 LruCache::LruCache(Megabytes capacity) : Cache(capacity) {}
 
 bool LruCache::access(ContentId id, Milliseconds /*now*/) {
+  SPACECDN_PROFILE("Cache::access");
   const auto it = index_.find(id);
   if (it == index_.end()) {
-    ++stats_.misses;
+    note_miss();
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-  ++stats_.hits;
+  note_hit();
   return true;
 }
 
@@ -37,7 +81,7 @@ bool LruCache::insert(const ContentItem& item, Milliseconds /*now*/) {
   lru_.push_front(Entry{item.id, item.size});
   index_[item.id] = lru_.begin();
   used_ += item.size;
-  ++stats_.insertions;
+  note_insert();
   return true;
 }
 
@@ -64,7 +108,7 @@ void LruCache::evict_one() {
   used_ -= victim.size;
   index_.erase(victim.id);
   lru_.pop_back();
-  ++stats_.evictions;
+  note_evict();
 }
 
 // ---------------------------------------------------------------- LfuCache
@@ -72,12 +116,13 @@ void LruCache::evict_one() {
 LfuCache::LfuCache(Megabytes capacity) : Cache(capacity) {}
 
 bool LfuCache::access(ContentId id, Milliseconds /*now*/) {
+  SPACECDN_PROFILE("Cache::access");
   if (index_.find(id) == index_.end()) {
-    ++stats_.misses;
+    note_miss();
     return false;
   }
   bump(id);
-  ++stats_.hits;
+  note_hit();
   return true;
 }
 
@@ -91,7 +136,7 @@ bool LfuCache::insert(const ContentItem& item, Milliseconds /*now*/) {
   bucket.push_front(Entry{item.id, item.size, 1});
   index_[item.id] = bucket.begin();
   used_ += item.size;
-  ++stats_.insertions;
+  note_insert();
   return true;
 }
 
@@ -135,7 +180,7 @@ void LfuCache::evict_one() {
   index_.erase(victim.id);
   lowest.pop_back();
   if (lowest.empty()) buckets_.erase(buckets_.begin());
-  ++stats_.evictions;
+  note_evict();
 }
 
 // --------------------------------------------------------------- FifoCache
@@ -143,11 +188,12 @@ void LfuCache::evict_one() {
 FifoCache::FifoCache(Megabytes capacity) : Cache(capacity) {}
 
 bool FifoCache::access(ContentId id, Milliseconds /*now*/) {
+  SPACECDN_PROFILE("Cache::access");
   if (index_.find(id) == index_.end()) {
-    ++stats_.misses;
+    note_miss();
     return false;
   }
-  ++stats_.hits;
+  note_hit();
   return true;
 }
 
@@ -160,7 +206,7 @@ bool FifoCache::insert(const ContentItem& item, Milliseconds /*now*/) {
   fifo_.push_back(Entry{item.id, item.size});
   index_[item.id] = std::prev(fifo_.end());
   used_ += item.size;
-  ++stats_.insertions;
+  note_insert();
   return true;
 }
 
@@ -187,7 +233,7 @@ void FifoCache::evict_one() {
   used_ -= victim.size;
   index_.erase(victim.id);
   fifo_.pop_front();
-  ++stats_.evictions;
+  note_evict();
 }
 
 // ---------------------------------------------------------------- TtlCache
@@ -202,11 +248,11 @@ bool TtlCache::access(ContentId id, Milliseconds now) {
   if (it != inserted_at_.end() && now - it->second > ttl_) {
     inner_->erase(id);
     inserted_at_.erase(it);
-    ++stats_.misses;
+    note_miss();
     return false;
   }
   const bool hit = inner_->access(id, now);
-  (hit ? stats_.hits : stats_.misses) += 1;
+  hit ? note_hit() : note_miss();
   return hit;
 }
 
@@ -215,7 +261,7 @@ bool TtlCache::contains(ContentId id) const { return inner_->contains(id); }
 bool TtlCache::insert(const ContentItem& item, Milliseconds now) {
   if (!inner_->insert(item, now)) return false;
   inserted_at_[item.id] = now;
-  ++stats_.insertions;
+  note_insert();
   // Entries the inner cache evicted are lazily dropped from inserted_at_ on
   // their next access; the map is advisory only.
   return true;

@@ -9,6 +9,8 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "cdn/content.hpp"
@@ -33,10 +35,14 @@ struct CacheStats {
 ///
 /// Methods take the current simulation time so that time-aware policies
 /// (TTL) share the interface; time-oblivious policies ignore it.
+/// Per-instance cached counter handles (defined in cache.cpp); keeps the
+/// per-event cost at a pointer bump instead of a registry name lookup.
+struct CacheTelemetry;
+
 class Cache {
  public:
   explicit Cache(Megabytes capacity);
-  virtual ~Cache() = default;
+  virtual ~Cache();
   Cache(const Cache&) = delete;
   Cache& operator=(const Cache&) = delete;
 
@@ -65,10 +71,29 @@ class Cache {
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = CacheStats{}; }
 
+  /// Tier label under which this cache reports to the telemetry registry
+  /// (`spacecdn_cache_*_total{tier="..."}`).  Empty (the default) keeps the
+  /// cache out of the registry -- local per-instance stats_ always accrue.
+  void set_telemetry_tier(std::string_view tier);
+  [[nodiscard]] const std::string& telemetry_tier() const noexcept {
+    return telemetry_tier_;
+  }
+
  protected:
+  // Policy implementations report through these so the registry sees every
+  // hit/miss/insert/eviction with the owning tier's label.
+  void note_hit();
+  void note_miss();
+  void note_insert();
+  void note_evict();
+
   Megabytes capacity_;
   Megabytes used_{0.0};
   CacheStats stats_;
+
+ private:
+  std::string telemetry_tier_;
+  std::unique_ptr<CacheTelemetry> telemetry_;
 };
 
 /// Least-recently-used eviction.  O(1) access and insert.

@@ -14,6 +14,7 @@ CdnDeployment::CdnDeployment(std::span<const data::CdnSiteInfo> sites,
   for (const auto& site : sites) {
     sites_.push_back(&site);
     caches_.push_back(make_cache(config.policy, config.edge_capacity));
+    caches_.back()->set_telemetry_tier("ground");
   }
 }
 

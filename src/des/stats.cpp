@@ -24,6 +24,23 @@ void OnlineSummary::add(double x) noexcept {
   m2_ += delta * (x - mean_);
 }
 
+void OnlineSummary::merge(const OnlineSummary& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * (n2 / n);
+  m2_ += other.m2_ + delta * delta * (n1 * n2 / n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
 double OnlineSummary::variance() const noexcept {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);

@@ -14,6 +14,11 @@ class OnlineSummary {
  public:
   void add(double x) noexcept;
 
+  /// Folds `other` into this summary (Chan et al.'s parallel Welford
+  /// combine): the result matches accumulating both streams into one
+  /// summary, so per-shard summaries can be merged after a parallel run.
+  void merge(const OnlineSummary& other) noexcept;
+
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.

@@ -3,6 +3,8 @@
 #include <set>
 
 #include "geo/propagation.hpp"
+#include "obs/profile.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace spacecdn::lsn {
@@ -14,6 +16,7 @@ IslNetwork::IslNetwork(const orbit::WalkerConstellation& constellation,
       config_(config),
       graph_(snapshot.size()),
       failed_(snapshot.size(), false) {
+  SPACECDN_PROFILE("IslNetwork::build");
   SPACECDN_EXPECT(constellation.size() == snapshot.size(),
                   "snapshot must match the constellation");
   for (const std::uint32_t sat : failed_satellites) {
@@ -57,6 +60,10 @@ void IslNetwork::fail(std::uint32_t sat) {
   ++failed_count_;
   // Links towards already-failed partners are absent; removing them is a no-op.
   for (const std::uint32_t peer : partners_[sat]) graph_.remove_undirected_edge(sat, peer);
+  if (auto* m = obs::metrics()) {
+    m->counter("spacecdn_isl_fail_total").inc();
+    m->gauge("spacecdn_isl_failed_satellites").set(static_cast<double>(failed_count_));
+  }
 }
 
 void IslNetwork::recover(std::uint32_t sat) {
@@ -73,6 +80,10 @@ void IslNetwork::recover(std::uint32_t sat) {
         geo::propagation_delay(d, geo::Medium::kVacuum) + config_.per_hop_overhead;
     graph_.add_undirected_edge(sat, neighbor, latency);
   }
+  if (auto* m = obs::metrics()) {
+    m->counter("spacecdn_isl_recover_total").inc();
+    m->gauge("spacecdn_isl_failed_satellites").set(static_cast<double>(failed_count_));
+  }
 }
 
 Milliseconds IslNetwork::link_latency(std::uint32_t a, std::uint32_t b) const {
@@ -83,17 +94,20 @@ Milliseconds IslNetwork::link_latency(std::uint32_t a, std::uint32_t b) const {
 }
 
 Milliseconds IslNetwork::path_latency(std::uint32_t from, std::uint32_t to) const {
+  SPACECDN_PROFILE("IslNetwork::path_latency");
   const auto path = net::shortest_path(graph_, from, to);
   SPACECDN_EXPECT(path.has_value(), "ISL fabric must be connected");
   return path->total;
 }
 
 std::vector<Milliseconds> IslNetwork::latencies_from(std::uint32_t sat) const {
+  SPACECDN_PROFILE("IslNetwork::latencies_from");
   return net::shortest_distances(graph_, sat);
 }
 
 std::vector<net::HopDistance> IslNetwork::within_hops(std::uint32_t sat,
                                                       std::uint32_t max_hops) const {
+  SPACECDN_PROFILE("IslNetwork::within_hops");
   return net::nodes_within_hops(graph_, sat, max_hops);
 }
 

@@ -1,0 +1,64 @@
+// Flight recorder: a fixed-size ring of the most recent traces, dumped when
+// something goes wrong.
+//
+// The Tracer pushes every finished trace into the ring; when a resilient
+// fetch fails outright or an invariant trips (e.g. a RepairDaemon audit
+// finds unrepairable replicas), the instrumented code calls trip(), which
+// dumps the retained traces to the configured sink -- the last N requests
+// leading up to the incident, exactly like an aircraft flight recorder.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace spacecdn::obs {
+
+struct FlightRecorderConfig {
+  std::size_t capacity = 64;  ///< traces retained
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config = {});
+
+  /// Retains `trace`, evicting the oldest when full.
+  void push(Trace trace);
+
+  /// Retained traces, oldest first.
+  [[nodiscard]] std::vector<Trace> snapshot() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::uint64_t pushed() const noexcept { return pushed_; }
+
+  /// Dumps retained traces to `os` on every trip(); nullptr detaches.
+  void set_dump_sink(std::ostream* os) noexcept { dump_ = os; }
+
+  /// Records an incident: bumps the trip counter, remembers `reason`, and
+  /// dumps the ring (JSONL preceded by a `# flight-recorder` header line)
+  /// to the dump sink when one is attached.
+  void trip(std::string_view reason, Milliseconds at);
+
+  [[nodiscard]] std::uint64_t trips() const noexcept { return trips_; }
+  [[nodiscard]] const std::string& last_trip_reason() const noexcept {
+    return last_reason_;
+  }
+
+  void clear() noexcept;
+
+ private:
+  std::vector<Trace> ring_;
+  std::size_t head_ = 0;  ///< next write position
+  std::size_t size_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t trips_ = 0;
+  std::string last_reason_;
+  std::ostream* dump_ = nullptr;
+};
+
+}  // namespace spacecdn::obs

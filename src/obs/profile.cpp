@@ -1,0 +1,55 @@
+#include "obs/profile.hpp"
+
+#include <ostream>
+
+#include "obs/telemetry.hpp"
+#include "util/table.hpp"
+
+namespace spacecdn::obs {
+
+const des::OnlineSummary Profiler::kEmpty{};
+
+void Profiler::record(const char* name, std::uint64_t nanoseconds) {
+  sections_[name].add(static_cast<double>(nanoseconds));
+}
+
+std::uint64_t Profiler::calls(const std::string& name) const {
+  const auto it = sections_.find(name);
+  return it == sections_.end() ? 0 : it->second.count();
+}
+
+const des::OnlineSummary& Profiler::section(const std::string& name) const {
+  const auto it = sections_.find(name);
+  return it == sections_.end() ? kEmpty : it->second;
+}
+
+void Profiler::report(std::ostream& os) const {
+  ConsoleTable table({"section", "calls", "total (ms)", "mean (us)", "min (us)",
+                      "max (us)"});
+  for (const auto& [name, summary] : sections_) {
+    const double total_ms =
+        summary.mean() * static_cast<double>(summary.count()) / 1e6;
+    table.add_row({name, std::to_string(summary.count()),
+                   ConsoleTable::format_fixed(total_ms, 2),
+                   ConsoleTable::format_fixed(summary.mean() / 1e3, 2),
+                   ConsoleTable::format_fixed(summary.min() / 1e3, 2),
+                   ConsoleTable::format_fixed(summary.max() / 1e3, 2)});
+  }
+  table.render(os);
+}
+
+ScopedTimer::ScopedTimer(const char* name) noexcept
+    : name_(name), profiler_(profiler()) {
+  if (profiler_ != nullptr) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (profiler_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  profiler_->record(name_, static_cast<std::uint64_t>(
+                               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   elapsed)
+                                   .count()));
+}
+
+}  // namespace spacecdn::obs

@@ -1,0 +1,17 @@
+#include "obs/telemetry.hpp"
+
+namespace spacecdn::obs {
+
+TelemetrySinks set_telemetry(const TelemetrySinks& sinks) noexcept {
+  const TelemetrySinks previous = detail::g_sinks;
+  detail::g_sinks = sinks;
+  return previous;
+}
+
+TelemetrySession::TelemetrySession(FlightRecorderConfig recorder_config)
+    : recorder_(recorder_config),
+      scope_(TelemetrySinks{&metrics_, &tracer_, &recorder_, &profiler_}) {
+  tracer_.set_recorder(&recorder_);
+}
+
+}  // namespace spacecdn::obs

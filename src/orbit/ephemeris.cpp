@@ -1,12 +1,16 @@
 #include "orbit/ephemeris.hpp"
 
+#include "obs/profile.hpp"
 #include "util/error.hpp"
 
 namespace spacecdn::orbit {
 
 EphemerisSnapshot::EphemerisSnapshot(const WalkerConstellation& constellation,
                                      Milliseconds t)
-    : time_(t), positions_(constellation.positions_ecef(t)) {}
+    : time_(t) {
+  SPACECDN_PROFILE("EphemerisSnapshot::build");
+  positions_ = constellation.positions_ecef(t);
+}
 
 const geo::Ecef& EphemerisSnapshot::position(std::uint32_t sat_id) const {
   SPACECDN_EXPECT(sat_id < positions_.size(), "satellite id out of range");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace spacecdn::space {
@@ -12,6 +13,7 @@ SatelliteFleet::SatelliteFleet(std::uint32_t satellite_count, const FleetConfig&
   caches_.reserve(satellite_count);
   for (std::uint32_t i = 0; i < satellite_count; ++i) {
     caches_.push_back(cdn::make_cache(config.policy, config.capacity_per_satellite));
+    caches_.back()->set_telemetry_tier("satellite");
   }
   enabled_.assign(satellite_count, true);
   online_.assign(satellite_count, true);
@@ -47,6 +49,7 @@ void SatelliteFleet::crash_cache(std::uint32_t sat) {
   SPACECDN_EXPECT(sat < cache_up_.size(), "satellite id out of range");
   caches_[sat]->clear();
   cache_up_[sat] = false;
+  if (auto* m = obs::metrics()) m->counter("spacecdn_cache_crash_total").inc();
 }
 
 void SatelliteFleet::restore_cache(std::uint32_t sat) {

@@ -1,10 +1,25 @@
 #include "spacecdn/resilience.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace spacecdn::space {
+
+namespace {
+
+/// One fault transition into the registry, labelled by component class.
+void count_fault(const char* component, bool fail) {
+  if (auto* m = obs::metrics()) {
+    m->counter("spacecdn_fault_events_total",
+               {{"component", component}, {"transition", fail ? "fail" : "recover"}})
+        .inc();
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------- ChurnController
 
@@ -40,6 +55,10 @@ void ChurnController::apply(const faults::FaultEvent& event) {
       fleet_->set_online(sat, !fail);
       sync_isl(sat);
       (fail ? counters_.satellite_failures : counters_.satellite_recoveries) += 1;
+      count_fault("satellite", fail);
+      if (auto* m = obs::metrics()) {
+        m->gauge("spacecdn_satellites_down").set(static_cast<double>(sats_down_));
+      }
       return;
     }
     case Component::kIslTerminal: {
@@ -49,11 +68,13 @@ void ChurnController::apply(const faults::FaultEvent& event) {
       isl_flapped_[sat] = fail;
       sync_isl(sat);
       (fail ? counters_.isl_flaps : counters_.isl_flap_recoveries) += 1;
+      count_fault("isl-terminal", fail);
       return;
     }
     case Component::kGroundStation: {
       network_->set_gateway_failed(event.target, fail);
       (fail ? counters_.gateway_failures : counters_.gateway_recoveries) += 1;
+      count_fault("ground-station", fail);
       return;
     }
     case Component::kCacheNode: {
@@ -64,6 +85,7 @@ void ChurnController::apply(const faults::FaultEvent& event) {
         fleet_->restore_cache(event.target);
         ++counters_.cache_restores;
       }
+      count_fault("cache-node", fail);
       return;
     }
   }
@@ -133,6 +155,19 @@ RepairReport RepairDaemon::run_once(Milliseconds now) {
   }
   ++scans_;
   totals_ += report;
+  if (auto* m = obs::metrics()) {
+    m->counter("spacecdn_repair_objects_scanned_total").inc(report.objects_scanned);
+    m->counter("spacecdn_repair_under_replicated_total").inc(report.under_replicated);
+    m->counter("spacecdn_repair_re_replicated_total").inc(report.re_replicated);
+    m->counter("spacecdn_repair_ground_refills_total").inc(report.ground_refills);
+    m->counter("spacecdn_repair_unrepairable_total").inc(report.unrepairable);
+    m->gauge("spacecdn_repair_open_crashes").set(static_cast<double>(open_crashes_.size()));
+  }
+  // An audit that found replica slots it cannot repair is a tripped
+  // invariant: snapshot the requests that led up to it.
+  if (report.unrepairable > 0) {
+    if (auto* fr = obs::recorder()) fr->trip("repair-audit-unrepairable", now);
+  }
 
   // Close every crash whose satellite is back up and fully re-replicated.
   std::erase_if(open_crashes_, [&](const std::pair<std::uint32_t, Milliseconds>& crash) {

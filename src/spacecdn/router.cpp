@@ -1,12 +1,61 @@
 #include "spacecdn/router.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <string>
 
 #include "geo/propagation.hpp"
 #include "geo/visibility.hpp"
+#include "net/graph.hpp"
+#include "obs/profile.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace spacecdn::space {
+
+namespace {
+
+constexpr obs::HistogramOptions kRttBuckets{0.0, 2'000.0, 200};
+
+/// Counts a served fetch and its RTT into the installed registry.  The
+/// handles live across calls so steady-state accounting skips the by-name
+/// lookup (this runs once per fetch -- the router's hottest metric site).
+void count_served(const FetchResult& result) {
+  static std::array<obs::CounterHandle, 3> served{
+      obs::CounterHandle{"spacecdn_fetch_served_total", {{"tier", "serving-satellite"}}},
+      obs::CounterHandle{"spacecdn_fetch_served_total", {{"tier", "isl-neighbor"}}},
+      obs::CounterHandle{"spacecdn_fetch_served_total", {{"tier", "ground"}}}};
+  static std::array<obs::HistogramHandle, 3> rtt{
+      obs::HistogramHandle{"spacecdn_fetch_rtt_ms", {{"tier", "serving-satellite"}},
+                           kRttBuckets},
+      obs::HistogramHandle{"spacecdn_fetch_rtt_ms", {{"tier", "isl-neighbor"}},
+                           kRttBuckets},
+      obs::HistogramHandle{"spacecdn_fetch_rtt_ms", {{"tier", "ground"}}, kRttBuckets}};
+  static obs::CounterHandle ground_hit{"spacecdn_ground_cache_total",
+                                       {{"result", "hit"}}};
+  static obs::CounterHandle ground_miss{"spacecdn_ground_cache_total",
+                                        {{"result", "miss"}}};
+
+  const auto i = static_cast<std::size_t>(result.tier);
+  served[i].inc();
+  rtt[i].observe(result.rtt.value());
+  if (result.tier == FetchTier::kGround) {
+    (result.ground_cache_hit ? ground_hit : ground_miss).inc();
+  }
+}
+
+/// "a>b>c" rendering of an ISL path for trace attrs.
+std::string render_path(const std::vector<net::NodeId>& nodes) {
+  std::string out;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i != 0) out += ">";
+    out += std::to_string(nodes[i]);
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string_view to_string(FetchTier tier) noexcept {
   switch (tier) {
@@ -25,17 +74,43 @@ std::optional<FetchResult> SpaceCdnRouter::fetch(const geo::GeoPoint& client,
                                                  const data::CountryInfo& country,
                                                  const cdn::ContentItem& item,
                                                  des::Rng& rng, Milliseconds now) {
+  SPACECDN_PROFILE("SpaceCdnRouter::fetch");
+  obs::Tracer* tracer = obs::tracer();
+  std::optional<obs::TraceBuilder> trace;
+  if (tracer != nullptr) {
+    trace.emplace("fetch", now);
+    trace->attr(trace->root(), "item", std::to_string(item.id));
+  }
+
   const auto serving = network_->snapshot().serving_satellite(
       client, network_->config().user_min_elevation_deg);
-  if (!serving) return std::nullopt;
-  return attempt_from(*serving, client, country, item, rng, now);
+  if (trace) {
+    const std::uint32_t sel = trace->open("serving-selection");
+    trace->attr(sel, "satellite", serving ? std::to_string(*serving) : "none");
+  }
+  if (!serving) {
+    static obs::CounterHandle no_coverage{"spacecdn_fetch_no_coverage_total"};
+    no_coverage.inc();
+    if (trace) tracer->record(trace->finish(/*failed=*/true));
+    return std::nullopt;
+  }
+
+  const auto result = attempt_from(*serving, client, country, item, rng, now,
+                                   trace ? &*trace : nullptr, obs::kNoParent);
+  if (trace) {
+    if (result) trace->set_duration(trace->root(), result->rtt);
+    tracer->record(trace->finish(/*failed=*/!result.has_value()));
+  }
+  return result;
 }
 
 std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
                                                         const geo::GeoPoint& client,
                                                         const data::CountryInfo& country,
                                                         const cdn::ContentItem& item,
-                                                        des::Rng& rng, Milliseconds now) {
+                                                        des::Rng& rng, Milliseconds now,
+                                                        obs::TraceBuilder* trace,
+                                                        std::uint32_t parent_span) {
   const auto& snapshot = network_->snapshot();
   const Milliseconds uplink = geo::propagation_delay(
       snapshot.slant_range(client, serving), geo::Medium::kVacuum);
@@ -44,8 +119,23 @@ std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
 
   // Tier (i): overhead satellite.
   if (fleet_->cache_enabled(serving) && fleet_->cache(serving).access(item.id, now)) {
-    return FetchResult{FetchTier::kServingSatellite, uplink * 2.0 + space_overhead, 0,
-                       serving, false};
+    const FetchResult result{FetchTier::kServingSatellite, uplink * 2.0 + space_overhead,
+                             0, serving, false};
+    count_served(result);
+    if (trace != nullptr) {
+      const std::uint32_t span = trace->open("tier:serving-satellite", parent_span);
+      trace->attr(span, "satellite", std::to_string(serving));
+      trace->set_duration(span, result.rtt);
+      trace->metric(span, "uplink_rtt_ms", uplink.value() * 2.0);
+      trace->metric(span, "service_overhead_ms", space_overhead.value());
+    }
+    return result;
+  }
+  if (trace != nullptr) {
+    const std::uint32_t span = trace->open("tier:serving-satellite", parent_span);
+    trace->attr(span, "satellite", std::to_string(serving));
+    trace->attr(span, "outcome",
+                fleet_->cache_enabled(serving) ? "miss" : "cache-disabled");
   }
 
   // Tier (ii): nearest replica over ISLs.  Offline holders carry no ISL
@@ -55,17 +145,44 @@ std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
           find_replica(network_->isl(), *fleet_, serving, item.id, config_.max_isl_hops)) {
     // Register the hit on the holder's cache.
     (void)fleet_->cache(found->satellite).access(item.id, now);
-    if (config_.admit_on_fetch && fleet_->cache_enabled(serving)) {
-      (void)fleet_->cache(serving).insert(item, now);
+    const bool admit = config_.admit_on_fetch && fleet_->cache_enabled(serving);
+    if (admit) (void)fleet_->cache(serving).insert(item, now);
+    const FetchResult result{FetchTier::kIslNeighbor,
+                             (uplink + found->isl_latency) * 2.0 + space_overhead,
+                             found->hops, found->satellite, false};
+    count_served(result);
+    static obs::CounterHandle admit_total{"spacecdn_cache_admit_total"};
+    static obs::HistogramHandle isl_hops{"spacecdn_isl_hops", {}, {0.0, 16.0, 16}};
+    if (admit) admit_total.inc();
+    isl_hops.observe(found->hops);
+    if (trace != nullptr) {
+      const std::uint32_t span = trace->open("tier:isl-neighbor", parent_span);
+      trace->attr(span, "holder", std::to_string(found->satellite));
+      if (const auto path =
+              net::shortest_path(network_->isl().graph(), serving, found->satellite)) {
+        trace->attr(span, "isl_path", render_path(path->nodes));
+      }
+      trace->metric(span, "hops", found->hops);
+      trace->metric(span, "isl_one_way_ms", found->isl_latency.value());
+      if (admit) trace->attr(span, "admitted", "true");
+      trace->set_duration(span, result.rtt);
     }
-    return FetchResult{FetchTier::kIslNeighbor,
-                       (uplink + found->isl_latency) * 2.0 + space_overhead, found->hops,
-                       found->satellite, false};
+    return result;
+  }
+  if (trace != nullptr) {
+    trace->attr(trace->open("tier:isl-neighbor", parent_span), "outcome", "no-replica");
   }
 
   // Tier (iii): bent pipe to the ground CDN edge nearest the assigned PoP.
   auto breakdown = network_->router().route_from_satellite(serving, client, country);
-  if (!breakdown) return std::nullopt;
+  if (!breakdown) {
+    static obs::CounterHandle unreachable{"spacecdn_ground_unreachable_total"};
+    unreachable.inc();
+    if (trace != nullptr) {
+      trace->attr(trace->open("tier:ground", parent_span), "outcome", "unreachable");
+    }
+    return std::nullopt;
+  }
   const geo::GeoPoint pop_location =
       data::location(network_->ground().pop(breakdown->pop));
   const std::size_t site = ground_cdn_->nearest_site(pop_location);
@@ -74,18 +191,36 @@ std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
 
   // The ground fallback rides the ordinary bent pipe, so it pays the full
   // measured Starlink access-layer overhead.
-  const Milliseconds client_site_rtt =
-      breakdown->propagation_rtt() + network_->access().sample_idle_overhead(rng);
+  const Milliseconds access_overhead = network_->access().sample_idle_overhead(rng);
+  const Milliseconds client_site_rtt = breakdown->propagation_rtt() + access_overhead;
   const Milliseconds site_origin_rtt = network_->ground().backbone().rtt(
       ground_cdn_->site_location(site), ground_cdn_->origin_location());
   const cdn::ServeResult served =
       ground_cdn_->serve(site, item, client_site_rtt, site_origin_rtt, now);
 
-  if (config_.admit_on_fetch && fleet_->cache_enabled(serving)) {
-    (void)fleet_->cache(serving).insert(item, now);
+  const bool admit = config_.admit_on_fetch && fleet_->cache_enabled(serving);
+  if (admit) (void)fleet_->cache(serving).insert(item, now);
+  const FetchResult result{FetchTier::kGround, served.first_byte, breakdown->isl_hops, 0,
+                           served.hit};
+  count_served(result);
+  if (admit) {
+    static obs::CounterHandle admit_total{"spacecdn_cache_admit_total"};
+    admit_total.inc();
   }
-  return FetchResult{FetchTier::kGround, served.first_byte, breakdown->isl_hops, 0,
-                     served.hit};
+  if (trace != nullptr) {
+    const std::uint32_t span = trace->open("tier:ground", parent_span);
+    trace->attr(span, "gateway", std::to_string(breakdown->gateway));
+    trace->attr(span, "pop", std::to_string(breakdown->pop));
+    trace->attr(span, "site", std::to_string(site));
+    trace->attr(span, "edge", served.hit ? "hit" : "miss");
+    if (admit) trace->attr(span, "admitted", "true");
+    trace->metric(span, "isl_hops", breakdown->isl_hops);
+    trace->metric(span, "propagation_rtt_ms", breakdown->propagation_rtt().value());
+    trace->metric(span, "access_overhead_ms", access_overhead.value());
+    trace->metric(span, "site_origin_rtt_ms", site_origin_rtt.value());
+    trace->set_duration(span, result.rtt);
+  }
+  return result;
 }
 
 std::optional<std::uint32_t> SpaceCdnRouter::healthy_serving_satellite(
@@ -111,14 +246,45 @@ ResilientFetchResult SpaceCdnRouter::fetch_resilient(const geo::GeoPoint& client
                                                      const data::CountryInfo& country,
                                                      const cdn::ContentItem& item,
                                                      des::Rng& rng, Milliseconds now) {
+  SPACECDN_PROFILE("SpaceCdnRouter::fetch_resilient");
   const ResilienceConfig& rc = config_.resilience;
+  obs::MetricsRegistry* m = obs::metrics();
+  obs::Tracer* tracer = obs::tracer();
+  std::optional<obs::TraceBuilder> trace;
+  if (tracer != nullptr) {
+    trace.emplace("fetch_resilient", now);
+    trace->attr(trace->root(), "item", std::to_string(item.id));
+  }
+  if (m != nullptr) m->counter("spacecdn_resilient_fetch_total").inc();
+
   ResilientFetchResult out;
   double waited = 0.0;
   for (std::uint32_t attempt = 0; attempt < std::max(rc.max_attempts, 1u); ++attempt) {
     ++out.attempts;
+    std::uint32_t attempt_span = obs::kNoParent;
+    if (trace) {
+      attempt_span = trace->open("attempt");
+      trace->attr(attempt_span, "n", std::to_string(attempt));
+      trace->set_start(attempt_span, Milliseconds{waited});
+    }
     const auto serving = healthy_serving_satellite(client);
+    if (trace) {
+      const std::uint32_t sel = trace->open("serving-selection", attempt_span);
+      trace->set_start(sel, Milliseconds{waited});
+      trace->attr(sel, "satellite", serving ? std::to_string(*serving) : "none");
+    }
     std::optional<FetchResult> served;
-    if (serving) served = attempt_from(*serving, client, country, item, rng, now);
+    if (serving) {
+      served = attempt_from(*serving, client, country, item, rng, now,
+                            trace ? &*trace : nullptr, attempt_span);
+      if (trace) {
+        // Tier spans of this attempt start where the attempt started.
+        for (std::uint32_t s = attempt_span + 2;
+             s < static_cast<std::uint32_t>(trace->span_count()); ++s) {
+          trace->set_start(s, Milliseconds{waited});
+        }
+      }
+    }
     // The response can be lost in flight even when a path exists; the
     // server-side effects (cache admissions) still happened.
     const bool lost = rc.transient_loss > 0.0 && rng.chance(rc.transient_loss);
@@ -127,17 +293,62 @@ ResilientFetchResult SpaceCdnRouter::fetch_resilient(const geo::GeoPoint& client
       out.served = served;
       out.total_latency = Milliseconds{waited} + served->rtt;
       out.retries = out.attempts - 1;
+      if (m != nullptr) {
+        m->counter("spacecdn_resilient_success_total").inc();
+        m->counter("spacecdn_resilient_attempts_total").inc(out.attempts);
+        m->counter("spacecdn_resilient_retries_total").inc(out.retries);
+        m->histogram("spacecdn_resilient_latency_ms", {}, {0.0, 10'000.0, 200})
+            .observe(out.total_latency.value());
+      }
+      if (trace) {
+        trace->attr(attempt_span, "outcome", "served");
+        trace->set_duration(attempt_span, served->rtt);
+        trace->set_duration(trace->root(), out.total_latency);
+        tracer->record(trace->finish(/*failed=*/false));
+      }
       return out;
     }
     // Timed out, lost, or no path: the client burns the full deadline, then
     // backs off exponentially before trying again.
+    const char* outcome = !serving ? "no-coverage" : (!served ? "no-path"
+                                     : (lost ? "lost" : "timeout"));
+    if (m != nullptr) {
+      m->counter("spacecdn_resilient_attempt_failed_total", {{"outcome", outcome}})
+          .inc();
+    }
+    if (trace) {
+      trace->attr(attempt_span, "outcome", outcome);
+      trace->set_duration(attempt_span, rc.attempt_timeout);
+    }
     waited += rc.attempt_timeout.value();
     if (attempt + 1 < rc.max_attempts) {
-      waited += rc.backoff_base.value() * std::pow(rc.backoff_multiplier, attempt);
+      const double backoff =
+          rc.backoff_base.value() * std::pow(rc.backoff_multiplier, attempt);
+      if (m != nullptr) {
+        m->histogram("spacecdn_backoff_ms", {}, {0.0, 5'000.0, 100}).observe(backoff);
+      }
+      if (trace) {
+        const std::uint32_t span = trace->open("backoff");
+        trace->set_start(span, Milliseconds{waited});
+        trace->set_duration(span, Milliseconds{backoff});
+      }
+      waited += backoff;
     }
   }
   out.retries = out.attempts - 1;
   out.total_latency = Milliseconds{waited};
+  if (m != nullptr) {
+    m->counter("spacecdn_resilient_failure_total").inc();
+    m->counter("spacecdn_resilient_attempts_total").inc(out.attempts);
+    m->counter("spacecdn_resilient_retries_total").inc(out.retries);
+  }
+  if (trace) {
+    trace->set_duration(trace->root(), out.total_latency);
+    tracer->record(trace->finish(/*failed=*/true));
+  }
+  // A fetch that exhausted every attempt is exactly the incident the flight
+  // recorder exists for: dump the requests leading up to it.
+  if (auto* fr = obs::recorder()) fr->trip("fetch_resilient-exhausted", now);
   return out;
 }
 

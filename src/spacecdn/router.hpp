@@ -10,11 +10,16 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 
 #include "cdn/deployment.hpp"
 #include "lsn/starlink.hpp"
 #include "spacecdn/fleet.hpp"
 #include "spacecdn/lookup.hpp"
+
+namespace spacecdn::obs {
+class TraceBuilder;
+}
 
 namespace spacecdn::space {
 
@@ -119,12 +124,16 @@ class SpaceCdnRouter {
   [[nodiscard]] std::optional<std::uint32_t> healthy_serving_satellite(
       const geo::GeoPoint& client) const;
 
-  /// One fault-aware attempt across the three tiers from `serving`.
+  /// One fault-aware attempt across the three tiers from `serving`.  When a
+  /// tracer is installed, tier spans are appended to `trace` under
+  /// `parent_span` (pass nullptr to skip tracing).
   [[nodiscard]] std::optional<FetchResult> attempt_from(std::uint32_t serving,
                                                         const geo::GeoPoint& client,
                                                         const data::CountryInfo& country,
                                                         const cdn::ContentItem& item,
-                                                        des::Rng& rng, Milliseconds now);
+                                                        des::Rng& rng, Milliseconds now,
+                                                        obs::TraceBuilder* trace,
+                                                        std::uint32_t parent_span);
 
   const lsn::StarlinkNetwork* network_;
   SatelliteFleet* fleet_;

@@ -193,6 +193,66 @@ TEST(OnlineSummary, MatchesDirectComputation) {
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
 }
 
+TEST(OnlineSummary, MergeMatchesSingleStream) {
+  // Chan et al. parallel combine: merging per-shard summaries must agree
+  // with accumulating the concatenated stream into one summary.
+  Rng rng(17);
+  std::vector<double> all;
+  OnlineSummary whole;
+  OnlineSummary shards[3];
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.lognormal_median(50.0, 0.7);
+    all.push_back(x);
+    whole.add(x);
+    shards[i % 3].add(x);
+  }
+  OnlineSummary merged;
+  for (const OnlineSummary& shard : shards) merged.merge(shard);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9 * whole.mean());
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9 * whole.variance());
+}
+
+TEST(OnlineSummary, MergeSkewedShardSizes) {
+  // 1 sample vs 10,000: the combine must stay exact, not just balanced.
+  OnlineSummary big, tiny, whole;
+  Rng rng(18);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    big.add(x);
+    whole.add(x);
+  }
+  tiny.add(123.0);
+  whole.add(123.0);
+  OnlineSummary merged = big;
+  merged.merge(tiny);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12 * whole.mean());
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9 * whole.variance());
+  EXPECT_DOUBLE_EQ(merged.max(), 123.0);
+}
+
+TEST(OnlineSummary, MergeEmptyEdgeCases) {
+  OnlineSummary empty1, empty2;
+  empty1.merge(empty2);
+  EXPECT_EQ(empty1.count(), 0u);
+
+  OnlineSummary filled;
+  filled.add(3.0);
+  filled.add(5.0);
+  OnlineSummary target;
+  target.merge(filled);  // empty <- filled copies
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(target.min(), 3.0);
+
+  filled.merge(empty1);  // filled <- empty is a no-op
+  EXPECT_EQ(filled.count(), 2u);
+  EXPECT_DOUBLE_EQ(filled.mean(), 4.0);
+}
+
 TEST(SampleSet, QuantilesInterpolate) {
   SampleSet s({1.0, 2.0, 3.0, 4.0});
   EXPECT_DOUBLE_EQ(s.min(), 1.0);

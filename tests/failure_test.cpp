@@ -4,11 +4,13 @@
 
 #include <cmath>
 
+#include "cdn/deployment.hpp"
 #include "data/datasets.hpp"
 #include "lsn/starlink.hpp"
 #include "spacecdn/fleet.hpp"
 #include "spacecdn/lookup.hpp"
 #include "spacecdn/placement.hpp"
+#include "spacecdn/router.hpp"
 #include "util/error.hpp"
 
 namespace spacecdn {
@@ -182,6 +184,70 @@ TEST(Failures, FailRecoverAreIdempotent) {
   isl.recover(7);
   EXPECT_EQ(isl.failed_count(), 0u);
   EXPECT_EQ(isl.graph().edge_count(), edges);
+}
+
+TEST(Failures, ResilientFetchAccountingConsistentUnderFaults) {
+  // Regression: FetchResult bookkeeping (isl_hops / source_satellite /
+  // ground_cache_hit) must stay consistent with the served tier when faults
+  // force the router off its preferred path.
+  const lsn::StarlinkNetwork network{};
+  space::SatelliteFleet fleet(
+      network.constellation().size(),
+      space::FleetConfig{Megabytes{1000.0}, cdn::CachePolicy::kLru});
+  cdn::CdnDeployment ground(data::cdn_sites(), {});
+  space::RouterConfig rcfg;
+  rcfg.admit_on_fetch = false;
+  space::SpaceCdnRouter router(network, fleet, ground, rcfg);
+
+  constexpr Milliseconds t0{0.0};
+  const double min_elev = network.config().user_min_elevation_deg;
+  const geo::GeoPoint client = data::location(data::city("Maputo"));
+  const auto preferred = network.snapshot().serving_satellite(client, min_elev);
+  ASSERT_TRUE(preferred.has_value());
+  fleet.set_online(*preferred, false);
+
+  // The fault-aware serving choice: the nearest *online* visible satellite.
+  std::optional<std::uint32_t> fallback;
+  double best_range = 0.0;
+  for (const std::uint32_t sat :
+       network.snapshot().visible_satellites(client, min_elev)) {
+    if (!fleet.online(sat)) continue;
+    const double range = network.snapshot().slant_range(client, sat).value();
+    if (!fallback || range < best_range) {
+      fallback = sat;
+      best_range = range;
+    }
+  }
+  ASSERT_TRUE(fallback.has_value());
+  ASSERT_NE(*fallback, *preferred);
+
+  // Tier (i) from the fallback satellite: zero hops, source == server.
+  const cdn::ContentItem obj{61, Megabytes{5.0}, data::Region::kEurope};
+  ASSERT_TRUE(fleet.cache(*fallback).insert(obj, t0));
+  des::Rng rng(34);
+  const auto r1 = router.fetch_resilient(client, data::country("MZ"), obj, rng, t0);
+  ASSERT_TRUE(r1.success);
+  ASSERT_TRUE(r1.served.has_value());
+  EXPECT_EQ(r1.served->tier, space::FetchTier::kServingSatellite);
+  EXPECT_EQ(r1.served->source_satellite, *fallback);
+  EXPECT_EQ(r1.served->isl_hops, 0u);
+  EXPECT_FALSE(r1.served->ground_cache_hit);
+  EXPECT_EQ(r1.attempts, 1u);
+  EXPECT_DOUBLE_EQ(r1.total_latency.value(), r1.served->rtt.value());
+
+  // Crash the only space holder of a second object: tier (ii) must skip the
+  // dead cache and the ground tier's accounting takes over (source 0, cold
+  // edge miss).
+  const cdn::ContentItem obj2{62, Megabytes{5.0}, data::Region::kEurope};
+  const auto holder = network.constellation().grid_neighbors(*fallback)[0];
+  ASSERT_TRUE(fleet.cache(holder).insert(obj2, t0));
+  fleet.crash_cache(holder);
+  const auto r2 = router.fetch_resilient(client, data::country("MZ"), obj2, rng, t0);
+  ASSERT_TRUE(r2.success);
+  ASSERT_TRUE(r2.served.has_value());
+  EXPECT_EQ(r2.served->tier, space::FetchTier::kGround);
+  EXPECT_EQ(r2.served->source_satellite, 0u);
+  EXPECT_FALSE(r2.served->ground_cache_hit);
 }
 
 TEST(Failures, CacheCrashLosesContentsUntilRestore) {

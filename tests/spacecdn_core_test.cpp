@@ -284,6 +284,57 @@ TEST(Router, AdmitOnFetchWarmsServingSatellite) {
   EXPECT_LT(second->rtt.value(), first->rtt.value());
 }
 
+TEST(Router, FetchResultAccountingConsistentPerTier) {
+  // Regression: the FetchResult bookkeeping fields must match the served
+  // tier for every tier.
+  const auto& net = shell1();
+  SatelliteFleet fleet(net.constellation().size(), small_fleet_config());
+  cdn::CdnDeployment ground(data::cdn_sites(), {});
+  RouterConfig cfg;
+  cfg.admit_on_fetch = false;  // keep each fetch on its intended tier
+  SpaceCdnRouter router(net, fleet, ground, cfg);
+
+  const geo::GeoPoint client = data::location(data::city("Maputo"));
+  const auto serving = net.snapshot().serving_satellite(client, 25.0);
+  ASSERT_TRUE(serving.has_value());
+  des::Rng rng(11);
+
+  // Tier (i): the overhead satellite serves, so no ISL hops, the source is
+  // the serving satellite itself, and the ground edge never saw the request.
+  (void)fleet.cache(*serving).insert(item(41), kNow);
+  const auto tier1 = router.fetch(client, data::country("MZ"), item(41), rng, kNow);
+  ASSERT_TRUE(tier1.has_value());
+  ASSERT_EQ(tier1->tier, FetchTier::kServingSatellite);
+  EXPECT_EQ(tier1->isl_hops, 0u);
+  EXPECT_EQ(tier1->source_satellite, *serving);
+  EXPECT_FALSE(tier1->ground_cache_hit);
+
+  // Tier (ii): the replica sits on a grid neighbour -- one hop, source is
+  // the holder, still no ground involvement.
+  const auto neighbor = net.constellation().grid_neighbors(*serving)[1];
+  (void)fleet.cache(neighbor).insert(item(42), kNow);
+  const auto tier2 = router.fetch(client, data::country("MZ"), item(42), rng, kNow);
+  ASSERT_TRUE(tier2.has_value());
+  ASSERT_EQ(tier2->tier, FetchTier::kIslNeighbor);
+  EXPECT_GE(tier2->isl_hops, 1u);
+  EXPECT_EQ(tier2->source_satellite, neighbor);
+  EXPECT_FALSE(tier2->ground_cache_hit);
+
+  // Tier (iii): space holds nothing, so the bent pipe serves.  The source
+  // satellite is not meaningful (0) and the first fetch misses the edge;
+  // repeating it hits the now-warm edge cache.
+  const auto cold = router.fetch(client, data::country("MZ"), item(43), rng, kNow);
+  ASSERT_TRUE(cold.has_value());
+  ASSERT_EQ(cold->tier, FetchTier::kGround);
+  EXPECT_EQ(cold->source_satellite, 0u);
+  EXPECT_FALSE(cold->ground_cache_hit);
+  const auto warm = router.fetch(client, data::country("MZ"), item(43), rng, kNow);
+  ASSERT_TRUE(warm.has_value());
+  ASSERT_EQ(warm->tier, FetchTier::kGround);
+  EXPECT_TRUE(warm->ground_cache_hit);
+  EXPECT_LT(warm->rtt.value(), cold->rtt.value());
+}
+
 TEST(Router, NoCoverageReturnsNullopt) {
   const auto& net = shell1();
   SatelliteFleet fleet(net.constellation().size(), small_fleet_config());
