@@ -1,7 +1,9 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -12,6 +14,7 @@
 #include "obs/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spacecdn::bench {
 
@@ -71,6 +74,48 @@ class BenchTelemetry {
   bool profile_;
   std::ofstream trace_file_;
   std::optional<obs::TelemetrySession> session_;
+};
+
+/// Resolves a bench's --threads flag: explicit N wins; 0 (the default) means
+/// hardware concurrency; telemetry forces 1 because the obs:: sinks
+/// (MetricsRegistry, Tracer) are single-threaded by design.
+inline std::size_t resolve_bench_threads(const CliArgs& args,
+                                         const BenchTelemetry& telemetry) {
+  const std::size_t threads = ThreadPool::resolve_threads(args.get("threads", 0L));
+  if (telemetry.active() && threads > 1) {
+    std::cerr << "note: telemetry flags force --threads=1 (obs sinks are "
+                 "single-threaded)\n";
+    return 1;
+  }
+  return threads;
+}
+
+/// Order-sensitive FNV-1a checksum over double samples.  Serial and parallel
+/// sweeps must print the same digest: the merge order, not the execution
+/// order, defines the stream.
+class Checksum {
+ public:
+  void add(double value) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof value);
+    std::memcpy(&bits, &value, sizeof bits);
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash_ ^= (bits >> shift) & 0xffU;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return hash_; }
+
+  [[nodiscard]] std::string hex() const {
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(hash_));
+    return buf;
+  }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
 };
 
 /// Standard bench prologue: parse argv, warn about typo'd flags later via

@@ -9,9 +9,14 @@
 #include "measurement/aim.hpp"
 #include "measurement/analysis.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
+  const CliArgs args(argc, argv);
+  const bench::BenchTelemetry telemetry(args);
+  const std::size_t threads = bench::resolve_bench_threads(args, telemetry);
+  bench::warn_unused_flags(args);
   bench::banner("Figure 2: median RTT delta (Starlink - terrestrial) per country",
                 "Bose et al., HotNets '24, Figure 2");
 
@@ -19,7 +24,21 @@ int main() {
   measurement::AimConfig cfg;
   cfg.tests_per_city = 25;
   measurement::AimCampaign campaign(network, cfg);
-  const measurement::AimAnalysis analysis(campaign.run());
+
+  // Countries shard across the pool; the campaign merges records back in
+  // dataset order, so the analysis input -- and the checksum below -- are
+  // bit-identical for any --threads value.
+  ThreadPool pool(threads);
+  auto records = campaign.run(pool);
+  bench::Checksum checksum;
+  for (const auto& r : records) {
+    checksum.add(r.idle_rtt.value());
+    checksum.add(r.loaded_rtt.value());
+  }
+  std::cout << "campaign threads: " << pool.thread_count() << ", records: "
+            << records.size() << ", determinism checksum: " << checksum.hex()
+            << "\n";
+  const measurement::AimAnalysis analysis(std::move(records));
 
   struct Delta {
     std::string country;

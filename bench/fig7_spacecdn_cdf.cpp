@@ -5,6 +5,7 @@
 // Paper's claim: "If objects can be fetched in five ISL hops or fewer, LSNs
 // can offer comparable performance to CDNs connected to terrestrial ISPs
 // ... even 10 ISL hops offers around half the latency [of Starlink today]."
+#include <array>
 #include <cmath>
 #include <iostream>
 
@@ -15,67 +16,113 @@
 #include "measurement/aim.hpp"
 #include "measurement/analysis.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace spacecdn;
+
+constexpr std::uint64_t kSweepSeed = 7;
+const std::vector<std::uint32_t> kHopBudgets{1, 3, 5, 10};
+
+/// Samples produced by one (epoch, city) shard, merged in shard order.
+struct CityShard {
+  std::vector<double> first_sat;
+  std::array<std::vector<double>, 4> rings;
+};
+
+CityShard sample_city(const lsn::StarlinkNetwork& network, const data::CityInfo& city,
+                      std::uint64_t stream) {
+  CityShard shard;
+  if (std::abs(city.lat_deg) > 56.0) return shard;  // Shell 1 coverage band
+  const auto& snapshot = network.snapshot();
+  const geo::GeoPoint client = data::location(city);
+  const auto serving = snapshot.serving_satellite(client, 25.0);
+  if (!serving) return shard;
+  const Milliseconds uplink = geo::propagation_delay(
+      snapshot.slant_range(client, *serving), geo::Medium::kVacuum);
+
+  // Satellite-cache fetches carge propagation plus a small onboard
+  // service overhead (the xeoverse-style idealisation; the measured
+  // Starlink baselines below keep the full access-layer overhead).
+  des::Rng rng(des::mix_seed(kSweepSeed, stream));
+  const auto service = [&rng] {
+    return Milliseconds{rng.lognormal_median(2.0, 0.3)};
+  };
+
+  // Content on the satellite directly overhead ("1st/Sat").
+  for (int k = 0; k < 4; ++k) {
+    shard.first_sat.push_back((uplink * 2.0 + service()).value());
+  }
+
+  // Content whose nearest replica is exactly n hops away: ISLs "route
+  // the request to the next closest satellite with the cached content",
+  // i.e. the cheapest member of the n-hop ring.
+  const auto ring = network.isl().within_hops(*serving, kHopBudgets.back());
+  const auto isl_latency = network.isl().latencies_from(*serving);
+  for (std::size_t b = 0; b < kHopBudgets.size(); ++b) {
+    double best = net::kUnreachable;
+    for (const auto& hd : ring) {
+      if (hd.hops == kHopBudgets[b]) {
+        best = std::min(best, isl_latency[hd.node].value());
+      }
+    }
+    if (best == net::kUnreachable) continue;
+    for (int k = 0; k < 4; ++k) {
+      shard.rings[b].push_back(
+          ((uplink + Milliseconds{best}) * 2.0 + service()).value());
+    }
+  }
+  return shard;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace spacecdn;
   const CliArgs args(argc, argv);
   const bench::BenchTelemetry telemetry(args);
+  const std::size_t threads = bench::resolve_bench_threads(args, telemetry);
   bench::warn_unused_flags(args);
   bench::banner("Figure 7: SpaceCDN fetch-latency CDF vs Starlink/terrestrial CDN",
                 "Bose et al., HotNets '24, Figure 7");
 
   lsn::StarlinkNetwork network;  // Shell 1, as the paper configures xeoverse
-  des::Rng rng(7);
+  ThreadPool pool(threads);
 
-  const std::vector<std::uint32_t> hop_budgets{1, 3, 5, 10};
-  std::vector<des::SampleSet> space_latency(hop_budgets.size());
+  std::vector<des::SampleSet> space_latency(kHopBudgets.size());
   des::SampleSet first_sat;
+  bench::Checksum checksum;
 
   // Sample epochs across a quarter orbit so satellite geometry varies.
+  // Epochs advance serially (set_time mutates the shared network); within an
+  // epoch cities shard across the pool against the read-only snapshot and
+  // the epoch-cached routing engine.  Each (epoch, city) shard draws its own
+  // RNG stream and the merge walks shards in dataset order, so the samples
+  // -- and the checksum -- are bit-identical for any --threads value.
+  const auto cities = data::cities();
+  std::uint64_t epoch_index = 0;
   for (const Milliseconds epoch :
        {Milliseconds{0.0}, Milliseconds::from_minutes(8.0),
         Milliseconds::from_minutes(16.0)}) {
     network.set_time(epoch);
-    const auto& snapshot = network.snapshot();
-    for (const auto& city : data::cities()) {
-      if (std::abs(city.lat_deg) > 56.0) continue;  // Shell 1 coverage band
-      const geo::GeoPoint client = data::location(city);
-      const auto serving = snapshot.serving_satellite(client, 25.0);
-      if (!serving) continue;
-      const Milliseconds uplink = geo::propagation_delay(
-          snapshot.slant_range(client, *serving), geo::Medium::kVacuum);
-
-      // Satellite-cache fetches carge propagation plus a small onboard
-      // service overhead (the xeoverse-style idealisation; the measured
-      // Starlink baselines below keep the full access-layer overhead).
-      const auto service = [&rng] {
-        return Milliseconds{rng.lognormal_median(2.0, 0.3)};
-      };
-
-      // Content on the satellite directly overhead ("1st/Sat").
-      for (int k = 0; k < 4; ++k) {
-        first_sat.add((uplink * 2.0 + service()).value());
+    std::vector<CityShard> shards(cities.size());
+    pool.parallel_for(cities.size(), [&](std::size_t i) {
+      shards[i] = sample_city(network, cities[i],
+                              epoch_index * cities.size() + i);
+    });
+    for (const CityShard& shard : shards) {
+      for (const double v : shard.first_sat) {
+        first_sat.add(v);
+        checksum.add(v);
       }
-
-      // Content whose nearest replica is exactly n hops away: ISLs "route
-      // the request to the next closest satellite with the cached content",
-      // i.e. the cheapest member of the n-hop ring.
-      const auto ring = network.isl().within_hops(*serving, hop_budgets.back());
-      const auto isl_latency = network.isl().latencies_from(*serving);
-      for (std::size_t b = 0; b < hop_budgets.size(); ++b) {
-        double best = net::kUnreachable;
-        for (const auto& hd : ring) {
-          if (hd.hops == hop_budgets[b]) {
-            best = std::min(best, isl_latency[hd.node].value());
-          }
-        }
-        if (best == net::kUnreachable) continue;
-        for (int k = 0; k < 4; ++k) {
-          space_latency[b].add(
-              ((uplink + Milliseconds{best}) * 2.0 + service()).value());
+      for (std::size_t b = 0; b < kHopBudgets.size(); ++b) {
+        for (const double v : shard.rings[b]) {
+          space_latency[b].add(v);
+          checksum.add(v);
         }
       }
     }
+    ++epoch_index;
   }
 
   // AIM baselines (section 3 campaign), as the dashed/dotted curves.
@@ -83,13 +130,17 @@ int main(int argc, char** argv) {
   measurement::AimConfig acfg;
   acfg.tests_per_city = 15;
   measurement::AimCampaign campaign(network, acfg);
-  const measurement::AimAnalysis analysis(campaign.run());
+  const measurement::AimAnalysis analysis(campaign.run(pool));
   // The paper: "Table 1 shows the lowest observed latency; here we plot the
   // whole CDF" -- every sample, not just optimal-site ones.
   const des::SampleSet starlink_cdn =
       analysis.idle_rtts(measurement::IspType::kStarlink);
   const des::SampleSet terrestrial_cdn =
       analysis.idle_rtts(measurement::IspType::kTerrestrial);
+
+  std::cout << "sweep threads: " << pool.thread_count()
+            << ", determinism checksum: " << checksum.hex()
+            << " (identical for any --threads)\n\n";
 
   std::vector<std::string> names{"1st/Sat", "1 ISL", "3 ISLs", "5 ISLs", "10 ISLs",
                                  "Starlink", "Terrestrial"};

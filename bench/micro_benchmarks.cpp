@@ -12,6 +12,7 @@
 #include "net/graph.hpp"
 #include "orbit/ephemeris.hpp"
 #include "spacecdn/lookup.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -124,6 +125,83 @@ void BM_ReplicaLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ReplicaLookup);
+
+// --- Routing-engine cache: uncached Dijkstra vs epoch-cached SSSP trees ---
+//
+// The acceptance bar for the routing engine is >= 5x throughput on repeated
+// path_latency / latencies_from calls within an epoch; compare these two
+// against BM_SsspUncached.
+
+void BM_SsspUncached(benchmark::State& state) {
+  // Ground truth cost: one full Dijkstra per call, no memoization.
+  const auto& graph = shell1().isl().graph();
+  std::uint32_t src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::shortest_distances(graph, src));
+    src = (src + 97) % 1584;
+  }
+}
+BENCHMARK(BM_SsspUncached);
+
+void BM_LatenciesFromCached(benchmark::State& state) {
+  // Same rotation as BM_SsspUncached, but through the routing cache: after
+  // one warm-up lap every call is a shared-lock hit plus a vector copy.
+  const auto& isl = shell1().isl();
+  std::uint32_t src = 0;
+  // The stride-97 rotation visits every source (gcd(97, 1584) == 1), so warm
+  // the whole constellation once; the cache holds snapshot.size() sources.
+  static const bool warmed = [&isl] {
+    for (std::uint32_t s = 0; s < 1584; ++s) (void)isl.latencies_from(s);
+    return true;
+  }();
+  benchmark::DoNotOptimize(warmed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isl.latencies_from(src));
+    src = (src + 97) % 1584;
+  }
+}
+BENCHMARK(BM_LatenciesFromCached);
+
+void BM_PathLatencyCached(benchmark::State& state) {
+  // Point queries against a warm tree: the pre-cache code ran a full
+  // shortest_path per call; now it is one cache hit plus an array read.
+  const auto& isl = shell1().isl();
+  (void)isl.path_latency(42, 1000);
+  std::uint32_t dst = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isl.path_latency(42, dst));
+    dst = (dst + 131) % 1584;
+  }
+}
+BENCHMARK(BM_PathLatencyCached);
+
+void BM_SsspTreeHopReconstruction(benchmark::State& state) {
+  // hops_to / path_to walk the cached parent array instead of re-running a
+  // BFS or Dijkstra per query.
+  const auto tree = shell1().isl().sssp_from(7);
+  std::uint32_t dst = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->hops_to(dst));
+    dst = (dst + 131) % 1584;
+  }
+}
+BENCHMARK(BM_SsspTreeHopReconstruction);
+
+void BM_ParallelAimSweep(benchmark::State& state) {
+  // Wall-clock of the full AIM campaign sharded over N workers; the serial
+  // baseline is Arg(1).  Records the parallel-sweep speedup trajectory
+  // (BENCH_*.json) -- on a many-core host Arg(4) should be >= 2x Arg(1).
+  const auto& net = shell1();
+  measurement::AimConfig cfg;
+  cfg.tests_per_city = 3;
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    measurement::AimCampaign campaign(net, cfg);
+    benchmark::DoNotOptimize(campaign.run(pool));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParallelAimSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_AimCountryCampaign(benchmark::State& state) {
   const auto& net = shell1();

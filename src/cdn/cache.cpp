@@ -11,12 +11,14 @@ struct CacheTelemetry {
       : hit("spacecdn_cache_hit_total", {{"tier", tier}}),
         miss("spacecdn_cache_miss_total", {{"tier", tier}}),
         insert("spacecdn_cache_insert_total", {{"tier", tier}}),
-        evict("spacecdn_cache_evict_total", {{"tier", tier}}) {}
+        evict("spacecdn_cache_evict_total", {{"tier", tier}}),
+        reject_oversized("spacecdn_cache_reject_oversized_total", {{"tier", tier}}) {}
 
   obs::CounterHandle hit;
   obs::CounterHandle miss;
   obs::CounterHandle insert;
   obs::CounterHandle evict;
+  obs::CounterHandle reject_oversized;
 };
 
 Cache::Cache(Megabytes capacity) : capacity_(capacity) {
@@ -51,6 +53,11 @@ void Cache::note_evict() {
   if (telemetry_) telemetry_->evict.inc();
 }
 
+void Cache::note_reject_oversized() {
+  ++stats_.rejected_oversized;
+  if (telemetry_) telemetry_->reject_oversized.inc();
+}
+
 // ---------------------------------------------------------------- LruCache
 
 LruCache::LruCache(Megabytes capacity) : Cache(capacity) {}
@@ -76,7 +83,10 @@ bool LruCache::insert(const ContentItem& item, Milliseconds /*now*/) {
     lru_.splice(lru_.begin(), lru_, it->second);
     return true;
   }
-  if (item.size > capacity_) return false;
+  if (item.size > capacity_) {
+    note_reject_oversized();
+    return false;
+  }
   while (used_ + item.size > capacity_) evict_one();
   lru_.push_front(Entry{item.id, item.size});
   index_[item.id] = lru_.begin();
@@ -130,7 +140,10 @@ bool LfuCache::contains(ContentId id) const { return index_.count(id) != 0; }
 
 bool LfuCache::insert(const ContentItem& item, Milliseconds /*now*/) {
   if (index_.count(item.id) != 0) return true;
-  if (item.size > capacity_) return false;
+  if (item.size > capacity_) {
+    note_reject_oversized();
+    return false;
+  }
   while (used_ + item.size > capacity_) evict_one();
   Bucket& bucket = buckets_[1];
   bucket.push_front(Entry{item.id, item.size, 1});
@@ -201,7 +214,10 @@ bool FifoCache::contains(ContentId id) const { return index_.count(id) != 0; }
 
 bool FifoCache::insert(const ContentItem& item, Milliseconds /*now*/) {
   if (index_.count(item.id) != 0) return true;
-  if (item.size > capacity_) return false;
+  if (item.size > capacity_) {
+    note_reject_oversized();
+    return false;
+  }
   while (used_ + item.size > capacity_) evict_one();
   fifo_.push_back(Entry{item.id, item.size});
   index_[item.id] = std::prev(fifo_.end());
@@ -259,6 +275,12 @@ bool TtlCache::access(ContentId id, Milliseconds now) {
 bool TtlCache::contains(ContentId id) const { return inner_->contains(id); }
 
 bool TtlCache::insert(const ContentItem& item, Milliseconds now) {
+  // Check before delegating so the decorator's own stats record the
+  // rejection; the inner cache never sees the doomed offer.
+  if (item.size > capacity_) {
+    note_reject_oversized();
+    return false;
+  }
   if (!inner_->insert(item, now)) return false;
   inserted_at_[item.id] = now;
   note_insert();

@@ -24,6 +24,10 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Inserts refused because the object exceeds the whole capacity.  A
+  /// placement loop that keeps offering such an object would otherwise spin
+  /// invisibly: the insert fails without a hit, miss, or eviction.
+  std::uint64_t rejected_oversized = 0;
 
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t total = hits + misses;
@@ -86,6 +90,7 @@ class Cache {
   void note_miss();
   void note_insert();
   void note_evict();
+  void note_reject_oversized();
 
   Megabytes capacity_;
   Megabytes used_{0.0};

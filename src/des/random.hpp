@@ -14,6 +14,19 @@
 
 namespace spacecdn::des {
 
+/// Derives an independent-stream seed from a base seed and a stream index
+/// (splitmix64 finalizer).  Parallel sweeps give every shard
+/// `Rng(mix_seed(seed, shard))` so results are independent of how shards are
+/// scheduled across workers, and shard 0's stream is decorrelated from the
+/// base seed itself.
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t seed,
+                                               std::uint64_t stream) noexcept {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Mersenne-twister-backed generator with convenience distributions.
 class Rng {
  public:

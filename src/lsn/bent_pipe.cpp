@@ -11,8 +11,27 @@ BentPipeRouter::BentPipeRouter(const GroundSegment& ground, const IslNetwork& is
     : ground_(&ground),
       isl_(&isl),
       user_min_elevation_deg_(user_min_elevation_deg),
+      gateway_min_elevation_deg_(gateway_min_elevation_deg),
+      gateway_snapshot_(&isl.snapshot()),
+      gateway_snapshot_time_(isl.snapshot().time()),
       gateway_satellites_(
           ground.gateway_visible_satellites(isl.snapshot(), gateway_min_elevation_deg)) {}
+
+const std::vector<std::vector<std::uint32_t>>& BentPipeRouter::landing_candidates() const {
+  // Cheap enough to take unconditionally: route computation dwarfs one
+  // uncontended lock, and it makes concurrent parallel-sweep queries safe
+  // against a refresh racing the first post-advance access.
+  const std::lock_guard lock(gateway_mutex_);
+  const orbit::EphemerisSnapshot& snapshot = isl_->snapshot();
+  if (gateway_snapshot_ != &snapshot ||
+      gateway_snapshot_time_.value() != snapshot.time().value()) {
+    gateway_satellites_ =
+        ground_->gateway_visible_satellites(snapshot, gateway_min_elevation_deg_);
+    gateway_snapshot_ = &snapshot;
+    gateway_snapshot_time_ = snapshot.time();
+  }
+  return gateway_satellites_;
+}
 
 std::optional<RouteBreakdown> BentPipeRouter::route(const geo::GeoPoint& client,
                                                     const data::CountryInfo& country,
@@ -39,11 +58,15 @@ std::optional<RouteBreakdown> BentPipeRouter::route_from_satellite(
   SPACECDN_EXPECT(serving < snapshot.size(), "serving satellite id out of range");
   const std::size_t pop = ground_->assigned_pop(country, client);
 
-  // One Dijkstra from the serving satellite, then pick the gateway whose
+  // One cached SSSP from the serving satellite, then pick the gateway whose
   // (ISL + downlink + terrestrial haul to the PoP) total is minimal.  This
   // lets traffic land at a distant gateway near the PoP -- the ISL-detour
-  // behaviour the paper observes for southern Africa.
-  const std::vector<Milliseconds> isl_latency = isl_->latencies_from(serving);
+  // behaviour the paper observes for southern Africa.  The tree is memoised
+  // per serving satellite and epoch, so the many clients sharing a serving
+  // satellite in a sweep pay for one Dijkstra between them.
+  const auto sssp = isl_->sssp_from(serving);
+  const std::vector<Milliseconds>& isl_latency = sssp->distances();
+  const auto& gateway_satellites = landing_candidates();
 
   std::optional<RouteBreakdown> best;
   double best_total = net::kUnreachable;
@@ -53,7 +76,7 @@ std::optional<RouteBreakdown> BentPipeRouter::route_from_satellite(
     const geo::GeoPoint gw_location = data::location(ground_->gateway(g));
     // Any visible satellite can land the traffic; pick the one minimising
     // the full ISL + downlink + haul total.
-    for (std::uint32_t landing : gateway_satellites_[g]) {
+    for (std::uint32_t landing : gateway_satellites[g]) {
       const Milliseconds isl_ms = isl_latency[landing];
       if (isl_ms.value() == net::kUnreachable) continue;
       if (isl_ms.value() + haul.value() >= best_total) continue;  // prune
@@ -78,15 +101,9 @@ std::optional<RouteBreakdown> BentPipeRouter::route_from_satellite(
 
   best->uplink = geo::propagation_delay(snapshot.slant_range(client, serving),
                                         geo::Medium::kVacuum);
-  // Recover the hop count of the chosen ISL path.
-  if (best->serving_satellite == best->landing_satellite) {
-    best->isl_hops = 0;
-  } else {
-    const auto path = net::shortest_path(isl_->graph(), best->serving_satellite,
-                                         best->landing_satellite);
-    SPACECDN_EXPECT(path.has_value(), "chosen landing satellite must be reachable");
-    best->isl_hops = static_cast<std::uint32_t>(path->hop_count());
-  }
+  // Recover the hop count of the chosen ISL path from the same SSSP tree's
+  // parent array -- this used to cost a second full Dijkstra per client.
+  best->isl_hops = sssp->hops_to(best->landing_satellite);
   return best;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 
 #include "data/types.hpp"
@@ -74,10 +75,25 @@ class BentPipeRouter {
   [[nodiscard]] const IslNetwork& isl() const noexcept { return *isl_; }
 
  private:
+  /// Per-gateway landing-candidate lists, valid for exactly one ephemeris
+  /// snapshot.  Computed at construction and refreshed whenever the ISL
+  /// network has been advanced to a different snapshot -- the lists used to
+  /// be frozen at construction, so a router kept across an ephemeris advance
+  /// silently landed traffic on satellites that were no longer overhead.
+  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>& landing_candidates() const;
+
   const GroundSegment* ground_;
   const IslNetwork* isl_;
   double user_min_elevation_deg_;
-  std::vector<std::vector<std::uint32_t>> gateway_satellites_;
+  double gateway_min_elevation_deg_;
+  /// Snapshot identity the cached lists were computed from.  The time value
+  /// participates because a rebuilt snapshot can legitimately reuse the old
+  /// allocation's address; two snapshots of one constellation with equal
+  /// times are identical, so {address, time} pins the geometry.
+  mutable std::mutex gateway_mutex_;
+  mutable const orbit::EphemerisSnapshot* gateway_snapshot_ = nullptr;
+  mutable Milliseconds gateway_snapshot_time_{0.0};
+  mutable std::vector<std::vector<std::uint32_t>> gateway_satellites_;
 };
 
 }  // namespace spacecdn::lsn

@@ -15,6 +15,7 @@ IslNetwork::IslNetwork(const orbit::WalkerConstellation& constellation,
     : snapshot_(&snapshot),
       config_(config),
       graph_(snapshot.size()),
+      route_cache_(graph_, snapshot.size()),
       failed_(snapshot.size(), false) {
   SPACECDN_PROFILE("IslNetwork::build");
   SPACECDN_EXPECT(constellation.size() == snapshot.size(),
@@ -40,12 +41,32 @@ IslNetwork::IslNetwork(const orbit::WalkerConstellation& constellation,
   for (const auto& [a, b] : links) {
     partners_[a].push_back(b);
     partners_[b].push_back(a);
-    if (failed_[a] || failed_[b]) continue;
-    const Kilometers d = snapshot.isl_distance(a, b);
-    const Milliseconds latency =
-        geo::propagation_delay(d, geo::Medium::kVacuum) + config_.per_hop_overhead;
-    graph_.add_undirected_edge(a, b, latency);
   }
+  rebuild_edges();
+}
+
+void IslNetwork::rebuild_edges() {
+  graph_.clear_edges();
+  for (std::uint32_t a = 0; a < partners_.size(); ++a) {
+    if (failed_[a]) continue;
+    for (const std::uint32_t b : partners_[a]) {
+      if (b < a || failed_[b]) continue;  // each undirected pair once
+      const Kilometers d = snapshot_->isl_distance(a, b);
+      const Milliseconds latency =
+          geo::propagation_delay(d, geo::Medium::kVacuum) + config_.per_hop_overhead;
+      graph_.add_undirected_edge(a, b, latency);
+    }
+  }
+}
+
+void IslNetwork::advance(const orbit::EphemerisSnapshot& snapshot) {
+  SPACECDN_PROFILE("IslNetwork::advance");
+  SPACECDN_EXPECT(snapshot.size() == failed_.size(),
+                  "snapshot must match the constellation");
+  snapshot_ = &snapshot;
+  rebuild_edges();
+  ++topology_epoch_;
+  route_cache_.invalidate();
 }
 
 bool IslNetwork::is_failed(std::uint32_t sat) const {
@@ -60,6 +81,8 @@ void IslNetwork::fail(std::uint32_t sat) {
   ++failed_count_;
   // Links towards already-failed partners are absent; removing them is a no-op.
   for (const std::uint32_t peer : partners_[sat]) graph_.remove_undirected_edge(sat, peer);
+  ++topology_epoch_;
+  route_cache_.invalidate();
   if (auto* m = obs::metrics()) {
     m->counter("spacecdn_isl_fail_total").inc();
     m->gauge("spacecdn_isl_failed_satellites").set(static_cast<double>(failed_count_));
@@ -80,6 +103,8 @@ void IslNetwork::recover(std::uint32_t sat) {
         geo::propagation_delay(d, geo::Medium::kVacuum) + config_.per_hop_overhead;
     graph_.add_undirected_edge(sat, neighbor, latency);
   }
+  ++topology_epoch_;
+  route_cache_.invalidate();
   if (auto* m = obs::metrics()) {
     m->counter("spacecdn_isl_recover_total").inc();
     m->gauge("spacecdn_isl_failed_satellites").set(static_cast<double>(failed_count_));
@@ -95,14 +120,19 @@ Milliseconds IslNetwork::link_latency(std::uint32_t a, std::uint32_t b) const {
 
 Milliseconds IslNetwork::path_latency(std::uint32_t from, std::uint32_t to) const {
   SPACECDN_PROFILE("IslNetwork::path_latency");
-  const auto path = net::shortest_path(graph_, from, to);
-  SPACECDN_EXPECT(path.has_value(), "ISL fabric must be connected");
-  return path->total;
+  const auto tree = route_cache_.tree(from);
+  SPACECDN_EXPECT(tree->reachable(to), "ISL fabric must be connected");
+  return tree->distance(to);
 }
 
 std::vector<Milliseconds> IslNetwork::latencies_from(std::uint32_t sat) const {
   SPACECDN_PROFILE("IslNetwork::latencies_from");
-  return net::shortest_distances(graph_, sat);
+  return route_cache_.tree(sat)->distances();
+}
+
+std::shared_ptr<const net::SsspTree> IslNetwork::sssp_from(std::uint32_t sat) const {
+  SPACECDN_PROFILE("IslNetwork::sssp_from");
+  return route_cache_.tree(sat);
 }
 
 std::vector<net::HopDistance> IslNetwork::within_hops(std::uint32_t sat,

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "net/graph.hpp"
+#include "net/routing_cache.hpp"
 #include "orbit/ephemeris.hpp"
 
 namespace spacecdn::lsn {
@@ -50,6 +52,19 @@ class IslNetwork {
   /// latencies bit-identically.  No-op if not failed.
   void recover(std::uint32_t sat);
 
+  /// Rebinds the network to a new ephemeris snapshot of the same
+  /// constellation: every live link's weight is recomputed from the new
+  /// geometry in place, failure state carries over, and cached routing
+  /// state is invalidated.  Equivalent to (but much cheaper than)
+  /// reconstructing the IslNetwork, because the +grid wiring is
+  /// failure- and time-independent.
+  void advance(const orbit::EphemerisSnapshot& snapshot);
+
+  /// Monotonic counter bumped by every topology change (fail, recover,
+  /// advance).  Layers that precompute per-snapshot state (BentPipeRouter's
+  /// gateway visibility lists, the routing cache) key their validity on it.
+  [[nodiscard]] std::uint64_t topology_epoch() const noexcept { return topology_epoch_; }
+
   [[nodiscard]] const net::Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] const orbit::EphemerisSnapshot& snapshot() const noexcept {
     return *snapshot_;
@@ -60,22 +75,40 @@ class IslNetwork {
   /// @throws spacecdn::ConfigError if they are not neighbours.
   [[nodiscard]] Milliseconds link_latency(std::uint32_t a, std::uint32_t b) const;
 
-  /// Shortest one-way latency between two satellites over ISLs.
+  /// Shortest one-way latency between two satellites over ISLs.  Served
+  /// from the epoch-keyed SSSP cache: repeated queries from the same source
+  /// within an epoch cost a hash lookup, not a Dijkstra.
   [[nodiscard]] Milliseconds path_latency(std::uint32_t from, std::uint32_t to) const;
 
-  /// Shortest latency from one satellite to all others.
+  /// Shortest latency from one satellite to all others (cached; returns a
+  /// copy -- hot paths should prefer sssp_from and read distances in place).
   [[nodiscard]] std::vector<Milliseconds> latencies_from(std::uint32_t sat) const;
+
+  /// The cached SSSP tree rooted at `sat`: one Dijkstra answers distance,
+  /// hop-count, and path-reconstruction queries to every other satellite.
+  [[nodiscard]] std::shared_ptr<const net::SsspTree> sssp_from(std::uint32_t sat) const;
+
+  /// Cache effectiveness counters (hits/misses/evictions/invalidations).
+  [[nodiscard]] net::RoutingCacheStats routing_cache_stats() const {
+    return route_cache_.stats();
+  }
 
   /// Satellites within `max_hops` ISL hops of `sat` (BFS, includes `sat`).
   [[nodiscard]] std::vector<net::HopDistance> within_hops(std::uint32_t sat,
                                                           std::uint32_t max_hops) const;
 
  private:
+  /// Repopulates graph_ edges from the bound snapshot's geometry for every
+  /// pair of currently-healthy partners.
+  void rebuild_edges();
+
   const orbit::EphemerisSnapshot* snapshot_;
   IslConfig config_;
   net::Graph graph_;
+  net::RoutingCache route_cache_;
   std::vector<bool> failed_;
   std::uint32_t failed_count_ = 0;
+  std::uint64_t topology_epoch_ = 0;
   /// Full +grid partner lists (failure-independent).  Phase-nearest pairing
   /// is not symmetric -- a satellite may be chosen by a neighbour it did not
   /// itself choose -- so recover() needs the materialised undirected

@@ -12,11 +12,21 @@ StarlinkNetwork::StarlinkNetwork(StarlinkConfig config)
 }
 
 void StarlinkNetwork::set_time(Milliseconds t) {
-  snapshot_ = std::make_unique<orbit::EphemerisSnapshot>(constellation_, t);
-  isl_ = std::make_unique<IslNetwork>(constellation_, *snapshot_, config_.isl,
-                                      failed_now_);
-  router_ = std::make_unique<BentPipeRouter>(ground_, *isl_, config_.user_min_elevation_deg,
-                                             config_.gateway_min_elevation_deg);
+  auto snapshot = std::make_unique<orbit::EphemerisSnapshot>(constellation_, t);
+  if (isl_ == nullptr) {
+    isl_ = std::make_unique<IslNetwork>(constellation_, *snapshot, config_.isl,
+                                        failed_now_);
+    router_ = std::make_unique<BentPipeRouter>(
+        ground_, *isl_, config_.user_min_elevation_deg,
+        config_.gateway_min_elevation_deg);
+  } else {
+    // Re-propagation keeps the ISL fabric, routing cache, and router alive:
+    // advance() rebuilds edge weights in place (failure state carries over)
+    // and invalidates cached SSSP trees; the router refreshes its gateway
+    // visibility lists lazily off the rebound snapshot.
+    isl_->advance(*snapshot);
+  }
+  snapshot_ = std::move(snapshot);
 }
 
 void StarlinkNetwork::fail_satellite(std::uint32_t sat) {

@@ -14,6 +14,7 @@
 #include "measurement/records.hpp"
 #include "net/anycast.hpp"
 #include "terrestrial/isp.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spacecdn::measurement {
 
@@ -39,22 +40,30 @@ class AimCampaign {
   AimCampaign(const lsn::StarlinkNetwork& network, AimConfig config = {});
 
   /// Runs speed tests for every Starlink-covered country in the dataset.
+  /// Every country draws from its own RNG stream (des::mix_seed of the
+  /// campaign seed and the country code), so the result is a pure function
+  /// of the config -- identical whether countries run serially or sharded
+  /// across a pool.
   [[nodiscard]] std::vector<SpeedTestRecord> run();
 
-  /// Runs speed tests for a single country (both ISPs).
-  [[nodiscard]] std::vector<SpeedTestRecord> run_country(const data::CountryInfo& country);
+  /// Same records as run(), computed with countries sharded across `pool`
+  /// and merged back in dataset order: bit-identical to the serial run for
+  /// any thread count.
+  [[nodiscard]] std::vector<SpeedTestRecord> run(ThreadPool& pool);
+
+  /// Runs speed tests for a single country (both ISPs) on its own stream.
+  [[nodiscard]] std::vector<SpeedTestRecord> run_country(const data::CountryInfo& country) const;
 
   [[nodiscard]] const AimConfig& config() const noexcept { return config_; }
 
  private:
   void run_city_terrestrial(const data::CountryInfo& country, const data::CityInfo& city,
-                            std::vector<SpeedTestRecord>& out);
+                            des::Rng& rng, std::vector<SpeedTestRecord>& out) const;
   void run_city_starlink(const data::CountryInfo& country, const data::CityInfo& city,
-                         std::vector<SpeedTestRecord>& out);
+                         des::Rng& rng, std::vector<SpeedTestRecord>& out) const;
 
   const lsn::StarlinkNetwork* network_;
   AimConfig config_;
-  des::Rng rng_;
   net::AnycastSelector selector_;
 };
 

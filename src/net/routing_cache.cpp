@@ -1,0 +1,129 @@
+#include "net/routing_cache.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace spacecdn::net {
+
+namespace {
+
+struct QueueEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const QueueEntry& o) const noexcept { return dist > o.dist; }
+};
+
+}  // namespace
+
+SsspTree::SsspTree(const Graph& graph, NodeId source) : source_(source) {
+  SPACECDN_EXPECT(source < graph.node_count(), "source node out of range");
+  std::vector<double> dist(graph.node_count(), kUnreachable);
+  parents_.assign(graph.node_count(), source);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  dist[source] = 0.0;
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;  // stale entry
+    for (const Edge& e : graph.neighbors(u)) {
+      const double nd = d + e.weight.value();
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        parents_[e.to] = u;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+  distances_.reserve(dist.size());
+  for (double d : dist) distances_.emplace_back(d);
+}
+
+std::uint32_t SsspTree::hops_to(NodeId target) const {
+  SPACECDN_EXPECT(target < distances_.size(), "target node out of range");
+  SPACECDN_EXPECT(reachable(target), "target unreachable from SSSP source");
+  std::uint32_t hops = 0;
+  for (NodeId n = target; n != source_; n = parents_[n]) ++hops;
+  return hops;
+}
+
+Path SsspTree::path_to(NodeId target) const {
+  SPACECDN_EXPECT(target < distances_.size(), "target node out of range");
+  SPACECDN_EXPECT(reachable(target), "target unreachable from SSSP source");
+  Path path;
+  path.total = distances_[target];
+  for (NodeId n = target;; n = parents_[n]) {
+    path.nodes.push_back(n);
+    if (n == source_) break;
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  return path;
+}
+
+RoutingCache::RoutingCache(const Graph& graph, std::size_t max_sources)
+    : graph_(&graph), max_sources_(max_sources) {
+  SPACECDN_EXPECT(max_sources > 0, "routing cache needs room for at least one source");
+}
+
+std::shared_ptr<const SsspTree> RoutingCache::tree(NodeId source) const {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = entries_.find(source);
+    if (it != entries_.end() && it->second.epoch == epoch_) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.tree;
+    }
+  }
+  // Miss (or stale): compute outside any lock -- Dijkstra dominates -- then
+  // insert.  A racing thread may compute the same tree; both results are
+  // identical, the second insert just wins.
+  auto computed = std::make_shared<const SsspTree>(*graph_, source);
+  std::unique_lock lock(mutex_);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (const auto it = entries_.find(source); it != entries_.end()) {
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  while (entries_.size() >= max_sources_) {
+    const NodeId victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  lru_.push_front(source);
+  entries_[source] = Entry{epoch_, computed, lru_.begin()};
+  return computed;
+}
+
+void RoutingCache::invalidate() noexcept {
+  std::unique_lock lock(mutex_);
+  ++epoch_;
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  // Entries are discarded lazily on lookup; dropping them now keeps memory
+  // proportional to live (current-epoch) trees.
+  entries_.clear();
+  lru_.clear();
+}
+
+std::uint64_t RoutingCache::epoch() const noexcept {
+  std::shared_lock lock(mutex_);
+  return epoch_;
+}
+
+std::size_t RoutingCache::cached_sources() const {
+  std::shared_lock lock(mutex_);
+  return entries_.size();
+}
+
+RoutingCacheStats RoutingCache::stats() const {
+  RoutingCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace spacecdn::net

@@ -7,16 +7,26 @@ namespace {
 template <typename Predicate>
 std::optional<LookupResult> bfs_find(const lsn::IslNetwork& isl, std::uint32_t origin,
                                      std::uint32_t max_hops, Predicate&& holds) {
-  // BFS yields the hop-minimal candidate; latency is then the shortest ISL
-  // path to it (Dijkstra with early exit inside path_latency).
+  // BFS delimits the minimal hop ring that contains a candidate; within that
+  // ring the lowest-latency candidate wins (BFS emission order is an
+  // artefact of adjacency-list layout, not a preference).  All latencies
+  // come from one epoch-cached SSSP tree, so the whole lookup costs at most
+  // one Dijkstra -- it used to run one per candidate.
+  std::optional<LookupResult> best;
+  std::shared_ptr<const net::SsspTree> tree;  // fetched on the first candidate
   for (const net::HopDistance& hd : isl.within_hops(origin, max_hops)) {
-    if (holds(hd.node)) {
-      const Milliseconds latency =
-          hd.node == origin ? Milliseconds{0.0} : isl.path_latency(origin, hd.node);
-      return LookupResult{hd.node, hd.hops, latency};
+    if (best && hd.hops > best->hops) break;  // left the minimal hop ring
+    if (!holds(hd.node)) continue;
+    if (hd.node == origin) return LookupResult{origin, 0, Milliseconds{0.0}};
+    if (tree == nullptr) tree = isl.sssp_from(origin);
+    const Milliseconds latency = tree->distance(hd.node);
+    // Strict less-than: equal latencies keep the earlier (BFS-order)
+    // candidate, a deterministic tie-break.
+    if (!best || latency < best->isl_latency) {
+      best = LookupResult{hd.node, hd.hops, latency};
     }
   }
-  return std::nullopt;
+  return best;
 }
 
 }  // namespace

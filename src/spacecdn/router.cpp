@@ -158,9 +158,9 @@ std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
     if (trace != nullptr) {
       const std::uint32_t span = trace->open("tier:isl-neighbor", parent_span);
       trace->attr(span, "holder", std::to_string(found->satellite));
-      if (const auto path =
-              net::shortest_path(network_->isl().graph(), serving, found->satellite)) {
-        trace->attr(span, "isl_path", render_path(path->nodes));
+      if (const auto tree = network_->isl().sssp_from(serving);
+          tree->reachable(found->satellite)) {
+        trace->attr(span, "isl_path", render_path(tree->path_to(found->satellite).nodes));
       }
       trace->metric(span, "hops", found->hops);
       trace->metric(span, "isl_one_way_ms", found->isl_latency.value());

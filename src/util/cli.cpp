@@ -1,6 +1,7 @@
 #include "util/cli.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/error.hpp"
@@ -52,7 +53,18 @@ double CliArgs::get(const std::string& key, double fallback) const {
 }
 
 long CliArgs::get(const std::string& key, long fallback) const {
-  return static_cast<long>(get(key, static_cast<double>(fallback)));
+  queried_[key] = true;
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  // Parse as an integer directly: routing through strtod would silently
+  // truncate "--seed=3.7" to 3 and round seeds above 2^53.
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  SPACECDN_EXPECT(!it->second.empty() && end != nullptr && *end == '\0' &&
+                      errno != ERANGE,
+                  "flag --" + key + " expects an integer, got '" + it->second + "'");
+  return value;
 }
 
 bool CliArgs::get(const std::string& key, bool fallback) const {

@@ -1,0 +1,90 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace spacecdn {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  SPACECDN_EXPECT(task != nullptr, "cannot submit an empty task");
+  {
+    const std::lock_guard lock(mutex_);
+    SPACECDN_EXPECT(!stopping_, "cannot submit to a stopping pool");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  // One queue entry per worker, not per index: a shared atomic cursor hands
+  // out indices, so a million-element sweep costs no queue churn.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t lanes = std::min(count, workers_.size());
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    submit([cursor, count, &fn] {
+      for (std::size_t i = cursor->fetch_add(1, std::memory_order_relaxed); i < count;
+           i = cursor->fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      const std::lock_guard lock(mutex_);
+      --in_flight_;
+    }
+    idle_.notify_all();
+  }
+}
+
+std::size_t ThreadPool::resolve_threads(long requested) {
+  SPACECDN_EXPECT(requested >= 0, "--threads must be non-negative");
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace spacecdn

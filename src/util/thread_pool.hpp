@@ -1,0 +1,62 @@
+// A small fixed-size thread pool for sharded bench sweeps.
+//
+// Design point: the benches need *deterministic* parallelism -- results
+// bit-identical to a serial run -- so the pool deliberately offers a static
+// sharding helper (parallel_for) where every task index is processed exactly
+// once and the caller merges per-index outputs in index order.  Which worker
+// runs which index never influences results, only wall-clock.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spacecdn {
+
+/// Fixed-size worker pool with a FIFO task queue.
+class ThreadPool {
+ public:
+  /// @param threads  worker count; 0 means std::thread::hardware_concurrency
+  /// (itself falling back to 1 when unknown).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks must not throw; an escaping exception
+  /// terminates (workers run them bare).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Runs `fn(i)` for every i in [0, count), distributing indices across the
+  /// pool dynamically (atomic work-stealing counter), and blocks until all
+  /// are done.  fn must write its result into caller-owned per-index storage;
+  /// the execution order is unspecified but every index runs exactly once.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// The worker count a `--threads=N` flag resolves to: N itself, or
+  /// hardware concurrency when N == 0.
+  [[nodiscard]] static std::size_t resolve_threads(long requested);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace spacecdn

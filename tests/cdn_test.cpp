@@ -141,6 +141,19 @@ TYPED_TEST(CachePolicyTest, RejectsOversizedObject) {
   EXPECT_EQ(cache.object_count(), 0u);
 }
 
+TYPED_TEST(CachePolicyTest, CountsOversizedRejections) {
+  // The rejection must be visible in stats: a placement loop re-offering an
+  // oversized object would otherwise spin without any counter moving.
+  TypeParam cache(Megabytes{10.0});
+  EXPECT_FALSE(cache.insert(item(1, 11.0), kNow));
+  EXPECT_FALSE(cache.insert(item(2, 200.0), kNow));
+  EXPECT_EQ(cache.stats().rejected_oversized, 2u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_TRUE(cache.insert(item(3, 10.0), kNow));  // exactly at capacity fits
+  EXPECT_EQ(cache.stats().rejected_oversized, 2u);
+}
+
 TYPED_TEST(CachePolicyTest, EraseRemoves) {
   TypeParam cache(Megabytes{10.0});
   (void)cache.insert(item(1, 2.0), kNow);
@@ -204,6 +217,14 @@ TEST(FifoCache, EvictsInInsertionOrder) {
   (void)cache.insert(item(4, 2.0), kNow);
   EXPECT_FALSE(cache.contains(1));
   EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(TtlCache, RejectsAndCountsOversizedBeforeDelegating) {
+  TtlCache cache(std::make_unique<LruCache>(Megabytes{10.0}), Milliseconds{100.0});
+  EXPECT_FALSE(cache.insert(item(1, 11.0), kNow));
+  EXPECT_EQ(cache.stats().rejected_oversized, 1u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.object_count(), 0u);
 }
 
 TEST(TtlCache, ExpiresEntries) {

@@ -401,6 +401,22 @@ TEST(Cli, TracksUnusedFlags) {
   EXPECT_EQ(unused[0], "typo");
 }
 
+TEST(Cli, IntegerFlagsParseExactlyAndRejectFractions) {
+  // Regression: get(long) used to route through strtod, silently truncating
+  // "--seed=3.7" to 3 and rounding integers above 2^53.
+  const char* argv[] = {"prog", "--seed=3.7", "--big=9007199254740993",
+                        "--neg=-42", "--sci=1e3", "--empty="};
+  const CliArgs args(6, argv);
+  EXPECT_THROW((void)args.get("seed", 0L), ConfigError);
+  EXPECT_EQ(args.get("big", 0L), 9007199254740993L);  // 2^53 + 1, exact
+  EXPECT_EQ(args.get("neg", 0L), -42L);
+  EXPECT_THROW((void)args.get("sci", 0L), ConfigError);
+  EXPECT_THROW((void)args.get("empty", 0L), ConfigError);
+  // The same values stay legal for the double overload.
+  EXPECT_DOUBLE_EQ(args.get("seed", 0.0), 3.7);
+  EXPECT_DOUBLE_EQ(args.get("sci", 0.0), 1000.0);
+}
+
 TEST(Cli, BooleanSpellings) {
   const char* argv[] = {"prog", "--a=yes", "--b=off", "--c"};
   const CliArgs args(4, argv);
