@@ -10,26 +10,31 @@
 #include "bench_util.hpp"
 #include "cdn/popularity.hpp"
 #include "data/datasets.hpp"
-#include "lsn/starlink.hpp"
+#include "sim/runner.hpp"
 #include "spacecdn/bubbles.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
-  bench::banner("Ablation: content bubbles vs pull-through caching",
-                "Bose et al., HotNets '24, section 5 (Content Bubbles)");
+  sim::RunnerOptions options;
+  options.name = "ablation_bubbles";
+  options.title = "Ablation: content bubbles vs pull-through caching";
+  options.paper_ref = "Bose et al., HotNets '24, section 5 (Content Bubbles)";
+  options.default_seed = 10;
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  des::Rng rng(10);
+  des::Rng rng = runner.rng();
   const cdn::ContentCatalog catalog({.object_count = 5000}, rng);
   cdn::PopularityConfig pop_cfg;
   pop_cfg.global_share = 0.15;
   const cdn::RegionalPopularity popularity(catalog.size(), pop_cfg);
 
-  lsn::StarlinkNetwork network;
+  lsn::StarlinkNetwork& network = runner.world().network();
   // Small caches so that eviction policy matters.
   const space::FleetConfig fleet_cfg{Megabytes{4000.0}, cdn::CachePolicy::kLru};
-  space::SatelliteFleet with_bubbles(network.constellation().size(), fleet_cfg);
-  space::SatelliteFleet baseline(network.constellation().size(), fleet_cfg);
+  space::SatelliteFleet with_bubbles = runner.world().make_fleet(fleet_cfg);
+  space::SatelliteFleet baseline = runner.world().make_fleet(fleet_cfg);
 
   space::BubbleConfig bubble_cfg;
   bubble_cfg.prefetch_top_k = 400;
@@ -48,7 +53,7 @@ int main() {
   };
   std::vector<Score> bubble_scores(viewers.size()), base_scores(viewers.size());
 
-  constexpr int kEpochs = 15;
+  const int kEpochs = static_cast<int>(runner.get("epochs", 15L));
   for (int epoch = 0; epoch < kEpochs; ++epoch) {
     const Milliseconds now = Milliseconds::from_minutes(2.0 * epoch);
     network.set_time(now);
@@ -100,5 +105,5 @@ int main() {
   std::cout << "\nHandovers defeat pull-through caching (every new satellite "
                "arrives cold); bubbles keep the regional head resident on "
                "whichever satellite is overhead.\n";
-  return 0;
+  return runner.finish();
 }

@@ -5,16 +5,25 @@
 #include "bench_util.hpp"
 #include "cdn/cache.hpp"
 #include "cdn/popularity.hpp"
+#include "sim/runner.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
-  bench::banner("Ablation: cache eviction policy under Zipf workloads",
-                "design-choice ablation (DESIGN.md)");
+  sim::RunnerOptions options;
+  options.name = "ablation_cache_policy";
+  options.title = "Ablation: cache eviction policy under Zipf workloads";
+  options.paper_ref = "design-choice ablation (DESIGN.md)";
+  options.default_seed = 11;
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  des::Rng rng(11);
+  des::Rng rng = runner.rng();
   const cdn::ContentCatalog catalog({.object_count = 20000}, rng);
   const cdn::RegionalPopularity popularity(catalog.size(), {});
+  const long requests = runner.get("requests", 60000L);
+  const std::uint64_t workload_seed =
+      static_cast<std::uint64_t>(runner.get("workload-seed", 12L));
 
   ConsoleTable table({"policy", "capacity (MB)", "zipf s", "hit rate", "evictions"});
   for (const double zipf_s : {0.7, 0.9, 1.1}) {
@@ -25,9 +34,8 @@ int main() {
       for (const auto policy :
            {cdn::CachePolicy::kLru, cdn::CachePolicy::kLfu, cdn::CachePolicy::kFifo}) {
         const auto cache = cdn::make_cache(policy, Megabytes{capacity});
-        des::Rng wrng(12);
-        const int requests = 60000;
-        for (int i = 0; i < requests; ++i) {
+        des::Rng wrng(workload_seed);
+        for (long i = 0; i < requests; ++i) {
           const auto id = pop.sample(data::Region::kEurope, wrng);
           const Milliseconds now{static_cast<double>(i)};
           if (!cache->access(id, now)) (void)cache->insert(catalog.item(id), now);
@@ -46,5 +54,5 @@ int main() {
   std::cout << "\nExpected shape: LFU wins under skewed, stable popularity; LRU "
                "close behind; FIFO worst.  Steeper Zipf or more capacity lifts "
                "all policies.\n";
-  return 0;
+  return runner.finish();
 }

@@ -5,14 +5,21 @@
 #include "bench_util.hpp"
 #include "des/stats.hpp"
 #include "lsn/cell_capacity.hpp"
+#include "sim/runner.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
-  bench::banner("Ablation: cell capacity vs subscriber density and hour",
-                "speed-test substrate (AIM download/upload columns)");
+  sim::RunnerOptions options;
+  options.name = "ablation_cell_load";
+  options.title = "Ablation: cell capacity vs subscriber density and hour";
+  options.paper_ref = "speed-test substrate (AIM download/upload columns)";
+  options.default_seed = 19;
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  des::Rng rng(19);
+  des::Rng rng = runner.rng();
+  const long samples_per_cell = runner.get("samples", 4000L);
   ConsoleTable table({"subscribers/cell", "hour", "active users", "utilisation",
                       "expected Mbps", "median Mbps", "p10 Mbps"});
   for (const double subscribers : {100.0, 300.0, 800.0}) {
@@ -21,8 +28,9 @@ int main() {
       cfg.subscribers = subscribers;
       const lsn::CellLoadModel model(cfg);
       des::SampleSet samples;
-      for (int i = 0; i < 4000; ++i) {
+      for (long i = 0; i < samples_per_cell; ++i) {
         samples.add(model.sample_throughput(hour, rng).value());
+        runner.checksum().add(samples.raw().back());
       }
       table.add_row({ConsoleTable::format_fixed(subscribers, 0),
                      ConsoleTable::format_fixed(hour, 1),
@@ -40,5 +48,5 @@ int main() {
                "terminal cap all day; dense cells collapse to a fraction of it "
                "during the evening peak -- the dispersion the AIM speed "
                "columns show.\n";
-  return 0;
+  return runner.finish();
 }

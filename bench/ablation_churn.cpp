@@ -20,7 +20,7 @@
 #include "cdn/popularity.hpp"
 #include "data/datasets.hpp"
 #include "faults/schedule.hpp"
-#include "lsn/starlink.hpp"
+#include "sim/runner.hpp"
 #include "spacecdn/resilience.hpp"
 #include "spacecdn/router.hpp"
 #include "util/csv.hpp"
@@ -48,12 +48,16 @@ struct ChurnRunResult {
   friend bool operator==(const ChurnRunResult&, const ChurnRunResult&) = default;
 };
 
-ChurnRunResult run_churn(Milliseconds mtbf, Milliseconds mttr, std::uint32_t seed) {
-  lsn::StarlinkNetwork network;  // Shell 1, frozen at the epoch
-  des::Rng catalog_rng(90);
+ChurnRunResult run_churn(const sim::World& world, Milliseconds mtbf, Milliseconds mttr,
+                         std::uint64_t seed, std::uint64_t catalog_seed) {
+  // Shell 1, frozen at the epoch; each sweep point owns an unshared variant.
+  const auto network_ptr =
+      world.make_network(lsn::starlink_preset(world.spec().constellation));
+  lsn::StarlinkNetwork& network = *network_ptr;
+  des::Rng catalog_rng(catalog_seed);
   const cdn::ContentCatalog catalog({.object_count = kCatalogSize}, catalog_rng);
   const cdn::RegionalPopularity popularity(catalog.size(), {});
-  space::SatelliteFleet fleet(network.constellation().size(), space::FleetConfig{});
+  space::SatelliteFleet fleet(network.constellation().size(), world.fleet_config());
   cdn::CdnDeployment ground(data::cdn_sites(), {});
   space::SpaceCdnRouter router(network, fleet, ground,
                                {.resilience = {.transient_loss = 0.01}});
@@ -144,12 +148,16 @@ ChurnRunResult run_churn(Milliseconds mtbf, Milliseconds mttr, std::uint32_t see
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  const bench::BenchTelemetry telemetry(args);
-  const std::size_t threads = bench::resolve_bench_threads(args, telemetry);
-  bench::warn_unused_flags(args);
-  bench::banner("Ablation: self-healing SpaceCDN under 24 h of churn",
-                "dynamic fault injection sweep (DESIGN.md, faults/ + resilience)");
+  sim::RunnerOptions options;
+  options.name = "ablation_churn";
+  options.title = "Ablation: self-healing SpaceCDN under 24 h of churn";
+  options.paper_ref = "dynamic fault injection sweep (DESIGN.md, faults/ + resilience)";
+  options.default_seed = 400;
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
+  const std::size_t threads = runner.threads();
+  const std::uint64_t catalog_seed =
+      static_cast<std::uint64_t>(runner.get("catalog-seed", 90L));
 
   struct SweepPoint {
     double mtbf_hours;
@@ -161,23 +169,32 @@ int main(int argc, char** argv) {
   ConsoleTable table({"MTBF (h)", "MTTR (min)", "availability", "p50 (ms)", "p99 (ms)",
                       "mean retries", "re-repl", "ground refills", "mean TTR (min)",
                       "sat fails", "cache crashes"});
-  CsvWriter csv(std::cout, {"mtbf_hours", "mttr_minutes", "availability", "p50_ms",
-                            "p99_ms", "mean_retries", "re_replicated", "ground_refills",
-                            "mean_ttr_min", "satellite_failures", "cache_crashes"});
+  CsvWriter csv(runner.csv(), {"mtbf_hours", "mttr_minutes", "availability", "p50_ms",
+                               "p99_ms", "mean_retries", "re_replicated",
+                               "ground_refills", "mean_ttr_min", "satellite_failures",
+                               "cache_crashes"});
   std::cout << "sweep threads: " << threads << "\n\n";
 
   // Each sweep point is a self-contained simulation (own network, fleet,
   // fault schedule, seeded RNGs), so points shard across the pool; index 6
   // is the acceptance rerun of point 1.  Rows are emitted in sweep order
   // after the barrier, keeping the CSV byte-identical to a serial run.
+  const sim::World& world = runner.world();
   std::vector<ChurnRunResult> results(sweep.size() + 1);
-  ThreadPool pool(threads);
-  pool.parallel_for(results.size(), [&](std::size_t i) {
+  runner.pool().parallel_for(results.size(), [&](std::size_t i) {
     const auto& point = sweep[i < sweep.size() ? i : 1];
-    results[i] = run_churn(Milliseconds::from_minutes(point.mtbf_hours * 60.0),
-                           Milliseconds::from_minutes(point.mttr_minutes), 400);
+    results[i] = run_churn(world, Milliseconds::from_minutes(point.mtbf_hours * 60.0),
+                           Milliseconds::from_minutes(point.mttr_minutes),
+                           runner.seed(), catalog_seed);
   });
 
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& r0 = results[i];
+    runner.checksum().add(r0.availability);
+    runner.checksum().add(r0.p50_ms);
+    runner.checksum().add(r0.p99_ms);
+    runner.checksum().add(r0.mean_retries);
+  }
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const auto& point = sweep[i];
     const auto& r = results[i];
@@ -216,5 +233,6 @@ int main(int argc, char** argv) {
                "lost replicas -- while p99 and retry rate grow as MTBF falls "
                "and MTTR rises, and time-to-repair tracks the audit cadence "
                "plus the crash-recovery MTTR.\n";
-  return accept.availability >= 0.99 && rerun == accept ? 0 : 1;
+  runner.record("availability_accept", accept.availability);
+  return runner.finish(accept.availability >= 0.99 && rerun == accept);
 }

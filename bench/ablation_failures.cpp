@@ -8,21 +8,25 @@
 
 #include "bench_util.hpp"
 #include "data/datasets.hpp"
-#include "lsn/starlink.hpp"
+#include "sim/runner.hpp"
 #include "spacecdn/duty_cycle.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace spacecdn;
-  const CliArgs args(argc, argv);
-  const bench::BenchTelemetry telemetry(args);
-  bench::warn_unused_flags(args);
-  bench::banner("Ablation: ISL fabric under laser-terminal failures",
-                "resilience sweep (DESIGN.md, failure injection)");
+  sim::RunnerOptions options;
+  options.name = "ablation_failures";
+  options.title = "Ablation: ISL fabric under laser-terminal failures";
+  options.paper_ref = "resilience sweep (DESIGN.md, failure injection)";
+  options.default_seed = 26;
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  des::Rng rng(26);
-  const orbit::WalkerConstellation shell(orbit::starlink_shell1());
+  des::Rng rng = runner.rng();
+  const std::uint64_t duty_seed =
+      static_cast<std::uint64_t>(runner.get("duty-seed", 27L));
+  const orbit::WalkerConstellation& shell = runner.world().constellation();
   const orbit::EphemerisSnapshot snapshot(shell, Milliseconds{0.0});
 
   std::vector<geo::GeoPoint> clients;
@@ -32,8 +36,8 @@ int main(int argc, char** argv) {
 
   ConsoleTable table({"failed fraction", "healthy reachable", "mean path (ms)",
                       "p99 path (ms)", "duty-50% median RTT (ms)"});
-  CsvWriter csv(std::cout, {"failed_fraction", "healthy_reachable", "mean_path_ms",
-                            "p99_path_ms", "duty50_median_rtt_ms"});
+  CsvWriter csv(runner.csv(), {"failed_fraction", "healthy_reachable", "mean_path_ms",
+                               "p99_path_ms", "duty50_median_rtt_ms"});
   for (const double fraction : {0.0, 0.02, 0.05, 0.10, 0.20}) {
     const auto count = static_cast<std::uint32_t>(fraction * shell.size());
     const auto failed = rng.sample_without_replacement(shell.size(), count);
@@ -56,15 +60,17 @@ int main(int argc, char** argv) {
     }
 
     // Duty-cycle latency on a degraded constellation.
-    lsn::StarlinkConfig net_cfg;
+    lsn::StarlinkConfig net_cfg =
+        lsn::starlink_preset(runner.spec().constellation);
     net_cfg.failed_satellites = failed;
-    const lsn::StarlinkNetwork network(net_cfg);
-    space::SatelliteFleet fleet(shell.size(), space::FleetConfig{});
+    const auto network = runner.world().make_network(net_cfg);
+    space::SatelliteFleet fleet = runner.world().make_fleet();
     space::DutyCycleConfig duty_cfg;
     duty_cfg.cache_fraction = 0.5;
-    space::DutyCycleSimulation sim(network, fleet, duty_cfg);
-    des::Rng duty_rng(27);
+    space::DutyCycleSimulation sim(*network, fleet, duty_cfg);
+    des::Rng duty_rng(duty_seed);
     const auto rtts = sim.run(clients, 4, 4, duty_rng);
+    for (const double v : rtts.raw()) runner.checksum().add(v);
 
     table.add_row({ConsoleTable::format_fixed(fraction * 100.0, 0) + "%",
                    ConsoleTable::format_fixed(100.0 * reachable / pairs, 2) + "%",
@@ -80,5 +86,5 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: the 4-connected +grid degrades gracefully -- "
                "reachability stays near 100% and paths stretch only mildly "
                "until failures reach tens of percent.\n";
-  return 0;
+  return runner.finish();
 }

@@ -12,7 +12,7 @@
 #include "bench_util.hpp"
 #include "data/datasets.hpp"
 #include "geo/propagation.hpp"
-#include "lsn/starlink.hpp"
+#include "sim/runner.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -54,16 +54,21 @@ Milliseconds bent_pipe_rtt(const lsn::StarlinkNetwork& base,
 
 }  // namespace
 
-int main() {
-  bench::banner("What-if: African ground expansion vs SpaceCDN",
-                "Bose et al., HotNets '24, section 5 (ground infrastructure)");
+int main(int argc, char** argv) {
+  sim::RunnerOptions options;
+  options.name = "ablation_ground_expansion";
+  options.title = "What-if: African ground expansion vs SpaceCDN";
+  options.paper_ref = "Bose et al., HotNets '24, section 5 (ground infrastructure)";
+  options.default_seed = 25;
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  lsn::StarlinkNetwork network;
-  const lsn::GroundSegment current_ground;
+  lsn::StarlinkNetwork& network = runner.world().network();
+  const lsn::GroundSegment& current_ground = network.ground();
   const auto expanded = expanded_infrastructure();
   const lsn::GroundSegment expanded_ground(expanded.gateways, expanded.pops, {});
 
-  des::Rng rng(25);
+  des::Rng rng = runner.rng();
   ConsoleTable table({"city", "today (PoP)", "RTT (ms)", "expanded (PoP)", "RTT (ms)",
                       "SpaceCDN overhead sat (ms)"});
   for (const auto& [city_name, new_pop] :
@@ -90,6 +95,9 @@ int main() {
       space = uplink * 2.0 + Milliseconds{rng.lognormal_median(2.0, 0.3)};
     }
 
+    runner.checksum().add(today.value());
+    runner.checksum().add(after.value());
+    runner.checksum().add(space.value());
     table.add_row({city_name, std::string(country.assigned_pop),
                    ConsoleTable::format_fixed(today.value(), 1), new_pop,
                    ConsoleTable::format_fixed(after.value(), 1),
@@ -102,5 +110,5 @@ int main() {
                "predicts; the overhead-satellite fetch goes below it without "
                "any terrestrial construction (and without the multi-year "
                "licensing/land/backhaul programme the paper describes).\n";
-  return 0;
+  return runner.finish();
 }

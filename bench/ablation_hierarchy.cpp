@@ -8,15 +8,21 @@
 #include "cdn/hierarchy.hpp"
 #include "cdn/popularity.hpp"
 #include "data/datasets.hpp"
+#include "sim/runner.hpp"
 #include "terrestrial/isp.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
-  bench::banner("Ablation: hierarchical vs flat CDN topology",
-                "substrate design choice (paper section 2, CDN hierarchy)");
+  sim::RunnerOptions options;
+  options.name = "ablation_hierarchy";
+  options.title = "Ablation: hierarchical vs flat CDN topology";
+  options.paper_ref = "substrate design choice (paper section 2, CDN hierarchy)";
+  options.default_seed = 17;
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  des::Rng rng(17);
+  des::Rng rng = runner.rng();
   const cdn::ContentCatalog catalog({.object_count = 30000}, rng);
   const cdn::RegionalPopularity popularity(catalog.size(), {});
 
@@ -29,11 +35,11 @@ int main() {
   cdn::DeploymentConfig flat_cfg;
   flat_cfg.edge_capacity = Megabytes{5000.0};
   cdn::CdnDeployment flat(data::cdn_sites(), flat_cfg);
-  const terrestrial::Backbone backbone{terrestrial::BackboneConfig{}};
+  const terrestrial::Backbone& backbone = runner.world().backbone();
 
-  des::Rng workload(18);
+  des::Rng workload(static_cast<std::uint64_t>(runner.get("workload-seed", 18L)));
   des::SampleSet tree_latency, flat_latency;
-  const int requests = 40000;
+  const int requests = static_cast<int>(runner.get("requests", 40000L));
   for (int i = 0; i < requests; ++i) {
     // A random client city drives both systems with the same request.
     const auto& city =
@@ -78,5 +84,9 @@ int main() {
                "(origin fetches collapse), cutting the mean and tail first-byte "
                "latency -- why CDNs are trees, and what the PoP-centric LSN "
                "mapping breaks for satellite subscribers.\n";
-  return 0;
+  for (const double v : tree_latency.raw()) runner.checksum().add(v);
+  for (const double v : flat_latency.raw()) runner.checksum().add(v);
+  runner.record("tree_mean_first_byte_ms", tree_latency.mean());
+  runner.record("flat_mean_first_byte_ms", flat_latency.mean());
+  return runner.finish();
 }

@@ -6,14 +6,20 @@
 #include "bench_util.hpp"
 #include "cdn/multitenant.hpp"
 #include "cdn/popularity.hpp"
+#include "sim/runner.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
-  bench::banner("Ablation: multi-tenant satellite cache organisation",
-                "Bose et al., HotNets '24, section 5 (Economics of Space CDNs)");
+  sim::RunnerOptions options;
+  options.name = "ablation_multitenant";
+  options.title = "Ablation: multi-tenant satellite cache organisation";
+  options.paper_ref = "Bose et al., HotNets '24, section 5 (Economics of Space CDNs)";
+  options.default_seed = 14;
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  des::Rng rng(14);
+  des::Rng rng = runner.rng();
   const cdn::ContentCatalog catalog({.object_count = 8000}, rng);
   const cdn::RegionalPopularity popularity(catalog.size(), {});
 
@@ -25,10 +31,11 @@ int main() {
   for (const double skew : {0.34, 0.6, 0.9}) {
     for (const auto mode : {cdn::TenancyMode::kPartitioned, cdn::TenancyMode::kShared}) {
       cdn::MultiTenantCache cache(Megabytes{6000.0}, tenants, mode);
-      des::Rng workload(15);
+      des::Rng workload(static_cast<std::uint64_t>(runner.get("workload-seed", 15L)));
       const std::vector<double> weights{skew, (1.0 - skew) * 0.6, (1.0 - skew) * 0.4};
       std::vector<std::uint64_t> requests(tenants.size(), 0);
-      for (int i = 0; i < 80000; ++i) {
+      const long request_count = runner.get("requests", 80000L);
+      for (long i = 0; i < request_count; ++i) {
         const std::size_t tenant = workload.weighted_index(weights);
         const auto id = popularity.sample(data::Region::kNorthAmerica, workload);
         (void)cache.serve(tenant, catalog.item(id),
@@ -36,6 +43,7 @@ int main() {
         ++requests[tenant];
       }
       for (std::size_t t = 0; t < tenants.size(); ++t) {
+        runner.checksum().add(cache.tenant_stats(t).hit_rate());
         table.add_row({ConsoleTable::format_fixed(skew, 2),
                        std::string(cdn::to_string(mode)), tenants[t].name,
                        ConsoleTable::format_fixed(
@@ -51,5 +59,5 @@ int main() {
                "one tenant dominates the request mix, the shared pool's "
                "statistical multiplexing lifts its hit rate above its "
                "purchased share, at the cost of the quiet tenants' isolation.\n";
-  return 0;
+  return runner.finish();
 }

@@ -6,18 +6,23 @@
 
 #include "bench_util.hpp"
 #include "des/random.hpp"
-#include "orbit/walker.hpp"
+#include "sim/runner.hpp"
 #include "spacecdn/fleet.hpp"
 #include "spacecdn/placement.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
-  bench::banner("Ablation: copies-per-plane vs hops to nearest replica",
-                "Bose et al., HotNets '24, section 4 feasibility claim");
+  sim::RunnerOptions options;
+  options.name = "ablation_placement";
+  options.title = "Ablation: copies-per-plane vs hops to nearest replica";
+  options.paper_ref = "Bose et al., HotNets '24, section 4 feasibility claim";
+  options.default_seed = 42;
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  const orbit::WalkerConstellation shell(orbit::starlink_shell1());
-  des::Rng rng(42);
+  const orbit::WalkerConstellation& shell = runner.world().constellation();
+  des::Rng rng = runner.rng();
 
   ConsoleTable table({"copies/plane", "plane stride", "total replicas", "mean hops",
                       "p99 hops", "max hops"});
@@ -29,6 +34,8 @@ int main() {
       const space::ContentPlacement placement(shell, cfg);
       const auto stats = placement.analyze(4000, 1000, rng);
       const auto replicas = placement.replicas(0).size();
+      runner.checksum().add(stats.mean_hops);
+      runner.checksum().add(stats.p99_hops);
       table.add_row({std::to_string(copies), std::to_string(stride),
                      std::to_string(replicas),
                      ConsoleTable::format_fixed(stats.mean_hops, 2),
@@ -52,5 +59,5 @@ int main() {
             << " PB (paper: upwards of 900 PB)\n";
   std::cout << "  - ~" << static_cast<long>(videos / 1e6)
             << "M 2-hour 1080p videos (paper: >300M)\n";
-  return 0;
+  return runner.finish();
 }

@@ -4,19 +4,24 @@
 
 #include "bench_util.hpp"
 #include "data/datasets.hpp"
-#include "lsn/starlink.hpp"
+#include "sim/runner.hpp"
 #include "spacecdn/striping.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
-  bench::banner("Ablation: video striping across successive satellites",
-                "Bose et al., HotNets '24, section 4 (DASH striping)");
+  sim::RunnerOptions options;
+  options.name = "ablation_striping";
+  options.title = "Ablation: video striping across successive satellites";
+  options.paper_ref = "Bose et al., HotNets '24, section 4 (DASH striping)";
+  options.default_seed = 9;
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  lsn::StarlinkNetwork network;
+  lsn::StarlinkNetwork& network = runner.world().network();
   const space::StripingPlanner planner(network.constellation());
   const space::StripedPlaybackSimulator sim(network, planner);
-  des::Rng rng(9);
+  des::Rng rng = runner.rng();
 
   const Milliseconds video = Milliseconds::from_minutes(40.0);
   const Milliseconds stripe = Milliseconds::from_minutes(4.0);
@@ -35,6 +40,8 @@ int main() {
     const auto ground =
         sim.simulate_ground(user, country, video, stripe, stripe_size, rng);
 
+    runner.checksum().add(striped.mean_stripe_rtt.value());
+    runner.checksum().add(ground.mean_stripe_rtt.value());
     table.add_row({city_name, "striped",
                    std::to_string(striped.stripes_from_space) + "/" +
                        std::to_string(striped.stripes_from_ground),
@@ -55,5 +62,5 @@ int main() {
                "the bent-pipe latency entirely (the prefetch column is the "
                "upload cost the viewer never sees); bent-pipe playback also "
                "suffers loaded-link bufferbloat.\n";
-  return 0;
+  return runner.finish();
 }

@@ -5,15 +5,23 @@
 
 #include "bench_util.hpp"
 #include "des/random.hpp"
+#include "sim/runner.hpp"
 #include "spacecdn/thermal.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
-  bench::banner("Ablation: thermal duty-cycle scheduling (random vs coolest-first)",
-                "Bose et al., HotNets '24, section 5 (thermal feasibility)");
+  sim::RunnerOptions options;
+  options.name = "ablation_thermal";
+  options.title =
+      "Ablation: thermal duty-cycle scheduling (random vs coolest-first)";
+  options.paper_ref = "Bose et al., HotNets '24, section 5 (thermal feasibility)";
+  options.default_seed = 13;
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  constexpr std::uint32_t kFleet = 1584;
+  const auto kFleet =
+      static_cast<std::uint32_t>(runner.world().constellation().size());
   constexpr std::uint32_t kSlots = 96;  // 24 h of 15-minute slots
   const Milliseconds slot = Milliseconds::from_minutes(15.0);
 
@@ -24,9 +32,12 @@ int main() {
                               space::ThermalScheduler::Policy::kCoolestFirst}) {
       space::ThermalModel model(kFleet, {});
       const space::ThermalScheduler scheduler(policy);
-      des::Rng rng(13);
+      // Each (duty, policy) cell replays the same seeded day.
+      des::Rng rng(runner.seed());
       const auto report =
           run_thermal_schedule(model, scheduler, fraction, kSlots, slot, rng);
+      runner.checksum().add(report.peak_temperature_c);
+      runner.checksum().add(report.mean_served_fraction);
       table.add_row(
           {ConsoleTable::format_fixed(fraction * 100.0, 0) + "%",
            policy == space::ThermalScheduler::Policy::kRandom ? "random"
@@ -45,5 +56,5 @@ int main() {
                "ceiling until the duty target exceeds the thermally "
                "sustainable fraction (then shortfall appears instead of "
                "violations).\n";
-  return 0;
+  return runner.finish();
 }

@@ -1,135 +1,19 @@
-// Shared helpers for the figure-reproduction benches.
+// Shared table-rendering helpers for the figure-reproduction benches.
+//
+// Everything else the benches used to share (banner, telemetry flags,
+// --threads resolution, FNV-1a checksum, unknown-flag warnings) lives in
+// sim::Runner now; this header keeps only the figure-shaped output tables.
 #pragma once
 
-#include <cstdint>
 #include <cstdio>
-#include <cstring>
-#include <fstream>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "des/stats.hpp"
-#include "obs/telemetry.hpp"
-#include "util/cli.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 
 namespace spacecdn::bench {
-
-/// Opt-in telemetry for figure/ablation binaries.  Construct one from the
-/// parsed CLI and keep it alive for the whole run:
-///
-///   --metrics-out=FILE   metrics registry dump at exit (Prometheus text,
-///                        or JSON when FILE ends in ".json")
-///   --trace-out=FILE     per-fetch trace spans, streamed as JSONL
-///   --profile            SPACECDN_PROFILE wall-clock table on stderr at exit
-///
-/// With none of the flags present nothing is installed and the bench runs
-/// with telemetry fully disabled (the zero-cost default).
-class BenchTelemetry {
- public:
-  explicit BenchTelemetry(const CliArgs& args)
-      : metrics_path_(args.get("metrics-out", std::string{})),
-        profile_(args.get("profile", false)) {
-    const std::string trace_path = args.get("trace-out", std::string{});
-    if (metrics_path_.empty() && trace_path.empty() && !profile_) return;
-    session_.emplace();
-    if (!trace_path.empty()) {
-      trace_file_.open(trace_path);
-      if (trace_file_) {
-        session_->tracer().set_jsonl_sink(&trace_file_);
-      } else {
-        std::cerr << "warning: cannot open --trace-out=" << trace_path
-                  << "; traces will not be written\n";
-      }
-    }
-  }
-
-  ~BenchTelemetry() {
-    if (!session_) return;
-    if (!metrics_path_.empty()) {
-      std::ofstream out(metrics_path_);
-      if (!out) {
-        std::cerr << "warning: cannot open --metrics-out=" << metrics_path_
-                  << "; metrics will not be written\n";
-      } else if (metrics_path_.size() >= 5 &&
-          metrics_path_.compare(metrics_path_.size() - 5, 5, ".json") == 0) {
-        session_->metrics().export_json(out);
-      } else {
-        session_->metrics().export_prometheus(out);
-      }
-    }
-    if (profile_) session_->profiler().report(std::cerr);
-  }
-
-  BenchTelemetry(const BenchTelemetry&) = delete;
-  BenchTelemetry& operator=(const BenchTelemetry&) = delete;
-
-  [[nodiscard]] bool active() const noexcept { return session_.has_value(); }
-
- private:
-  std::string metrics_path_;
-  bool profile_;
-  std::ofstream trace_file_;
-  std::optional<obs::TelemetrySession> session_;
-};
-
-/// Resolves a bench's --threads flag: explicit N wins; 0 (the default) means
-/// hardware concurrency; telemetry forces 1 because the obs:: sinks
-/// (MetricsRegistry, Tracer) are single-threaded by design.
-inline std::size_t resolve_bench_threads(const CliArgs& args,
-                                         const BenchTelemetry& telemetry) {
-  const std::size_t threads = ThreadPool::resolve_threads(args.get("threads", 0L));
-  if (telemetry.active() && threads > 1) {
-    std::cerr << "note: telemetry flags force --threads=1 (obs sinks are "
-                 "single-threaded)\n";
-    return 1;
-  }
-  return threads;
-}
-
-/// Order-sensitive FNV-1a checksum over double samples.  Serial and parallel
-/// sweeps must print the same digest: the merge order, not the execution
-/// order, defines the stream.
-class Checksum {
- public:
-  void add(double value) {
-    std::uint64_t bits;
-    static_assert(sizeof bits == sizeof value);
-    std::memcpy(&bits, &value, sizeof bits);
-    for (int shift = 0; shift < 64; shift += 8) {
-      hash_ ^= (bits >> shift) & 0xffU;
-      hash_ *= 0x100000001b3ULL;
-    }
-  }
-
-  [[nodiscard]] std::uint64_t digest() const noexcept { return hash_; }
-
-  [[nodiscard]] std::string hex() const {
-    char buf[19];
-    std::snprintf(buf, sizeof buf, "0x%016llx",
-                  static_cast<unsigned long long>(hash_));
-    return buf;
-  }
-
- private:
-  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
-};
-
-/// Standard bench prologue: parse argv, warn about typo'd flags later via
-/// warn_unused_flags() once the bench has queried everything it supports.
-inline void warn_unused_flags(const CliArgs& args) {
-  for (const auto& unknown : args.unused()) {
-    std::cerr << "warning: unknown flag --" << unknown << "\n";
-  }
-}
-
-inline void banner(const std::string& title, const std::string& paper_ref) {
-  std::cout << "\n=== " << title << " ===\n";
-  std::cout << "reproduces: " << paper_ref << "\n\n";
-}
 
 /// Prints one CDF table: rows are cumulative probabilities, columns are the
 /// named series.

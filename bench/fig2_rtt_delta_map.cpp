@@ -5,38 +5,31 @@
 
 #include "bench_util.hpp"
 #include "data/datasets.hpp"
-#include "lsn/starlink.hpp"
-#include "measurement/aim.hpp"
 #include "measurement/analysis.hpp"
+#include "sim/runner.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace spacecdn;
-  const CliArgs args(argc, argv);
-  const bench::BenchTelemetry telemetry(args);
-  const std::size_t threads = bench::resolve_bench_threads(args, telemetry);
-  bench::warn_unused_flags(args);
-  bench::banner("Figure 2: median RTT delta (Starlink - terrestrial) per country",
-                "Bose et al., HotNets '24, Figure 2");
-
-  lsn::StarlinkNetwork network;
-  measurement::AimConfig cfg;
-  cfg.tests_per_city = 25;
-  measurement::AimCampaign campaign(network, cfg);
+  sim::RunnerOptions options;
+  options.name = "fig2_rtt_delta_map";
+  options.title = "Figure 2: median RTT delta (Starlink - terrestrial) per country";
+  options.paper_ref = "Bose et al., HotNets '24, Figure 2";
+  options.default_seed = 20240318;  // the AIM campaign epoch
+  options.defaults.tests_per_city = 25;
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
   // Countries shard across the pool; the campaign merges records back in
   // dataset order, so the analysis input -- and the checksum below -- are
   // bit-identical for any --threads value.
-  ThreadPool pool(threads);
-  auto records = campaign.run(pool);
-  bench::Checksum checksum;
+  auto records = runner.world().aim().run(runner.pool());
   for (const auto& r : records) {
-    checksum.add(r.idle_rtt.value());
-    checksum.add(r.loaded_rtt.value());
+    runner.checksum().add(r.idle_rtt.value());
+    runner.checksum().add(r.loaded_rtt.value());
   }
-  std::cout << "campaign threads: " << pool.thread_count() << ", records: "
-            << records.size() << ", determinism checksum: " << checksum.hex()
+  std::cout << "campaign threads: " << runner.pool().thread_count() << ", records: "
+            << records.size() << ", determinism checksum: " << runner.checksum().hex()
             << "\n";
   const measurement::AimAnalysis analysis(std::move(records));
 
@@ -83,5 +76,8 @@ int main(int argc, char** argv) {
                   ConsoleTable::format_fixed(p.lon_deg, 2)});
   }
   pops.render(std::cout);
-  return 0;
+
+  runner.record("countries_measured", static_cast<double>(deltas.size()));
+  runner.record("starlink_faster_countries", static_cast<double>(starlink_faster));
+  return runner.finish();
 }

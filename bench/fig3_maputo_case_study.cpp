@@ -6,9 +6,8 @@
 
 #include "bench_util.hpp"
 #include "data/datasets.hpp"
-#include "lsn/starlink.hpp"
-#include "measurement/aim.hpp"
 #include "measurement/analysis.hpp"
+#include "sim/runner.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -40,22 +39,30 @@ void print_side(const spacecdn::measurement::AimAnalysis& analysis,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
-  bench::banner("Figure 3: Maputo (MPM) case study -- CDN latencies per site",
-                "Bose et al., HotNets '24, Figure 3a/3b");
+  sim::RunnerOptions options;
+  options.name = "fig3_maputo_case_study";
+  options.title = "Figure 3: Maputo (MPM) case study -- CDN latencies per site";
+  options.paper_ref = "Bose et al., HotNets '24, Figure 3a/3b";
+  options.default_seed = 20240318;                 // the AIM campaign epoch
+  options.defaults.tests_per_city = 200;  // dense sampling so many anycast sites appear
+  options.defaults.anycast_noise_ms = 10.0;
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  lsn::StarlinkNetwork network;
-  measurement::AimConfig cfg;
-  cfg.tests_per_city = 200;  // dense sampling so many anycast sites appear
-  cfg.anycast_noise_ms = 10.0;
-  measurement::AimCampaign campaign(network, cfg);
-  const measurement::AimAnalysis analysis(campaign.run_country(data::country("MZ")));
+  const measurement::AimAnalysis analysis(
+      runner.world().aim().run_country(data::country("MZ")));
 
   print_side(analysis, measurement::IspType::kStarlink,
              "(a) Starlink ISP (paper: best mapping Frankfurt ~160 ms; African "
              "sites >250 ms)");
   print_side(analysis, measurement::IspType::kTerrestrial,
              "(b) Terrestrial ISP (paper: Maputo itself ~20 ms; Johannesburg ~70 ms)");
-  return 0;
+
+  if (const auto opt = analysis.optimal_site("Maputo", measurement::IspType::kStarlink)) {
+    runner.record("starlink_optimal_site", opt->site);
+    runner.record("starlink_optimal_median_ms", opt->median_idle_rtt.value());
+  }
+  return runner.finish();
 }

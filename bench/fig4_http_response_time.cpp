@@ -5,19 +5,26 @@
 
 #include "bench_util.hpp"
 #include "data/datasets.hpp"
-#include "lsn/starlink.hpp"
 #include "measurement/web.hpp"
+#include "sim/runner.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
-  bench::banner("Figure 4: HTTP response time difference CDF (Starlink - terrestrial)",
-                "Bose et al., HotNets '24, Figure 4");
+  sim::RunnerOptions options;
+  options.name = "fig4_http_response_time";
+  options.title =
+      "Figure 4: HTTP response time difference CDF (Starlink - terrestrial)";
+  options.paper_ref = "Bose et al., HotNets '24, Figure 4";
+  options.default_seed = 20240318;  // the NetMet campaign epoch
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  lsn::StarlinkNetwork network;
   measurement::NetMetConfig cfg;
-  cfg.fetches_per_page = 12;
-  measurement::NetMetCampaign campaign(network, cfg);
+  cfg.fetches_per_page =
+      static_cast<std::uint32_t>(runner.get("fetches-per-page", 12L));
+  cfg.seed = runner.seed();
+  measurement::NetMetCampaign campaign(runner.world().network(), cfg);
 
   const std::vector<std::string> countries{"CA", "GB", "DE", "NG"};
   std::vector<des::SampleSet> diffs(countries.size());
@@ -48,6 +55,8 @@ int main() {
               << ConsoleTable::format_fixed(100.0 * (1.0 - diffs[c].fraction_below(0.0)),
                                             0)
               << "% of fetches faster on terrestrial\n";
+    runner.record(countries[c] + "_median_diff_ms", diffs[c].median());
+    for (const double v : diffs[c].raw()) runner.checksum().add(v);
   }
-  return 0;
+  return runner.finish();
 }

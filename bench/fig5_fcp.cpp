@@ -6,19 +6,25 @@
 
 #include "bench_util.hpp"
 #include "data/datasets.hpp"
-#include "lsn/starlink.hpp"
 #include "measurement/web.hpp"
+#include "sim/runner.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
-  bench::banner("Figure 5: first contentful paint, Starlink vs terrestrial (DE, GB)",
-                "Bose et al., HotNets '24, Figure 5");
+  sim::RunnerOptions options;
+  options.name = "fig5_fcp";
+  options.title = "Figure 5: first contentful paint, Starlink vs terrestrial (DE, GB)";
+  options.paper_ref = "Bose et al., HotNets '24, Figure 5";
+  options.default_seed = 20240318;  // the NetMet campaign epoch
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  lsn::StarlinkNetwork network;
   measurement::NetMetConfig cfg;
-  cfg.fetches_per_page = 15;
-  measurement::NetMetCampaign campaign(network, cfg);
+  cfg.fetches_per_page =
+      static_cast<std::uint32_t>(runner.get("fetches-per-page", 15L));
+  cfg.seed = runner.seed();
+  measurement::NetMetCampaign campaign(runner.world().network(), cfg);
 
   std::vector<std::string> labels;
   std::vector<des::SampleSet> sets;
@@ -45,6 +51,10 @@ int main() {
     const double gap = sets[i].median() - sets[i + 1].median();
     std::cout << "  " << labels[i].substr(0, 2) << ": Starlink median FCP is "
               << ConsoleTable::format_fixed(gap * 1000.0, 0) << " ms higher\n";
+    runner.record(labels[i].substr(0, 2) + "_fcp_gap_ms", gap * 1000.0);
   }
-  return 0;
+  for (const auto& s : sets) {
+    for (const double v : s.raw()) runner.checksum().add(v);
+  }
+  return runner.finish();
 }

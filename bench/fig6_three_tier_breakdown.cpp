@@ -11,25 +11,26 @@
 #include "bench_util.hpp"
 #include "cdn/popularity.hpp"
 #include "data/datasets.hpp"
-#include "lsn/starlink.hpp"
+#include "sim/runner.hpp"
 #include "spacecdn/router.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace spacecdn;
-  const CliArgs args(argc, argv);
-  const bench::BenchTelemetry telemetry(args);
-  bench::warn_unused_flags(args);
-  bench::banner("Figure 6 companion: three-tier fetch breakdown while warming",
-                "Bose et al., HotNets '24, Figure 6 (SpaceCDN overview)");
+  sim::RunnerOptions options;
+  options.name = "fig6_three_tier_breakdown";
+  options.title = "Figure 6 companion: three-tier fetch breakdown while warming";
+  options.paper_ref = "Bose et al., HotNets '24, Figure 6 (SpaceCDN overview)";
+  options.default_seed = 24;
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  lsn::StarlinkNetwork network;
-  des::Rng rng(24);
+  des::Rng rng = runner.rng();
   const cdn::ContentCatalog catalog({.object_count = 2000}, rng);
   const cdn::RegionalPopularity popularity(catalog.size(), {});
-  space::SatelliteFleet fleet(network.constellation().size(), space::FleetConfig{});
-  cdn::CdnDeployment ground(data::cdn_sites(), {});
-  space::SpaceCdnRouter router(network, fleet, ground);
+  space::SatelliteFleet& fleet = runner.world().fleet();
+  space::SpaceCdnRouter router(runner.world().network(), fleet,
+                               runner.world().ground_cdn());
 
   std::vector<const data::CityInfo*> clients;
   for (const char* name : {"Maputo", "Nairobi", "Kigali", "Lusaka"}) {
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
                       "median RTT iii (ms)"});
   std::uint64_t counts[3] = {0, 0, 0};
   des::SampleSet latency[3];
-  const int kTotal = 4000;
+  const int kTotal = static_cast<int>(runner.get("requests", 4000L));
   int since_snapshot = 0;
   for (int i = 1; i <= kTotal; ++i) {
     const auto* city = clients[rng.uniform_int(0, clients.size() - 1)];
@@ -54,6 +55,7 @@ int main(int argc, char** argv) {
     const auto tier = static_cast<std::size_t>(result->tier);
     ++counts[tier];
     latency[tier].add(result->rtt.value());
+    runner.checksum().add(result->rtt.value());
 
     if (++since_snapshot == kTotal / 4) {
       since_snapshot = 0;
@@ -76,5 +78,9 @@ int main(int argc, char** argv) {
                "cold; pull-through admission migrates the regional working "
                "set into orbit, and the overhead-satellite tier takes over at "
                "a tenth of the bent-pipe latency (the red arrow in Figure 6).\n";
-  return 0;
+
+  runner.record("tier1_requests", static_cast<double>(counts[0]));
+  runner.record("tier2_requests", static_cast<double>(counts[1]));
+  runner.record("tier3_requests", static_cast<double>(counts[2]));
+  return runner.finish();
 }

@@ -6,46 +6,40 @@
 // can offer comparable performance to CDNs connected to terrestrial ISPs
 // ... even 10 ISL hops offers around half the latency [of Starlink today]."
 #include <array>
-#include <cmath>
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "data/datasets.hpp"
 #include "geo/propagation.hpp"
-#include "lsn/starlink.hpp"
-#include "measurement/aim.hpp"
 #include "measurement/analysis.hpp"
+#include "sim/runner.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace spacecdn;
 
-constexpr std::uint64_t kSweepSeed = 7;
 const std::vector<std::uint32_t> kHopBudgets{1, 3, 5, 10};
 
-/// Samples produced by one (epoch, city) shard, merged in shard order.
+/// Samples produced by one (epoch, client) shard, merged in shard order.
 struct CityShard {
   std::vector<double> first_sat;
   std::array<std::vector<double>, 4> rings;
 };
 
-CityShard sample_city(const lsn::StarlinkNetwork& network, const data::CityInfo& city,
-                      std::uint64_t stream) {
+CityShard sample_city(const lsn::StarlinkNetwork& network,
+                      const sim::Shell1Client& client, des::Rng rng) {
   CityShard shard;
-  if (std::abs(city.lat_deg) > 56.0) return shard;  // Shell 1 coverage band
   const auto& snapshot = network.snapshot();
-  const geo::GeoPoint client = data::location(city);
-  const auto serving = snapshot.serving_satellite(client, 25.0);
+  const geo::GeoPoint location = data::location(*client.city);
+  const auto serving = snapshot.serving_satellite(location, 25.0);
   if (!serving) return shard;
   const Milliseconds uplink = geo::propagation_delay(
-      snapshot.slant_range(client, *serving), geo::Medium::kVacuum);
+      snapshot.slant_range(location, *serving), geo::Medium::kVacuum);
 
   // Satellite-cache fetches carge propagation plus a small onboard
   // service overhead (the xeoverse-style idealisation; the measured
   // Starlink baselines below keep the full access-layer overhead).
-  des::Rng rng(des::mix_seed(kSweepSeed, stream));
   const auto service = [&rng] {
     return Milliseconds{rng.lognormal_median(2.0, 0.3)};
   };
@@ -79,46 +73,49 @@ CityShard sample_city(const lsn::StarlinkNetwork& network, const data::CityInfo&
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  const bench::BenchTelemetry telemetry(args);
-  const std::size_t threads = bench::resolve_bench_threads(args, telemetry);
-  bench::warn_unused_flags(args);
-  bench::banner("Figure 7: SpaceCDN fetch-latency CDF vs Starlink/terrestrial CDN",
-                "Bose et al., HotNets '24, Figure 7");
+  sim::RunnerOptions options;
+  options.name = "fig7_spacecdn_cdf";
+  options.title = "Figure 7: SpaceCDN fetch-latency CDF vs Starlink/terrestrial CDN";
+  options.paper_ref = "Bose et al., HotNets '24, Figure 7";
+  options.default_seed = 7;
+  options.defaults.tests_per_city = 15;  // the AIM baseline curves' campaign
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  lsn::StarlinkNetwork network;  // Shell 1, as the paper configures xeoverse
-  ThreadPool pool(threads);
+  lsn::StarlinkNetwork& network = runner.world().network();  // Shell 1
 
   std::vector<des::SampleSet> space_latency(kHopBudgets.size());
   des::SampleSet first_sat;
-  bench::Checksum checksum;
 
   // Sample epochs across a quarter orbit so satellite geometry varies.
   // Epochs advance serially (set_time mutates the shared network); within an
-  // epoch cities shard across the pool against the read-only snapshot and
+  // epoch clients shard across the pool against the read-only snapshot and
   // the epoch-cached routing engine.  Each (epoch, city) shard draws its own
-  // RNG stream and the merge walks shards in dataset order, so the samples
+  // RNG stream keyed by the city's *dataset* index -- stable under coverage
+  // filtering -- and the merge walks shards in dataset order, so the samples
   // -- and the checksum -- are bit-identical for any --threads value.
-  const auto cities = data::cities();
+  const std::size_t dataset_size = data::cities().size();
+  const auto& clients = runner.world().clients();
   std::uint64_t epoch_index = 0;
   for (const Milliseconds epoch :
        {Milliseconds{0.0}, Milliseconds::from_minutes(8.0),
         Milliseconds::from_minutes(16.0)}) {
     network.set_time(epoch);
-    std::vector<CityShard> shards(cities.size());
-    pool.parallel_for(cities.size(), [&](std::size_t i) {
-      shards[i] = sample_city(network, cities[i],
-                              epoch_index * cities.size() + i);
+    std::vector<CityShard> shards(clients.size());
+    runner.pool().parallel_for(clients.size(), [&](std::size_t i) {
+      shards[i] = sample_city(
+          network, clients[i],
+          runner.stream_rng(epoch_index * dataset_size + clients[i].dataset_index));
     });
     for (const CityShard& shard : shards) {
       for (const double v : shard.first_sat) {
         first_sat.add(v);
-        checksum.add(v);
+        runner.checksum().add(v);
       }
       for (std::size_t b = 0; b < kHopBudgets.size(); ++b) {
         for (const double v : shard.rings[b]) {
           space_latency[b].add(v);
-          checksum.add(v);
+          runner.checksum().add(v);
         }
       }
     }
@@ -127,10 +124,7 @@ int main(int argc, char** argv) {
 
   // AIM baselines (section 3 campaign), as the dashed/dotted curves.
   network.set_time(Milliseconds{0.0});
-  measurement::AimConfig acfg;
-  acfg.tests_per_city = 15;
-  measurement::AimCampaign campaign(network, acfg);
-  const measurement::AimAnalysis analysis(campaign.run(pool));
+  const measurement::AimAnalysis analysis(runner.world().aim().run(runner.pool()));
   // The paper: "Table 1 shows the lowest observed latency; here we plot the
   // whole CDF" -- every sample, not just optimal-site ones.
   const des::SampleSet starlink_cdn =
@@ -138,8 +132,8 @@ int main(int argc, char** argv) {
   const des::SampleSet terrestrial_cdn =
       analysis.idle_rtts(measurement::IspType::kTerrestrial);
 
-  std::cout << "sweep threads: " << pool.thread_count()
-            << ", determinism checksum: " << checksum.hex()
+  std::cout << "sweep threads: " << runner.pool().thread_count()
+            << ", determinism checksum: " << runner.checksum().hex()
             << " (identical for any --threads)\n\n";
 
   std::vector<std::string> names{"1st/Sat", "1 ISL", "3 ISLs", "5 ISLs", "10 ISLs",
@@ -168,5 +162,10 @@ int main(int argc, char** argv) {
             << ConsoleTable::format_fixed(space_latency[2].quantile(0.99), 1)
             << " ms; today's Starlink tail reaches "
             << ConsoleTable::format_fixed(starlink_cdn.quantile(0.99), 1) << " ms\n";
-  return 0;
+
+  runner.record("spacecdn_5hop_p95_ms", space_latency[2].quantile(0.95));
+  runner.record("spacecdn_10hop_median_ms", space_latency[3].median());
+  runner.record("terrestrial_p95_ms", terrestrial_cdn.quantile(0.95));
+  runner.record("starlink_p99_ms", starlink_cdn.quantile(0.99));
+  return runner.finish();
 }

@@ -4,30 +4,30 @@
 //
 // Paper's claim: ">= 50% of satellites caching at a time keeps SpaceCDN
 // competitive with terrestrial ISP-CDN latencies."
-#include <cmath>
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "data/datasets.hpp"
-#include "lsn/starlink.hpp"
-#include "measurement/aim.hpp"
 #include "measurement/analysis.hpp"
+#include "sim/runner.hpp"
 #include "spacecdn/duty_cycle.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
-  bench::banner("Figure 8: duty-cycled satellite caches (30% / 50% / 80%)",
-                "Bose et al., HotNets '24, Figure 8");
+  sim::RunnerOptions options;
+  options.name = "fig8_duty_cycle";
+  options.title = "Figure 8: duty-cycled satellite caches (30% / 50% / 80%)";
+  options.paper_ref = "Bose et al., HotNets '24, Figure 8";
+  options.default_seed = 8;
+  options.defaults.tests_per_city = 10;  // terrestrial reference campaign
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  lsn::StarlinkNetwork network;
-  space::SatelliteFleet fleet(network.constellation().size(), space::FleetConfig{});
-  des::Rng rng(8);
+  lsn::StarlinkNetwork& network = runner.world().network();
+  space::SatelliteFleet& fleet = runner.world().fleet();
+  des::Rng rng = runner.rng();
 
-  std::vector<geo::GeoPoint> clients;
-  for (const auto& city : data::cities()) {
-    if (std::abs(city.lat_deg) <= 56.0) clients.push_back(data::location(city));
-  }
+  const std::vector<geo::GeoPoint> clients = runner.world().client_points();
 
   std::vector<std::string> labels;
   std::vector<des::SampleSet> sets;
@@ -36,14 +36,12 @@ int main() {
     cfg.cache_fraction = fraction;
     space::DutyCycleSimulation sim(network, fleet, cfg);
     sets.push_back(sim.run(clients, 4, 8, rng));
+    for (const double v : sets.back().raw()) runner.checksum().add(v);
     labels.push_back(ConsoleTable::format_fixed(fraction * 100.0, 0) + "% caching");
   }
 
   // Terrestrial reference line from the AIM campaign.
-  measurement::AimConfig acfg;
-  acfg.tests_per_city = 10;
-  measurement::AimCampaign campaign(network, acfg);
-  const measurement::AimAnalysis analysis(campaign.run());
+  const measurement::AimAnalysis analysis(runner.world().aim().run());
   const double terrestrial_median =
       analysis.idle_rtts(measurement::IspType::kTerrestrial).median();
 
@@ -62,5 +60,10 @@ int main() {
               << " with terrestrial\n";
   }
   std::cout << "Paper's shape: 50% and 80% competitive; 30% visibly worse.\n";
-  return 0;
+
+  runner.record("terrestrial_median_ms", terrestrial_median);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    runner.record(labels[i], sets[i].median());
+  }
+  return runner.finish();
 }

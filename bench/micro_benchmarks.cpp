@@ -7,10 +7,10 @@
 #include "data/datasets.hpp"
 #include "des/random.hpp"
 #include "geo/distance.hpp"
-#include "lsn/starlink.hpp"
 #include "measurement/aim.hpp"
 #include "net/graph.hpp"
 #include "orbit/ephemeris.hpp"
+#include "sim/world.hpp"
 #include "spacecdn/lookup.hpp"
 #include "util/thread_pool.hpp"
 
@@ -18,10 +18,9 @@ namespace {
 
 using namespace spacecdn;
 
-const lsn::StarlinkNetwork& shell1() {
-  static const lsn::StarlinkNetwork network{};
-  return network;
-}
+// Every case shares the process-wide default-scenario world, so the Shell-1
+// constellation and its ISL graph are built exactly once.
+const lsn::StarlinkNetwork& shell1() { return sim::shared_world().network(); }
 
 void BM_GreatCircleDistance(benchmark::State& state) {
   const geo::GeoPoint a{52.52, 13.40, 0.0};
@@ -33,7 +32,7 @@ void BM_GreatCircleDistance(benchmark::State& state) {
 BENCHMARK(BM_GreatCircleDistance);
 
 void BM_ConstellationPropagation(benchmark::State& state) {
-  const orbit::WalkerConstellation shell(orbit::starlink_shell1());
+  const orbit::WalkerConstellation& shell = sim::shared_world().constellation();
   double t = 0.0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(shell.positions_ecef(Milliseconds{t}));

@@ -5,9 +5,8 @@
 
 #include "bench_util.hpp"
 #include "data/datasets.hpp"
-#include "lsn/starlink.hpp"
-#include "measurement/aim.hpp"
 #include "measurement/analysis.hpp"
+#include "sim/runner.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -29,15 +28,18 @@ constexpr PaperRow kPaper[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
-  bench::banner("Table 1: distance to the best CDN server and median minRTT",
-                "Bose et al., HotNets '24, Table 1");
+  sim::RunnerOptions options;
+  options.name = "table1_distance_rtt";
+  options.title = "Table 1: distance to the best CDN server and median minRTT";
+  options.paper_ref = "Bose et al., HotNets '24, Table 1";
+  options.default_seed = 20240318;  // the AIM campaign epoch
+  options.defaults.tests_per_city = 40;
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  lsn::StarlinkNetwork network;
-  measurement::AimConfig cfg;
-  cfg.tests_per_city = 40;
-  measurement::AimCampaign campaign(network, cfg);
+  measurement::AimCampaign& campaign = runner.world().aim();
 
   std::vector<measurement::SpeedTestRecord> records;
   for (const auto& row : kPaper) {
@@ -80,6 +82,8 @@ int main() {
   if (mz) {
     std::cout << "  - Mozambique Starlink distance " << static_cast<int>(mz->starlink_distance_km)
               << " km (paper: 8,776 km via Frankfurt)\n";
+    runner.record("mz_starlink_distance_km", mz->starlink_distance_km);
   }
-  return 0;
+  runner.record("starlink_worse_countries", static_cast<double>(starlink_worse));
+  return runner.finish();
 }

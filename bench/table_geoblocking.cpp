@@ -8,14 +8,19 @@
 #include "bench_util.hpp"
 #include "data/datasets.hpp"
 #include "measurement/geoblocking.hpp"
+#include "sim/runner.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spacecdn;
-  bench::banner("Geo-blocking exposure: apparent vs actual subscriber country",
-                "Bose et al., HotNets '24, sections 1-2 (geo-blocking)");
+  sim::RunnerOptions options;
+  options.name = "table_geoblocking";
+  options.title = "Geo-blocking exposure: apparent vs actual subscriber country";
+  options.paper_ref = "Bose et al., HotNets '24, sections 1-2 (geo-blocking)";
+  sim::Runner runner(argc, argv, options);
+  runner.banner();
 
-  const lsn::GroundSegment ground;
+  const lsn::GroundSegment& ground = runner.world().network().ground();
   const measurement::GeoBlockingStudy study(ground);
   auto rows = study.analyze();
   std::sort(rows.begin(), rows.end(),
@@ -47,5 +52,10 @@ int main() {
   std::cout << "  - mean geolocation displacement "
             << ConsoleTable::format_fixed(summary.mean_displacement.value(), 0)
             << " km\n";
-  return 0;
+
+  runner.record("countries", static_cast<double>(summary.countries));
+  runner.record("country_mismatch", static_cast<double>(summary.with_country_mismatch));
+  runner.record("region_mismatch", static_cast<double>(summary.with_region_mismatch));
+  runner.record("mean_displacement_km", summary.mean_displacement.value());
+  return runner.finish();
 }

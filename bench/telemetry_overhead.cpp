@@ -29,7 +29,7 @@
 #include "bench_util.hpp"
 #include "cdn/popularity.hpp"
 #include "data/datasets.hpp"
-#include "lsn/starlink.hpp"
+#include "sim/runner.hpp"
 #include "spacecdn/placement.hpp"
 #include "spacecdn/router.hpp"
 #include "util/csv.hpp"
@@ -48,7 +48,7 @@ struct Workload {
 };
 
 /// Runs one round of `fetches` requests; returns (seconds, rtt checksum).
-std::pair<double, double> run_round(const Workload& w, int fetches, std::uint32_t seed) {
+std::pair<double, double> run_round(const Workload& w, int fetches, std::uint64_t seed) {
   des::Rng rng(seed);
   double checksum = 0.0;
   const auto start = std::chrono::steady_clock::now();
@@ -67,22 +67,28 @@ std::pair<double, double> run_round(const Workload& w, int fetches, std::uint32_
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  const int fetches = static_cast<int>(args.get("fetches", 2000L));
-  const int rounds = static_cast<int>(args.get("rounds", 7L));
-  const double limit_pct = args.get("limit", 2.0);
-  bench::warn_unused_flags(args);
-  bench::banner("Telemetry overhead on SpaceCdnRouter::fetch",
-                "acceptance: aggregate telemetry costs < " +
-                    ConsoleTable::format_fixed(limit_pct, 1) + "% (DESIGN.md, obs/)");
+  sim::RunnerOptions options;
+  options.name = "telemetry_overhead";
+  options.title = "Telemetry overhead on SpaceCdnRouter::fetch";
+  options.paper_ref = "observability acceptance gate (DESIGN.md, obs/)";
+  options.default_seed = 2;  // the per-round request-sequence seed
+  sim::Runner runner(argc, argv, options);
+  const int fetches = static_cast<int>(runner.get("fetches", 2000L));
+  const int rounds = static_cast<int>(runner.get("rounds", 7L));
+  const double limit_pct = runner.get("limit", 2.0);
+  const std::uint64_t catalog_seed =
+      static_cast<std::uint64_t>(runner.get("catalog-seed", 90L));
+  runner.banner();
+  std::cout << "acceptance: aggregate telemetry costs < "
+            << ConsoleTable::format_fixed(limit_pct, 1) << "% (DESIGN.md, obs/)\n";
 
   // Fixed-epoch SpaceCDN stack; admit_on_fetch=false freezes cache contents
   // so every round performs identical lookups regardless of ordering.
-  lsn::StarlinkNetwork network;
-  des::Rng catalog_rng(90);
+  lsn::StarlinkNetwork& network = runner.world().network();
+  des::Rng catalog_rng(catalog_seed);
   const cdn::ContentCatalog catalog({.object_count = 200}, catalog_rng);
   const cdn::RegionalPopularity popularity(catalog.size(), {});
-  space::SatelliteFleet fleet(network.constellation().size(), space::FleetConfig{});
+  space::SatelliteFleet fleet = runner.world().make_fleet();
   cdn::CdnDeployment ground(data::cdn_sites(), {});
   space::SpaceCdnRouter router(network, fleet, ground, {.admit_on_fetch = false});
 
@@ -126,14 +132,14 @@ int main(int argc, char** argv) {
       }
       const obs::TelemetryScope scope(sinks);
       // Same seed in every mode/round: identical request sequence.
-      const auto [seconds, sum] = run_round(w, fetches, 2);
+      const auto [seconds, sum] = run_round(w, fetches, runner.seed());
       best[mode] = std::min(best[mode], seconds);
       checksum[mode] = sum;
     }
   }
 
   ConsoleTable table({"mode", "min round (ms)", "ns / fetch", "overhead"});
-  CsvWriter csv(std::cout, {"mode", "min_round_ms", "ns_per_fetch", "overhead_pct"});
+  CsvWriter csv(runner.csv(), {"mode", "min_round_ms", "ns_per_fetch", "overhead_pct"});
   std::cout << "\n";
   double overhead_pct[3] = {0.0, 0.0, 0.0};
   for (int mode = 0; mode < 3; ++mode) {
@@ -159,5 +165,8 @@ int main(int argc, char** argv) {
   std::cout << "Full diagnostics (tracing + profiling) cost "
             << ConsoleTable::format_fixed(overhead_pct[kFull], 2)
             << "% -- per-capture modes, priced for reference.\n";
-  return pass && same_work ? 0 : 1;
+  runner.checksum().add(checksum[kDisabled]);
+  runner.record("metrics_overhead_pct", overhead_pct[kMetrics]);
+  runner.record("full_overhead_pct", overhead_pct[kFull]);
+  return runner.finish(pass && same_work);
 }

@@ -9,7 +9,7 @@
 
 #include "cdn/popularity.hpp"
 #include "data/datasets.hpp"
-#include "orbit/walker.hpp"
+#include "sim/world.hpp"
 #include "spacecdn/bubbles.hpp"
 #include "util/table.hpp"
 
@@ -22,10 +22,10 @@ int main() {
   pop_cfg.global_share = 0.1;
   const cdn::RegionalPopularity popularity(catalog.size(), pop_cfg);
 
-  const orbit::WalkerConstellation shell(orbit::starlink_shell1());
-  space::SatelliteFleet fleet(shell.size(),
-                              space::FleetConfig{Megabytes{8000.0},
-                                                 cdn::CachePolicy::kLru});
+  sim::World world;
+  const orbit::WalkerConstellation& shell = world.constellation();
+  space::SatelliteFleet fleet = world.make_fleet(
+      space::FleetConfig{Megabytes{8000.0}, cdn::CachePolicy::kLru});
   space::BubbleConfig bubble_cfg;
   bubble_cfg.prefetch_top_k = 300;
   const space::ContentBubbleManager bubbles(catalog, popularity, bubble_cfg);

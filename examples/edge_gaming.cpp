@@ -9,14 +9,15 @@
 
 #include "data/datasets.hpp"
 #include "lsn/handover.hpp"
-#include "orbit/walker.hpp"
+#include "sim/world.hpp"
 #include "spacecdn/space_vm.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace spacecdn;
 
-  const orbit::WalkerConstellation shell(orbit::starlink_shell1());
+  sim::World world;
+  const orbit::WalkerConstellation& shell = world.constellation();
   const auto& city = data::city("Manila");  // players in an LSN-served metro
   const geo::GeoPoint arena = data::location(city);
   const Milliseconds session = Milliseconds::from_minutes(45.0);

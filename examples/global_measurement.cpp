@@ -3,35 +3,31 @@
 // CSV -- the workflow behind the paper's Figure 2 and Table 1.
 //
 //   $ ./examples/global_measurement > aim_summary.csv
-//   $ ./examples/global_measurement --tests=50 --seed=7 > aim_summary.csv
+//   $ ./examples/global_measurement --tests-per-city=50 --seed=7 > aim_summary.csv
 #include <iostream>
 
 #include "data/datasets.hpp"
-#include "lsn/starlink.hpp"
 #include "measurement/aim.hpp"
 #include "measurement/analysis.hpp"
-#include "util/cli.hpp"
+#include "sim/runner.hpp"
 #include "util/csv.hpp"
 
 int main(int argc, char** argv) {
   using namespace spacecdn;
-  const CliArgs args(argc, argv);
-
-  lsn::StarlinkNetwork network;
-  measurement::AimConfig config;
-  config.tests_per_city = static_cast<std::uint32_t>(args.get("tests", 25L));
-  config.seed = static_cast<std::uint64_t>(args.get("seed", 20240318L));
-  for (const auto& unknown : args.unused()) {
-    std::cerr << "warning: unknown flag --" << unknown << "\n";
-  }
-  measurement::AimCampaign campaign(network, config);
+  sim::RunnerOptions options;
+  options.name = "global_measurement";
+  options.default_seed = 20240318;
+  options.defaults.tests_per_city = 25;
+  // No banner: stdout is the CSV (redirect it, or pass --csv-out=FILE).
+  sim::Runner runner(argc, argv, options);
+  measurement::AimCampaign& campaign = runner.world().aim();
 
   std::cerr << "running speed tests from "
             << data::starlink_countries().size() << " countries...\n";
   const measurement::AimAnalysis analysis(campaign.run());
   std::cerr << "collected " << analysis.records().size() << " records\n";
 
-  CsvWriter csv(std::cout,
+  CsvWriter csv(runner.csv(),
                 {"country", "region", "terrestrial_distance_km", "terrestrial_min_rtt_ms",
                  "starlink_distance_km", "starlink_min_rtt_ms", "delta_ms"});
   for (const auto& code : analysis.countries()) {
@@ -47,5 +43,5 @@ int main(int argc, char** argv) {
                                       row->terrestrial_min_rtt_ms)});
   }
   std::cerr << "wrote " << csv.rows_written() << " country rows\n";
-  return 0;
+  return runner.finish();
 }

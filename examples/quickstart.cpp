@@ -8,7 +8,7 @@
 
 #include "cdn/deployment.hpp"
 #include "data/datasets.hpp"
-#include "lsn/starlink.hpp"
+#include "sim/world.hpp"
 #include "spacecdn/placement.hpp"
 #include "spacecdn/router.hpp"
 
@@ -16,8 +16,10 @@ int main() {
   using namespace spacecdn;
 
   // 1. The LEO ISP: Starlink Shell 1 (72 planes x 22 satellites at 550 km),
-  //    ground stations, PoPs, and the bent-pipe router.
-  lsn::StarlinkNetwork network;
+  //    ground stations, PoPs, and the bent-pipe router -- all built by the
+  //    scenario engine's default world.
+  sim::World world;
+  lsn::StarlinkNetwork& network = world.network();
   std::cout << "constellation: " << network.constellation().size() << " satellites, "
             << network.ground().gateway_count() << " gateways, "
             << network.ground().pop_count() << " PoPs\n";
@@ -40,7 +42,7 @@ int main() {
 
   // 3. SpaceCDN: give every satellite a cache and replicate one object four
   //    times per orbital plane (the paper's 5-hop-reachability recipe).
-  space::SatelliteFleet fleet(network.constellation().size(), space::FleetConfig{});
+  space::SatelliteFleet& fleet = world.fleet();
   space::PlacementConfig placement_cfg;
   placement_cfg.copies_per_plane = 4;
   const space::ContentPlacement placement(network.constellation(), placement_cfg);
@@ -52,7 +54,7 @@ int main() {
 
   // 4. Fetch through the three-tier router (overhead satellite -> ISL
   //    neighbourhood -> ground CDN).
-  cdn::CdnDeployment ground_cdn(data::cdn_sites(), {});
+  cdn::CdnDeployment& ground_cdn = world.ground_cdn();
   space::SpaceCdnRouter router(network, fleet, ground_cdn);
   des::Rng rng(1);
 

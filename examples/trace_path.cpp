@@ -8,14 +8,13 @@
 
 #include "cdn/content.hpp"
 #include "data/datasets.hpp"
-#include "lsn/starlink.hpp"
 #include "measurement/traceroute.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "sim/runner.hpp"
 #include "spacecdn/fleet.hpp"
 #include "spacecdn/placement.hpp"
 #include "spacecdn/router.hpp"
-#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -35,12 +34,14 @@ void print(const char* title, const spacecdn::measurement::Traceroute& trace) {
 
 /// --waterfall: run three SpaceCDN fetches (one per tier) through the
 /// instrumented router and render each request's span tree.
-void print_fetch_waterfalls(const spacecdn::lsn::StarlinkNetwork& network,
-                            const spacecdn::data::CityInfo& client_city) {
+void print_fetch_waterfalls(spacecdn::sim::World& world,
+                            const spacecdn::data::CityInfo& client_city,
+                            spacecdn::des::Rng rng) {
   using namespace spacecdn;
-  space::SatelliteFleet fleet(network.constellation().size(),
-                              space::FleetConfig{Megabytes{1000.0}});
-  cdn::CdnDeployment ground(data::cdn_sites(), {});
+  const lsn::StarlinkNetwork& network = world.network();
+  space::SatelliteFleet fleet =
+      world.make_fleet(space::FleetConfig{Megabytes{1000.0}});
+  cdn::CdnDeployment& ground = world.ground_cdn();
   space::RouterConfig rcfg;
   rcfg.admit_on_fetch = false;  // keep each demo fetch on its own tier
   space::SpaceCdnRouter router(network, fleet, ground, rcfg);
@@ -67,7 +68,6 @@ void print_fetch_waterfalls(const spacecdn::lsn::StarlinkNetwork& network,
   (void)fleet.cache(network.constellation().grid_neighbors(*serving)[2])
       .insert(tier2, Milliseconds{0.0});
 
-  des::Rng rng(24);
   std::cout << "\n=== SpaceCDN fetch waterfalls from " << client_city.name
             << " (simulated ms) ===\n";
   for (const auto& item : {tier1, tier2, tier3}) {
@@ -84,20 +84,22 @@ void print_fetch_waterfalls(const spacecdn::lsn::StarlinkNetwork& network,
 
 int main(int argc, char** argv) {
   using namespace spacecdn;
-  const CliArgs args(argc, argv);
-  const std::string city_name = args.get("city", std::string("Maputo"));
-  const std::string dest_name = args.get("dest", std::string("Frankfurt"));
-  const bool waterfall = args.get("waterfall", false);
-  for (const auto& unknown : args.unused()) {
-    std::cerr << "warning: unknown flag --" << unknown << "\n";
-  }
+  sim::RunnerOptions options;
+  options.name = "trace_path";
+  options.default_seed = 23;
+  sim::Runner runner(argc, argv, options);
+  const std::string city_name = runner.get("city", std::string("Maputo"));
+  const std::string dest_name = runner.get("dest", std::string("Frankfurt"));
+  const bool waterfall = runner.get("waterfall", false);
+  const std::uint64_t waterfall_seed =
+      static_cast<std::uint64_t>(runner.get("waterfall-seed", 24L));
 
   const auto& client = data::city(city_name);
   const geo::GeoPoint destination = data::location(data::city(dest_name));
 
-  lsn::StarlinkNetwork network;
+  lsn::StarlinkNetwork& network = runner.world().network();
   const measurement::TracerouteSynthesizer synth(network);
-  des::Rng rng(23);
+  des::Rng rng = runner.rng();
 
   std::cout << "traceroute from " << client.name << " to " << dest_name << ":\n";
   const auto star = synth.starlink(client, destination, rng);
@@ -113,6 +115,8 @@ int main(int argc, char** argv) {
   const auto terr = synth.terrestrial(client, destination, rng);
   print("=== over a terrestrial ISP ===", terr);
 
-  if (waterfall) print_fetch_waterfalls(network, client);
-  return 0;
+  if (waterfall) {
+    print_fetch_waterfalls(runner.world(), client, des::Rng(waterfall_seed));
+  }
+  return runner.finish();
 }

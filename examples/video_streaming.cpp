@@ -8,21 +8,23 @@
 #include <iostream>
 
 #include "data/datasets.hpp"
-#include "lsn/starlink.hpp"
+#include "sim/runner.hpp"
 #include "spacecdn/striping.hpp"
-#include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace spacecdn;
-  const CliArgs args(argc, argv);
+  sim::RunnerOptions options;
+  options.name = "video_streaming";
+  options.default_seed = 7;
+  sim::Runner runner(argc, argv, options);
 
-  lsn::StarlinkNetwork network;
+  lsn::StarlinkNetwork& network = runner.world().network();
   const space::StripingPlanner planner(network.constellation());
   const space::StripedPlaybackSimulator simulator(network, planner);
-  des::Rng rng(7);
+  des::Rng rng = runner.rng();
 
-  const auto& viewer_city = data::city(args.get("city", std::string("Nairobi")));
+  const auto& viewer_city = data::city(runner.get("city", std::string("Nairobi")));
   const auto& country = data::country(viewer_city.country_code);
   const geo::GeoPoint viewer = data::location(viewer_city);
 
@@ -60,5 +62,5 @@ int main(int argc, char** argv) {
   std::cout << "bent-pipe playback: startup " << ground.startup_latency
             << ", mean stripe RTT " << ground.mean_stripe_rtt << ", worst "
             << ground.worst_stripe_rtt << " (loaded-link bufferbloat included)\n";
-  return 0;
+  return runner.finish();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <numeric>
 #include <ostream>
 
@@ -147,6 +148,22 @@ void Histogram::render(std::ostream& os, int width) const {
                     static_cast<double>(peak), width)
        << '\n';
   }
+}
+
+void Fnv1aChecksum::add(double value) noexcept {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof value);
+  std::memcpy(&bits, &value, sizeof bits);
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash_ ^= (bits >> shift) & 0xffU;
+    hash_ *= 0x100000001b3ULL;
+  }
+}
+
+std::string Fnv1aChecksum::hex() const {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(hash_));
+  return buf;
 }
 
 }  // namespace spacecdn::des

@@ -117,4 +117,21 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
+/// Order-sensitive FNV-1a digest over a double-sample stream.  Sharded
+/// sweeps use it as a determinism witness: serial and parallel runs must
+/// produce the same digest because the merge order, not the execution
+/// order, defines the stream.
+class Fnv1aChecksum {
+ public:
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return hash_; }
+
+  /// "0x"-prefixed, zero-padded hex rendering of digest().
+  [[nodiscard]] std::string hex() const;
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
 }  // namespace spacecdn::des

@@ -1,6 +1,19 @@
 #include "lsn/starlink.hpp"
 
+#include "util/error.hpp"
+
 namespace spacecdn::lsn {
+
+StarlinkConfig starlink_preset(std::string_view name) {
+  StarlinkConfig config;
+  if (name == "shell1") return config;
+  if (name == "test-shell") {
+    config.shell = orbit::test_shell();
+    return config;
+  }
+  throw ConfigError("unknown constellation preset '" + std::string(name) +
+                    "' (shell1/test-shell)");
+}
 
 StarlinkNetwork::StarlinkNetwork(StarlinkConfig config)
     : config_(config),

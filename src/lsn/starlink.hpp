@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <optional>
+#include <string_view>
 
 #include "data/datasets.hpp"
 #include "lsn/access.hpp"
@@ -30,6 +31,12 @@ struct StarlinkConfig {
   /// flying but carry no ISL traffic.
   std::vector<std::uint32_t> failed_satellites = {};
 };
+
+/// Named assembly presets for scenario configs: "shell1" (the paper's
+/// Starlink Shell 1, the default everywhere) or "test-shell" (the reduced
+/// 8x8 constellation unit tests use for speed).
+/// @throws spacecdn::ConfigError on an unknown preset name.
+[[nodiscard]] StarlinkConfig starlink_preset(std::string_view name);
 
 /// The LEO ISP under study.
 class StarlinkNetwork {

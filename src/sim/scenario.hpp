@@ -1,0 +1,123 @@
+// Scenario engine, layer 1: experiment definition as plain data.
+//
+// The paper's evaluation is a family of closely related experiments over one
+// world (Starlink Shell 1 + anycast CDN + AIM clients).  A ScenarioSpec
+// captures that world as a config struct -- constellation preset, client-set
+// policy, AIM campaign parameters, fleet sizing, fault schedule, seed,
+// threads, telemetry sinks, and output paths -- parseable from CLI flags and
+// from a simple `key=value` scenario file.  sim::World (world.hpp) turns a
+// spec into the shared substrate; sim::Runner (runner.hpp) gives every bench
+// binary the same uniform flag surface and deterministic execution.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cdn/cache.hpp"
+#include "data/datasets.hpp"
+#include "faults/schedule.hpp"
+#include "geo/coordinates.hpp"
+
+namespace spacecdn::sim {
+
+/// Shell 1 flies at 53 deg inclination; ground coverage extends a few
+/// degrees beyond that, so clients with |lat| above this band see no
+/// serving satellite.  Every bench that filters the city dataset to the
+/// covered population uses this one constant.
+inline constexpr double kShell1CoverageLatDeg = 56.0;
+
+/// One city inside the coverage band.  `dataset_index` is the city's
+/// position in the full data::cities() table, so per-client RNG streams
+/// derived from it are stable whether a sweep iterates the filtered or the
+/// unfiltered list (the fig7 checksum depends on this).
+struct Shell1Client {
+  const data::CityInfo* city = nullptr;
+  std::size_t dataset_index = 0;
+};
+
+/// Cities within |lat| <= coverage_lat_deg, in dataset order.
+[[nodiscard]] std::vector<Shell1Client> shell1_clients(
+    double coverage_lat_deg = kShell1CoverageLatDeg);
+
+/// Same filter, reduced to client coordinates (fig8 / duty-cycle style).
+[[nodiscard]] std::vector<geo::GeoPoint> shell1_client_points(
+    double coverage_lat_deg = kShell1CoverageLatDeg);
+
+/// The world + execution configuration of one experiment run.  Every field
+/// has the value the published numbers were produced with, so a
+/// default-constructed spec reproduces the paper configuration.
+struct ScenarioSpec {
+  // --- world ---
+  /// Constellation preset name ("shell1" or "test-shell").
+  std::string constellation = "shell1";
+  /// Client-set policy: keep cities within this |latitude| band.
+  double coverage_lat_deg = kShell1CoverageLatDeg;
+  /// AIM measurement campaign.
+  std::uint32_t tests_per_city = 40;
+  double anycast_noise_ms = 6.0;
+  std::uint64_t aim_seed = 20240318;
+  /// Satellite cache fleet.
+  double fleet_capacity_mb = 150'000'000.0 / 1000.0;  // 150 TB per satellite
+  cdn::CachePolicy cache_policy = cdn::CachePolicy::kLru;
+  /// Fault schedule (mtbf <= 0 disables a class; see World::churn_config).
+  double fault_horizon_hours = 24.0;
+  double satellite_mtbf_hours = 0.0;
+  double satellite_mttr_minutes = 0.0;
+  double cache_mtbf_hours = 0.0;
+  double cache_mttr_minutes = 0.0;
+
+  // --- execution ---
+  /// Primary experiment seed; each bench declares its historical literal as
+  /// the default, so published numbers are unchanged but sweeps re-seed.
+  std::uint64_t seed = 0;
+  /// Worker threads for sharded sweeps; 0 means hardware concurrency.
+  std::size_t threads = 0;
+
+  // --- outputs / telemetry sinks ---
+  std::string csv_out;      ///< CSV series (empty: stdout)
+  std::string json_out;     ///< machine-readable results (BENCH_*.json)
+  std::string metrics_out;  ///< metrics registry dump (Prometheus or .json)
+  std::string trace_out;    ///< per-fetch trace spans (JSONL)
+  bool profile = false;     ///< SPACECDN_PROFILE wall-clock table on stderr
+};
+
+/// Parses a `key=value` scenario file: one pair per line, `#` comments and
+/// blank lines ignored, whitespace around key and value trimmed.  Keys use
+/// the same spelling as the CLI flags (`tests-per-city=1`).
+/// @throws spacecdn::ConfigError on an unreadable file or a malformed line.
+[[nodiscard]] std::map<std::string, std::string> load_scenario_file(
+    const std::string& path);
+
+/// Flat key=value view used by Runner to merge a scenario file with CLI
+/// flags (CLI wins) and apply both onto a ScenarioSpec.
+class ScenarioValues {
+ public:
+  /// `file` entries are overridden by `cli` entries.
+  ScenarioValues(std::map<std::string, std::string> file,
+                 std::map<std::string, std::string> cli);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] long get(const std::string& key, long fallback) const;
+  [[nodiscard]] double get(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get(const std::string& key, bool fallback) const;
+
+  /// Applies every recognised key onto `spec`.  `--seed` (without an
+  /// explicit `--aim-seed`) re-seeds the AIM campaign too: one flag re-seeds
+  /// the whole scenario.
+  void apply(ScenarioSpec& spec) const;
+
+  /// Keys never queried through any getter (typo detection; apply() marks
+  /// the keys it consumes).
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+[[nodiscard]] cdn::CachePolicy parse_cache_policy(const std::string& name);
+
+}  // namespace spacecdn::sim

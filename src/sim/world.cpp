@@ -1,0 +1,104 @@
+#include "sim/world.hpp"
+
+#include <utility>
+
+#include "data/datasets.hpp"
+
+namespace spacecdn::sim {
+
+World::World(ScenarioSpec spec) : spec_(std::move(spec)) {}
+
+lsn::StarlinkNetwork& World::network() {
+  if (!network_) {
+    network_ = std::make_unique<lsn::StarlinkNetwork>(
+        lsn::starlink_preset(spec_.constellation));
+  }
+  return *network_;
+}
+
+const orbit::WalkerConstellation& World::constellation() {
+  return network().constellation();
+}
+
+space::FleetConfig World::fleet_config() const {
+  return {Megabytes{spec_.fleet_capacity_mb}, spec_.cache_policy};
+}
+
+space::SatelliteFleet& World::fleet() {
+  if (!fleet_) {
+    fleet_ = std::make_unique<space::SatelliteFleet>(constellation().size(),
+                                                     fleet_config());
+  }
+  return *fleet_;
+}
+
+space::SatelliteFleet World::make_fleet() const { return make_fleet(fleet_config()); }
+
+space::SatelliteFleet World::make_fleet(const space::FleetConfig& config) const {
+  // Sizing needs the constellation; const_cast is safe because network() only
+  // memoizes (the substrate, once built, is never torn down).
+  return {const_cast<World*>(this)->constellation().size(), config};
+}
+
+cdn::CdnDeployment& World::ground_cdn() {
+  if (!ground_cdn_) {
+    ground_cdn_ = std::make_unique<cdn::CdnDeployment>(data::cdn_sites(),
+                                                       cdn::DeploymentConfig{});
+  }
+  return *ground_cdn_;
+}
+
+terrestrial::Backbone& World::backbone() {
+  if (!backbone_) {
+    backbone_ = std::make_unique<terrestrial::Backbone>(terrestrial::BackboneConfig{});
+  }
+  return *backbone_;
+}
+
+measurement::AimConfig World::aim_config() const {
+  measurement::AimConfig config;
+  config.tests_per_city = spec_.tests_per_city;
+  config.anycast_noise_ms = spec_.anycast_noise_ms;
+  config.seed = spec_.aim_seed;
+  return config;
+}
+
+measurement::AimCampaign& World::aim() {
+  if (!aim_) {
+    aim_ = std::make_unique<measurement::AimCampaign>(network(), aim_config());
+  }
+  return *aim_;
+}
+
+const std::vector<Shell1Client>& World::clients() {
+  if (!clients_) clients_ = shell1_clients(spec_.coverage_lat_deg);
+  return *clients_;
+}
+
+std::vector<geo::GeoPoint> World::client_points() {
+  std::vector<geo::GeoPoint> points;
+  for (const auto& client : clients()) points.push_back(data::location(*client.city));
+  return points;
+}
+
+faults::ChurnConfig World::churn_config() const {
+  faults::ChurnConfig churn;
+  churn.horizon = Milliseconds::from_minutes(spec_.fault_horizon_hours * 60.0);
+  churn.satellite = {Milliseconds::from_minutes(spec_.satellite_mtbf_hours * 60.0),
+                     Milliseconds::from_minutes(spec_.satellite_mttr_minutes)};
+  churn.cache_node = {Milliseconds::from_minutes(spec_.cache_mtbf_hours * 60.0),
+                      Milliseconds::from_minutes(spec_.cache_mttr_minutes)};
+  return churn;
+}
+
+std::unique_ptr<lsn::StarlinkNetwork> World::make_network(
+    lsn::StarlinkConfig config) const {
+  return std::make_unique<lsn::StarlinkNetwork>(std::move(config));
+}
+
+World& shared_world() {
+  static World world{ScenarioSpec{}};
+  return world;
+}
+
+}  // namespace spacecdn::sim

@@ -1,0 +1,91 @@
+// Scenario engine, layer 2: the memoized shared substrate.
+//
+// World turns a ScenarioSpec into the expensive objects every experiment
+// shares -- the Shell-1 constellation with its ISL graph (a ~1,584-node
+// Dijkstra substrate), the satellite cache fleet, the anycast ground CDN,
+// the terrestrial backbone, and the AIM measurement campaign -- building
+// each lazily on first use and memoizing it, so multi-case binaries like
+// micro_benchmarks construct the constellation exactly once.  Benches and
+// examples never construct lsn::StarlinkNetwork directly; they ask a World.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cdn/deployment.hpp"
+#include "faults/schedule.hpp"
+#include "lsn/starlink.hpp"
+#include "measurement/aim.hpp"
+#include "sim/scenario.hpp"
+#include "spacecdn/fleet.hpp"
+#include "terrestrial/backbone.hpp"
+
+namespace spacecdn::sim {
+
+/// Lazily-built, memoized world substrate for one scenario.
+///
+/// Accessors returning references hand out the memoized instance; the
+/// make_*() helpers build fresh unshared variants (degraded constellations,
+/// custom fleets) for sweeps that need several worlds side by side.
+/// Lazy construction is not thread-safe: touch each accessor once from the
+/// main thread before sharding work across a pool.
+class World {
+ public:
+  explicit World(ScenarioSpec spec = {});
+
+  [[nodiscard]] const ScenarioSpec& spec() const noexcept { return spec_; }
+
+  /// The LEO ISP under study (mutable: set_time / fail_satellite drive it).
+  [[nodiscard]] lsn::StarlinkNetwork& network();
+  [[nodiscard]] const orbit::WalkerConstellation& constellation();
+
+  /// The satellite cache fleet, sized to the constellation.
+  [[nodiscard]] space::SatelliteFleet& fleet();
+  /// The spec's per-satellite cache configuration.
+  [[nodiscard]] space::FleetConfig fleet_config() const;
+  /// A fresh, unshared fleet (for A/B cache comparisons).
+  [[nodiscard]] space::SatelliteFleet make_fleet() const;
+  [[nodiscard]] space::SatelliteFleet make_fleet(const space::FleetConfig& config) const;
+
+  /// The terrestrial anycast CDN deployment.
+  [[nodiscard]] cdn::CdnDeployment& ground_cdn();
+
+  /// The terrestrial backbone latency model.
+  [[nodiscard]] terrestrial::Backbone& backbone();
+
+  /// AIM campaign parameters derived from the spec.
+  [[nodiscard]] measurement::AimConfig aim_config() const;
+  /// The AIM speed-test campaign bound to network().
+  [[nodiscard]] measurement::AimCampaign& aim();
+
+  /// Clients inside the spec's coverage band, in dataset order.
+  [[nodiscard]] const std::vector<Shell1Client>& clients();
+  [[nodiscard]] std::vector<geo::GeoPoint> client_points();
+
+  /// Fault-schedule parameters from the spec (satellite + cache-node churn;
+  /// classes with mtbf <= 0 stay disabled).
+  [[nodiscard]] faults::ChurnConfig churn_config() const;
+
+  /// A fresh network variant (e.g. with construct-time failures) built from
+  /// the same preset; unshared, so sweeps can hold several side by side.
+  [[nodiscard]] std::unique_ptr<lsn::StarlinkNetwork> make_network(
+      lsn::StarlinkConfig config) const;
+
+ private:
+  ScenarioSpec spec_;
+  std::unique_ptr<lsn::StarlinkNetwork> network_;
+  std::unique_ptr<space::SatelliteFleet> fleet_;
+  std::unique_ptr<cdn::CdnDeployment> ground_cdn_;
+  std::unique_ptr<terrestrial::Backbone> backbone_;
+  std::unique_ptr<measurement::AimCampaign> aim_;
+  std::optional<std::vector<Shell1Client>> clients_;
+};
+
+/// The process-wide default-scenario world.  Tests and multi-case binaries
+/// that only read the substrate share it instead of paying the Shell-1
+/// construction cost per fixture; anything that mutates (set_time, fault
+/// injection) must build its own World.
+[[nodiscard]] World& shared_world();
+
+}  // namespace spacecdn::sim

@@ -40,6 +40,12 @@ class CliArgs {
   /// Keys that were provided but never queried; lets examples warn on typos.
   [[nodiscard]] std::vector<std::string> unused() const;
 
+  /// Every parsed --key=value pair, for layering under a scenario file
+  /// (sim::ScenarioValues merges the two with CLI winning).
+  [[nodiscard]] const std::map<std::string, std::string>& flags() const noexcept {
+    return flags_;
+  }
+
  private:
   std::string program_;
   std::map<std::string, std::string> flags_;

@@ -8,6 +8,7 @@
 #include "data/datasets.hpp"
 #include "faults/schedule.hpp"
 #include "lsn/starlink.hpp"
+#include "sim/world.hpp"
 #include "spacecdn/placement.hpp"
 #include "spacecdn/resilience.hpp"
 #include "spacecdn/router.hpp"
@@ -253,7 +254,8 @@ TEST(RepairDaemon, FallsBackToGroundWhenAllSpaceCopiesDie) {
 }
 
 TEST(ResilientFetch, HealthyPathSucceedsWithoutRetry) {
-  static lsn::StarlinkNetwork network;  // Shell 1; shared, never mutated here
+  // Shell 1; shared, never mutated here.
+  lsn::StarlinkNetwork& network = sim::shared_world().network();
   space::SatelliteFleet fleet(network.constellation().size(),
                               space::FleetConfig{Megabytes{1000.0},
                                                  cdn::CachePolicy::kLru});
@@ -275,7 +277,7 @@ TEST(ResilientFetch, HealthyPathSucceedsWithoutRetry) {
 }
 
 TEST(ResilientFetch, ExhaustsBoundedRetriesUnderTotalLoss) {
-  static lsn::StarlinkNetwork network;
+  lsn::StarlinkNetwork& network = sim::shared_world().network();
   space::SatelliteFleet fleet(network.constellation().size(),
                               space::FleetConfig{Megabytes{1000.0},
                                                  cdn::CachePolicy::kLru});

@@ -12,6 +12,7 @@
 #include "lsn/cell_capacity.hpp"
 #include "measurement/traceroute.hpp"
 #include "net/flow.hpp"
+#include "sim/world.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 
@@ -291,8 +292,7 @@ TEST(CellCapacity, RejectsBadConfig) {
 class TracerouteTest : public ::testing::Test {
  protected:
   static const lsn::StarlinkNetwork& network() {
-    static const lsn::StarlinkNetwork net{};
-    return net;
+    return sim::shared_world().network();
   }
 };
 

@@ -9,6 +9,7 @@
 #include "measurement/aim.hpp"
 #include "measurement/analysis.hpp"
 #include "measurement/web.hpp"
+#include "sim/world.hpp"
 #include "spacecdn/duty_cycle.hpp"
 #include "spacecdn/placement.hpp"
 #include "spacecdn/router.hpp"
@@ -16,10 +17,9 @@
 namespace spacecdn {
 namespace {
 
-const lsn::StarlinkNetwork& shell1() {
-  static const lsn::StarlinkNetwork network{};
-  return network;
-}
+// Read-only Shell-1 substrate, shared with every other fixture in the
+// process via the scenario engine (built once, memoized).
+const lsn::StarlinkNetwork& shell1() { return sim::shared_world().network(); }
 
 TEST(EndToEnd, TerrestrialBeatsStarlinkToCdnsAlmostEverywhere) {
   // Section 3.2: "Terrestrial connections almost always achieve lower

@@ -14,16 +14,14 @@
 #include "measurement/analysis.hpp"
 #include "measurement/dataset_io.hpp"
 #include "measurement/web.hpp"
+#include "sim/world.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 
 namespace spacecdn::measurement {
 namespace {
 
-const lsn::StarlinkNetwork& shell1() {
-  static const lsn::StarlinkNetwork network{};
-  return network;
-}
+const lsn::StarlinkNetwork& shell1() { return sim::shared_world().network(); }
 
 SpeedTestRecord record(const char* country, const char* city, IspType isp,
                        const char* site, double rtt, double distance_km = 100.0) {

@@ -15,6 +15,7 @@
 #include "obs/profile.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "sim/world.hpp"
 #include "spacecdn/fleet.hpp"
 #include "spacecdn/router.hpp"
 
@@ -364,10 +365,7 @@ TEST(Telemetry, ProfileMacroRecordsSections) {
 
 // ----------------------------------------------- instrumented router (e2e)
 
-const lsn::StarlinkNetwork& shell1() {
-  static const lsn::StarlinkNetwork network{};
-  return network;
-}
+const lsn::StarlinkNetwork& shell1() { return sim::shared_world().network(); }
 
 cdn::ContentItem item(cdn::ContentId id) {
   return cdn::ContentItem{id, Megabytes{10.0}, data::Region::kEurope};

@@ -8,6 +8,7 @@
 #include "lsn/starlink.hpp"
 #include "measurement/pageload.hpp"
 #include "measurement/web.hpp"
+#include "sim/world.hpp"
 #include "spacecdn/bubble_scheduler.hpp"
 #include "util/error.hpp"
 
@@ -90,7 +91,7 @@ TEST(PageLoad, MoreConnectionsNeverSlower) {
 TEST(PageLoad, AgreesWithAnalyticModelOnDirection) {
   // Cross-validation: both models must rank Starlink vs terrestrial the
   // same way for the same page and city.
-  static const lsn::StarlinkNetwork network{};
+  const lsn::StarlinkNetwork& network = sim::shared_world().network();
   const auto& country = data::country("DE");
   const auto& city = data::city("Frankfurt");
   const auto terr = measurement::terrestrial_path(country, city);

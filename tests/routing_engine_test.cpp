@@ -14,6 +14,7 @@
 #include "measurement/aim.hpp"
 #include "net/graph.hpp"
 #include "net/routing_cache.hpp"
+#include "sim/world.hpp"
 #include "spacecdn/fleet.hpp"
 #include "spacecdn/lookup.hpp"
 #include "util/error.hpp"
@@ -24,10 +25,7 @@ namespace {
 
 constexpr Milliseconds kNow{0.0};
 
-const lsn::StarlinkNetwork& shell1() {
-  static const lsn::StarlinkNetwork network{};
-  return network;
-}
+const lsn::StarlinkNetwork& shell1() { return sim::shared_world().network(); }
 
 /// Random connected graph: a spanning chain plus extra random edges.
 net::Graph random_graph(des::Rng& rng, std::uint32_t nodes, std::uint32_t extra_edges) {

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "data/datasets.hpp"
+#include "sim/world.hpp"
 #include "spacecdn/bubbles.hpp"
 #include "spacecdn/duty_cycle.hpp"
 #include "spacecdn/fleet.hpp"
@@ -20,10 +21,7 @@ namespace {
 
 constexpr Milliseconds kNow{0.0};
 
-const lsn::StarlinkNetwork& shell1() {
-  static const lsn::StarlinkNetwork network{};
-  return network;
-}
+const lsn::StarlinkNetwork& shell1() { return sim::shared_world().network(); }
 
 cdn::ContentItem item(cdn::ContentId id, double mb = 10.0) {
   return cdn::ContentItem{id, Megabytes{mb}, data::Region::kEurope};
