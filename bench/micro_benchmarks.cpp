@@ -6,7 +6,9 @@
 #include "cdn/cache.hpp"
 #include "data/datasets.hpp"
 #include "des/random.hpp"
+#include "des/simulator.hpp"
 #include "geo/distance.hpp"
+#include "load/capacity.hpp"
 #include "measurement/aim.hpp"
 #include "net/graph.hpp"
 #include "orbit/ephemeris.hpp"
@@ -201,6 +203,42 @@ void BM_ParallelAimSweep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ParallelAimSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  // Steady-state schedule/dispatch throughput of the des core.  The slot
+  // pool recycles fired events through a free list, so this loop should be
+  // allocation-free after the first lap; open-loop load sweeps push millions
+  // of events through exactly this path.
+  des::Simulator sim;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      sim.schedule(Milliseconds{static_cast<double>(i % 7)}, [&fired] { ++fired; });
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimulatorEventChurn);
+
+void BM_LoadLinkQueue(benchmark::State& state) {
+  // One saturated bottleneck queue: submit a burst, drain, repeat.  Guards
+  // the per-transfer overhead of the load engine's queueing layer.
+  des::Simulator sim;
+  load::LinkQueue queue(sim, Mbps{1000.0});
+  std::uint64_t done = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.submit(Megabytes{1.0}, static_cast<std::uint64_t>(i % 8),
+                   [&done](Milliseconds) { ++done; });
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(done);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_LoadLinkQueue);
 
 void BM_AimCountryCampaign(benchmark::State& state) {
   const auto& net = shell1();

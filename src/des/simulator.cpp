@@ -12,18 +12,45 @@ EventId Simulator::schedule(Milliseconds delay, Action action) {
 EventId Simulator::schedule_at(Milliseconds when, Action action) {
   SPACECDN_EXPECT(when >= now_, "cannot schedule an event in the past");
   SPACECDN_EXPECT(static_cast<bool>(action), "event action must be callable");
-  const EventId id = next_id_++;
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  s.live = true;
+  const EventId id = (static_cast<EventId>(s.generation) << 32) | slot;
   queue_.push(Entry{when, next_seq_++, id});
-  actions_.emplace(id, std::move(action));
   ++live_events_;
   return id;
 }
 
-bool Simulator::cancel(EventId id) {
-  const auto it = actions_.find(id);
-  if (it == actions_.end()) return false;
-  actions_.erase(it);
+Simulator::Slot* Simulator::live_slot(EventId id) {
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size()) return nullptr;
+  Slot& s = slots_[slot];
+  if (!s.live || s.generation != generation_of(id)) return nullptr;
+  return &s;
+}
+
+Simulator::Action Simulator::release(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  Action action = std::move(s.action);
+  s.action = nullptr;
+  s.live = false;
+  ++s.generation;  // stale ids (cancel after fire) now miss
+  free_slots_.push_back(slot);
   --live_events_;
+  return action;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (live_slot(id) == nullptr) return false;
+  (void)release(slot_of(id));
   return true;
 }
 
@@ -46,7 +73,7 @@ bool Simulator::step() {
   while (!queue_.empty()) {
     const Entry entry = queue_.top();
     queue_.pop();
-    if (actions_.find(entry.id) == actions_.end()) continue;  // cancelled
+    if (live_slot(entry.id) == nullptr) continue;  // cancelled
     dispatch(entry);
     return true;
   }
@@ -54,13 +81,10 @@ bool Simulator::step() {
 }
 
 void Simulator::dispatch(const Entry& entry) {
-  const auto it = actions_.find(entry.id);
-  if (it == actions_.end()) return;  // cancelled after being popped
-  // Move the action out before invoking so the action may reschedule or
-  // cancel events without invalidating this iterator.
-  Action action = std::move(it->second);
-  actions_.erase(it);
-  --live_events_;
+  if (live_slot(entry.id) == nullptr) return;  // cancelled after being popped
+  // Move the action out (recycling the slot) before invoking, so the action
+  // may freely schedule or cancel events without touching a live slot.
+  Action action = release(slot_of(entry.id));
   now_ = entry.when;
   ++processed_;
   action();

@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "util/units.hpp"
@@ -67,17 +66,42 @@ class Simulator {
     }
   };
 
+  // Actions live in a pooled slot array instead of a hash map: an EventId is
+  // (generation << 32) | slot, so schedule/cancel/dispatch are array indexing
+  // with zero hashing, and fired slots are recycled through a free list.  The
+  // generation counter makes a recycled slot's old id stale, so cancel() of
+  // an already-fired event stays a correct O(1) "false".  Open-loop load
+  // sweeps push millions of events through here; the pool is what keeps the
+  // engine allocation-free at steady state.
+  struct Slot {
+    Action action;
+    std::uint32_t generation = 1;
+    bool live = false;
+  };
+
+  [[nodiscard]] static constexpr std::uint32_t slot_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id);
+  }
+  [[nodiscard]] static constexpr std::uint32_t generation_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// The slot behind `id`, or nullptr when the event already fired or was
+  /// cancelled (stale generation).
+  [[nodiscard]] Slot* live_slot(EventId id);
+
+  /// Returns the slot's action and recycles it onto the free list.
+  Action release(std::uint32_t slot);
+
   void dispatch(const Entry& entry);
 
   Milliseconds now_{0.0};
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t processed_ = 0;
   std::size_t live_events_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  // Actions live out-of-band so cancel() is O(1): a cancelled id simply has
-  // no action left when its queue entry is popped.
-  std::unordered_map<EventId, Action> actions_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace spacecdn::des

@@ -1,0 +1,276 @@
+#include "load/load_runner.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "data/datasets.hpp"
+#include "obs/telemetry.hpp"
+#include "spacecdn/placement.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::load {
+
+namespace {
+
+space::RouterConfig router_config(const LoadConfig& config) {
+  space::RouterConfig rc;
+  rc.max_isl_hops = config.max_isl_hops;
+  rc.record_paths = true;  // the engine charges transfers against the links
+  return rc;
+}
+
+/// Directed ISL link key: content flows from -> to.
+constexpr std::uint64_t link_key(std::uint32_t from, std::uint32_t to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+LoadRunner::LoadRunner(const lsn::StarlinkNetwork& network, space::SatelliteFleet& fleet,
+                       cdn::CdnDeployment& ground_cdn,
+                       std::vector<sim::Shell1Client> clients, LoadConfig config)
+    : network_(&network),
+      fleet_(&fleet),
+      config_(std::move(config)),
+      traffic_(std::move(clients), config_.traffic),
+      router_(network, fleet, ground_cdn, router_config(config_)),
+      admission_(fleet.size(), config_.capacity.max_transfers_per_satellite),
+      downlink_queues_(fleet.size()) {
+  const auto& cities = traffic_.clients();
+  city_rng_.reserve(cities.size());
+  city_country_.reserve(cities.size());
+  city_location_.reserve(cities.size());
+  for (const sim::Shell1Client& client : cities) {
+    // Streams key on the *dataset* index, so a coverage-filtered client set
+    // draws the same numbers as the unfiltered one (fig7's convention).
+    city_rng_.emplace_back(des::mix_seed(config_.seed, client.dataset_index));
+    city_country_.push_back(&data::country(client.city->country_code));
+    city_location_.push_back(data::location(*client.city));
+  }
+}
+
+void LoadRunner::set_reject_hook(AdmissionController::RejectHook hook) {
+  admission_.set_reject_hook(std::move(hook));
+}
+
+LoadReport LoadRunner::run() {
+  // Prewarm replicas across the constellation so tier (ii) has content to
+  // find (the paper's in-plane placement argument, section 4).
+  if (config_.copies_per_plane > 0) {
+    const space::ContentPlacement placement(
+        network_->constellation(),
+        {config_.copies_per_plane, config_.placement_plane_stride});
+    for (const cdn::ContentItem& item : traffic_.catalog().items()) {
+      placement.place(*fleet_, item, Milliseconds{0.0});
+    }
+  }
+
+  for (std::size_t i = 0; i < traffic_.clients().size(); ++i) {
+    schedule_next_arrival(i);
+  }
+  sim_.run();
+
+  report_.rejected = admission_.rejected();
+  report_.peak_active_transfers = admission_.peak_active();
+  report_.satellite_utilization.assign(fleet_->size(), 0.0);
+  for (std::uint32_t sat = 0; sat < downlink_queues_.size(); ++sat) {
+    if (!downlink_queues_[sat]) continue;
+    const double util = downlink_queues_[sat]->utilization(config_.horizon);
+    report_.satellite_utilization[sat] = util;
+    report_.max_utilization = std::max(report_.max_utilization, util);
+    report_.peak_queue_depth =
+        std::max(report_.peak_queue_depth, downlink_queues_[sat]->peak_depth());
+  }
+  for (const auto& queue : gateway_queues_) {
+    if (queue) report_.peak_queue_depth = std::max(report_.peak_queue_depth, queue->peak_depth());
+  }
+  report_.goodput_mbps = report_.delivered.megabits() / config_.horizon.seconds();
+
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("spacecdn_load_requests_total", {{"result", "completed"}})
+        .inc(report_.completed);
+    m->counter("spacecdn_load_requests_total", {{"result", "rejected"}})
+        .inc(report_.rejected);
+    m->counter("spacecdn_load_requests_total", {{"result", "no_coverage"}})
+        .inc(report_.no_coverage);
+    for (std::size_t t = 0; t < report_.tier.size(); ++t) {
+      m->counter("spacecdn_load_served_total",
+                 {{"tier", std::string(space::to_string(
+                               static_cast<space::FetchTier>(t)))}})
+          .inc(report_.tier[t]);
+    }
+    auto& latency = m->histogram("spacecdn_load_latency_ms");
+    for (const double v : report_.latency_ms.raw()) latency.observe(v);
+    auto& util = m->histogram("spacecdn_load_satellite_utilization", {},
+                              {0.0, 1.0, 20});
+    for (const double u : report_.satellite_utilization) {
+      if (u > 0.0) util.observe(u);
+    }
+    m->gauge("spacecdn_load_goodput_mbps").set(report_.goodput_mbps);
+    m->gauge("spacecdn_load_peak_queue_depth")
+        .set(static_cast<double>(report_.peak_queue_depth));
+    m->gauge("spacecdn_load_peak_active_transfers")
+        .set(static_cast<double>(report_.peak_active_transfers));
+  }
+  return report_;
+}
+
+void LoadRunner::schedule_next_arrival(std::size_t client_index) {
+  const Milliseconds gap =
+      traffic_.next_interarrival(client_index, sim_.now(), city_rng_[client_index]);
+  if (sim_.now() + gap >= config_.horizon) return;  // open loop ends at horizon
+  sim_.schedule(gap, [this, client_index] { handle_arrival(client_index); });
+}
+
+void LoadRunner::handle_arrival(std::size_t client_index) {
+  // Open loop: the next arrival is scheduled before this one is served, so
+  // a congested system keeps receiving offered load (no coordinated
+  // omission).
+  schedule_next_arrival(client_index);
+  ++report_.offered;
+
+  des::Rng& rng = city_rng_[client_index];
+  const data::CountryInfo& country = *city_country_[client_index];
+  const cdn::ContentItem& item = traffic_.sample_object(country, rng);
+  const Milliseconds arrival = sim_.now();
+  const auto fetch =
+      router_.fetch(city_location_[client_index], country, item, rng, arrival);
+  if (!fetch) {
+    ++report_.no_coverage;
+    return;
+  }
+  const std::uint32_t serving = fetch->serving_satellite;
+  if (!admission_.try_admit(serving)) return;  // counted by the controller
+
+  const space::FetchTier tier = fetch->tier;
+  const Milliseconds first_byte = fetch->rtt;
+  const Megabytes volume = item.size;
+  const std::uint64_t flow = traffic_.clients()[client_index].dataset_index;
+  const Milliseconds isl_wait = charge_isl_path(fetch->isl_path, volume);
+
+  // The downlink is the final (and usually bottleneck) hop of every tier.
+  auto to_downlink = [this, client_index, tier, first_byte, isl_wait, arrival, serving,
+                      volume, flow](Milliseconds upstream_wait) {
+    downlink_queue(serving).submit(
+        volume, flow,
+        [this, client_index, tier, first_byte, isl_wait, arrival, serving, volume,
+         upstream_wait](Milliseconds wait) {
+          finish_transfer(client_index, tier, first_byte, isl_wait, arrival, serving,
+                          volume, upstream_wait + wait);
+        });
+  };
+
+  if (tier == space::FetchTier::kGround && fetch->gateway) {
+    // Tier (iii) rides the gateway feeder up, then the ISL path to the
+    // serving satellite, then the downlink -- three stages in series.
+    gateway_queue(*fetch->gateway)
+        .submit(volume, flow, [this, to_downlink, isl_wait](Milliseconds gw_wait) {
+          if (isl_wait.value() > 0.0) {
+            sim_.schedule(isl_wait,
+                          [to_downlink, gw_wait] { to_downlink(gw_wait); });
+          } else {
+            to_downlink(gw_wait);
+          }
+        });
+  } else if (isl_wait.value() > 0.0) {
+    sim_.schedule(isl_wait, [to_downlink] { to_downlink(Milliseconds{0.0}); });
+  } else {
+    to_downlink(Milliseconds{0.0});
+  }
+}
+
+Milliseconds LoadRunner::charge_isl_path(const std::vector<std::uint32_t>& path,
+                                         Megabytes volume) {
+  Milliseconds wait{0.0};
+  if (path.size() < 2) return wait;
+  const Milliseconds serialization = transmission_delay(volume, config_.capacity.isl);
+  // The recorded path runs serving -> holder; content flows the other way.
+  // Cut-through forwarding pipelines serialization across hops, so only the
+  // per-link backlog waits accumulate (serialization itself is charged at
+  // the slower downlink hop).
+  for (std::size_t k = path.size() - 1; k > 0; --k) {
+    net::LinkLoad& load = isl_load_[link_key(path[k], path[k - 1])];
+    wait += load.charge(sim_.now() + wait, serialization, volume);
+  }
+  return wait;
+}
+
+LinkQueue& LoadRunner::downlink_queue(std::uint32_t satellite) {
+  auto& slot = downlink_queues_[satellite];
+  if (!slot) {
+    slot = std::make_unique<LinkQueue>(sim_, config_.capacity.satellite_downlink,
+                                       config_.capacity.discipline,
+                                       config_.capacity.drr_quantum);
+  }
+  return *slot;
+}
+
+LinkQueue& LoadRunner::gateway_queue(std::size_t gateway) {
+  if (gateway >= gateway_queues_.size()) gateway_queues_.resize(gateway + 1);
+  auto& slot = gateway_queues_[gateway];
+  if (!slot) {
+    slot = std::make_unique<LinkQueue>(sim_, config_.capacity.gateway,
+                                       config_.capacity.discipline,
+                                       config_.capacity.drr_quantum);
+  }
+  return *slot;
+}
+
+void LoadRunner::finish_transfer(std::size_t client_index, space::FetchTier tier,
+                                 Milliseconds first_byte, Milliseconds isl_wait,
+                                 Milliseconds arrival, std::uint32_t serving,
+                                 Megabytes volume, Milliseconds queue_wait) {
+  (void)client_index;
+  admission_.release(serving);
+  ++report_.completed;
+  ++report_.tier[static_cast<std::size_t>(tier)];
+  // sim time since arrival already contains every queueing + serialization
+  // stage (the ISL wait was materialised as a schedule delay); the first
+  // byte's RTT rides on top.
+  const Milliseconds transfer = sim_.now() - arrival;
+  report_.latency_ms.add((first_byte + transfer).value());
+  report_.queue_wait_ms.add((queue_wait + isl_wait).value());
+  report_.delivered += volume;
+}
+
+LoadConfig load_config_from_spec(const sim::ScenarioSpec& spec) {
+  LoadConfig config;
+  config.traffic.requests_per_second = spec.arrival_rate_rps;
+  config.traffic.catalog = object_size_preset(spec.object_size_dist);
+  config.traffic.burst = parse_burst_trace(spec.burst_trace);
+  config.horizon = Milliseconds::from_seconds(spec.load_horizon_s);
+  config.seed = spec.seed;
+
+  const lsn::StarlinkConfig preset = lsn::starlink_preset(spec.constellation);
+  CapacityConfig capacity;
+  capacity.satellite_downlink = preset.access.satellite_downlink_aggregate;
+  capacity.satellite_uplink = preset.access.satellite_uplink_aggregate;
+  capacity.gateway = preset.access.gateway_aggregate;
+  capacity.isl = preset.isl.capacity;
+  capacity.discipline = parse_queue_discipline(spec.queue_discipline);
+  config.capacity = capacity.scaled(spec.link_capacity_scale);
+  return config;
+}
+
+cdn::CatalogConfig object_size_preset(const std::string& name) {
+  cdn::CatalogConfig config;
+  if (name == "web") {
+    // Page assets: many small objects, a deep catalog.
+    config.object_count = 20'000;
+    config.median_size = Megabytes{0.5};
+    config.size_sigma = 1.0;
+    config.max_size = Megabytes{100.0};
+  } else if (name == "video") {
+    // Streaming segments/blobs: few large objects.
+    config.object_count = 2'000;
+    config.median_size = Megabytes{50.0};
+    config.size_sigma = 0.8;
+  } else if (name == "mixed") {
+    config.object_count = 10'000;  // the cache experiments' lognormal
+  } else {
+    throw ConfigError("unknown object-size-dist '" + name + "' (web/video/mixed)");
+  }
+  return config;
+}
+
+}  // namespace spacecdn::load

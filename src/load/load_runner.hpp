@@ -1,0 +1,152 @@
+// The request-level load engine: open-loop traffic through SpaceCDN under
+// finite link capacities.
+//
+// Wires the pieces together: TrafficModel emits per-city Poisson arrivals
+// onto a des::Simulator; each request routes through the three-tier
+// SpaceCdnRouter (with path recording on, so the engine knows which links
+// its bytes cross); the transfer is then charged against real capacities --
+// admission control at the serving satellite, net::LinkLoad cut-through
+// charges on the ISL path, and explicit LinkQueues at the bottleneck hops
+// (gateway feeder, satellite downlink).  A request's completion latency is
+// therefore propagation + serialization + the queueing it actually saw.
+//
+// Determinism: every city draws from its own des::mix_seed stream keyed by
+// dataset index, and the simulation itself is serial, so a run's sample
+// sequence is a pure function of (world, config, seed).  Benches shard
+// *runs* (offered-load points) across threads and merge in point order,
+// keeping the fig9 checksum bit-identical for any --threads value.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cdn/deployment.hpp"
+#include "des/simulator.hpp"
+#include "des/stats.hpp"
+#include "load/capacity.hpp"
+#include "load/traffic.hpp"
+#include "lsn/starlink.hpp"
+#include "net/link.hpp"
+#include "sim/scenario.hpp"
+#include "spacecdn/fleet.hpp"
+#include "spacecdn/router.hpp"
+
+namespace spacecdn::load {
+
+/// Everything one load run needs beyond the world objects.
+struct LoadConfig {
+  TrafficConfig traffic = {};
+  CapacityConfig capacity = {};
+  /// Arrivals stop at the horizon; in-flight transfers drain afterwards.
+  Milliseconds horizon = Milliseconds::from_seconds(30.0);
+  /// Router hop budget for tier (ii).
+  std::uint32_t max_isl_hops = 10;
+  /// Replica prewarm (spacecdn::ContentPlacement): copies per selected
+  /// plane, every `placement_plane_stride`-th plane.  0 copies = cold start.
+  std::uint32_t copies_per_plane = 4;
+  std::uint32_t placement_plane_stride = 8;
+  /// Primary seed; per-city streams derive from it via des::mix_seed.
+  std::uint64_t seed = 42;
+};
+
+/// SLO-style outcome of one load run.
+struct LoadReport {
+  std::uint64_t offered = 0;      ///< arrivals generated
+  std::uint64_t completed = 0;    ///< transfers fully delivered
+  std::uint64_t rejected = 0;     ///< admission-control drops
+  std::uint64_t no_coverage = 0;  ///< client had no serving satellite
+  /// Completions by FetchTier (kServingSatellite, kIslNeighbor, kGround).
+  std::array<std::uint64_t, 3> tier{};
+  /// Request completion latency (first byte + transfer incl. queueing), ms.
+  des::SampleSet latency_ms;
+  /// Queueing delay component per completed request, ms.
+  des::SampleSet queue_wait_ms;
+  Megabytes delivered{0.0};
+  /// Delivered volume over the arrival horizon.
+  double goodput_mbps = 0.0;
+  std::size_t peak_queue_depth = 0;
+  std::size_t peak_active_transfers = 0;
+  /// Downlink busy fraction per satellite over the horizon (the utilization
+  /// heatmap; satellites that never served stay at 0).
+  std::vector<double> satellite_utilization;
+  double max_utilization = 0.0;
+
+  [[nodiscard]] double reject_fraction() const noexcept {
+    return offered == 0 ? 0.0 : static_cast<double>(rejected) / static_cast<double>(offered);
+  }
+};
+
+/// Drives one open-loop load run over a SpaceCDN world.
+///
+/// The caller owns the world objects (network read-only, fleet and ground
+/// CDN mutated by cache admissions); sweeps hand each run its own fleet +
+/// ground CDN so points are independent.
+class LoadRunner {
+ public:
+  /// @throws spacecdn::ConfigError on empty clients or bad traffic config.
+  LoadRunner(const lsn::StarlinkNetwork& network, space::SatelliteFleet& fleet,
+             cdn::CdnDeployment& ground_cdn, std::vector<sim::Shell1Client> clients,
+             LoadConfig config);
+
+  /// The backpressure hook: fires on every admission rejection.  Install
+  /// before run(); e.g. feed a faults-style degradation policy.
+  void set_reject_hook(AdmissionController::RejectHook hook);
+
+  /// Runs the whole simulation to completion and aggregates the report.
+  /// Also mirrors the headline numbers into obs::metrics() when a registry
+  /// is installed (single-threaded sinks; benches force --threads=1).
+  [[nodiscard]] LoadReport run();
+
+  [[nodiscard]] const TrafficModel& traffic() const noexcept { return traffic_; }
+  [[nodiscard]] const LoadConfig& config() const noexcept { return config_; }
+
+ private:
+  /// One request from client `i` at the current simulation time.
+  void handle_arrival(std::size_t client_index);
+  /// Schedules client `i`'s next arrival if it lands inside the horizon.
+  void schedule_next_arrival(std::size_t client_index);
+  /// Charges `volume` along the recorded ISL path; returns the cut-through
+  /// backlog wait (serialization pipelines, so only waits accumulate).
+  [[nodiscard]] Milliseconds charge_isl_path(const std::vector<std::uint32_t>& path,
+                                             Megabytes volume);
+  [[nodiscard]] LinkQueue& downlink_queue(std::uint32_t satellite);
+  [[nodiscard]] LinkQueue& gateway_queue(std::size_t gateway);
+  void finish_transfer(std::size_t client_index, space::FetchTier tier,
+                       Milliseconds first_byte, Milliseconds extra_wait,
+                       Milliseconds arrival, std::uint32_t serving, Megabytes volume,
+                       Milliseconds queue_wait);
+
+  const lsn::StarlinkNetwork* network_;
+  space::SatelliteFleet* fleet_;
+  LoadConfig config_;
+  TrafficModel traffic_;
+  des::Simulator sim_;
+  space::SpaceCdnRouter router_;
+  AdmissionController admission_;
+  std::vector<des::Rng> city_rng_;
+  std::vector<const data::CountryInfo*> city_country_;
+  std::vector<geo::GeoPoint> city_location_;
+  /// Lazily created bottleneck queues (most satellites never serve).
+  std::vector<std::unique_ptr<LinkQueue>> downlink_queues_;
+  std::vector<std::unique_ptr<LinkQueue>> gateway_queues_;
+  /// Cut-through ISL loads, keyed by directed link (from << 32 | to).
+  std::map<std::uint64_t, net::LinkLoad> isl_load_;
+  LoadReport report_;
+};
+
+/// Maps the scenario keys (`arrival-rate`, `object-size-dist`,
+/// `link-capacity`, `burst-trace`, `load-horizon-s`, `queue-discipline`)
+/// onto a LoadConfig.  Capacities start from the network preset's
+/// annotations (AccessConfig/IslConfig) scaled by `link_capacity_scale`.
+[[nodiscard]] LoadConfig load_config_from_spec(const sim::ScenarioSpec& spec);
+
+/// The named object-size presets behind `object-size-dist`: "web" (small
+/// objects, big catalog), "video" (large objects, small catalog), "mixed"
+/// (the cache experiments' default lognormal).
+/// @throws spacecdn::ConfigError on an unknown preset.
+[[nodiscard]] cdn::CatalogConfig object_size_preset(const std::string& name);
+
+}  // namespace spacecdn::load

@@ -1,0 +1,85 @@
+#include "load/traffic.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace spacecdn::load {
+
+std::vector<BurstStep> parse_burst_trace(const std::string& text) {
+  std::vector<BurstStep> steps;
+  if (text.empty()) return steps;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string pair =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t colon = pair.find(':');
+    SPACECDN_EXPECT(colon != std::string::npos && colon > 0 && colon + 1 < pair.size(),
+                    "burst trace expects seconds:multiplier pairs, got '" + pair + "'");
+    char* end = nullptr;
+    const double seconds = std::strtod(pair.c_str(), &end);
+    SPACECDN_EXPECT(end == pair.c_str() + colon,
+                    "burst trace: bad time in '" + pair + "'");
+    const double multiplier = std::strtod(pair.c_str() + colon + 1, &end);
+    SPACECDN_EXPECT(end == pair.c_str() + pair.size(),
+                    "burst trace: bad multiplier in '" + pair + "'");
+    SPACECDN_EXPECT(seconds >= 0.0 && multiplier >= 0.0,
+                    "burst trace: negative values in '" + pair + "'");
+    const Milliseconds start = Milliseconds::from_seconds(seconds);
+    SPACECDN_EXPECT(steps.empty() || start > steps.back().start,
+                    "burst trace: times must be strictly increasing");
+    steps.push_back({start, multiplier});
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return steps;
+}
+
+TrafficModel::TrafficModel(std::vector<sim::Shell1Client> clients, TrafficConfig config)
+    : clients_(std::move(clients)),
+      config_(std::move(config)),
+      catalog_rng_(config_.catalog_seed),
+      catalog_(config_.catalog, catalog_rng_),
+      popularity_(config_.catalog.object_count, config_.popularity) {
+  SPACECDN_EXPECT(config_.requests_per_second > 0.0,
+                  "traffic requests_per_second must be positive");
+  SPACECDN_EXPECT(!clients_.empty(), "traffic model needs at least one client city");
+  double total_population_k = 0.0;
+  for (const auto& client : clients_) total_population_k += client.city->population_k;
+  SPACECDN_EXPECT(total_population_k > 0.0, "client cities carry zero population");
+  city_rate_rps_.reserve(clients_.size());
+  for (const auto& client : clients_) {
+    city_rate_rps_.push_back(config_.requests_per_second * client.city->population_k /
+                             total_population_k);
+  }
+}
+
+double TrafficModel::city_rate_rps(std::size_t client_index) const {
+  SPACECDN_EXPECT(client_index < city_rate_rps_.size(), "client index out of range");
+  return city_rate_rps_[client_index];
+}
+
+double TrafficModel::rate_multiplier(Milliseconds now) const noexcept {
+  double multiplier = 1.0;
+  for (const BurstStep& step : config_.burst) {
+    if (step.start > now) break;
+    multiplier = step.multiplier;
+  }
+  return multiplier;
+}
+
+Milliseconds TrafficModel::next_interarrival(std::size_t client_index, Milliseconds now,
+                                             des::Rng& rng) const {
+  const double rate_rps = city_rate_rps(client_index) * rate_multiplier(now);
+  if (rate_rps <= 0.0) return Milliseconds::from_seconds(1e9);  // effectively never
+  return Milliseconds::from_seconds(rng.exponential(1.0 / rate_rps));
+}
+
+const cdn::ContentItem& TrafficModel::sample_object(const data::CountryInfo& country,
+                                                    des::Rng& rng) const {
+  return catalog_.item(popularity_.sample(country.region, rng));
+}
+
+}  // namespace spacecdn::load

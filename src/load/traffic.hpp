@@ -1,0 +1,100 @@
+// Open-loop traffic generation for the request-level load engine.
+//
+// Closed-loop clients (fig4/fig5 page loads) wait for a response before
+// issuing the next request, so a slow system sees *less* load -- the
+// coordinated-omission trap.  The load engine instead drives an open-loop
+// process: every covered city emits requests as an independent Poisson
+// stream whose rate is proportional to its metro population, regardless of
+// how fast earlier requests complete.  Popularity rides the same regional
+// Zipf model as the cache experiments (cdn::RegionalPopularity), so the
+// load engine stresses exactly the content bubbles the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cdn/content.hpp"
+#include "cdn/popularity.hpp"
+#include "data/types.hpp"
+#include "des/random.hpp"
+#include "sim/scenario.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::load {
+
+/// One step of a piecewise-constant rate schedule: from `start` onwards the
+/// offered rate is multiplied by `multiplier` (until the next step).
+struct BurstStep {
+  Milliseconds start{0.0};
+  double multiplier = 1.0;
+};
+
+/// Parses a burst trace of the form "0:1,30:4,60:1" -- comma-separated
+/// `seconds:multiplier` pairs, strictly increasing in time.  An empty string
+/// yields an empty schedule (constant rate).
+/// @throws spacecdn::ConfigError on malformed pairs, negative values, or
+/// non-increasing times.
+[[nodiscard]] std::vector<BurstStep> parse_burst_trace(const std::string& text);
+
+/// Traffic tunables of one load run.
+struct TrafficConfig {
+  /// Aggregate offered rate across every covered city (requests/second);
+  /// each city receives a population-proportional share.
+  double requests_per_second = 2000.0;
+  /// The object universe requests are drawn from.  Smaller than the cache
+  /// experiments' default: the load engine replays millions of requests and
+  /// the interesting contention lives in the head of the Zipf curve.
+  cdn::CatalogConfig catalog = {.object_count = 5'000};
+  cdn::PopularityConfig popularity = {};
+  /// Scripted rate multipliers (flash crowds); empty = constant rate.
+  std::vector<BurstStep> burst = {};
+  /// Seed of the catalog's size/home-region draws (not the arrival streams;
+  /// those come from the run seed via per-city des::mix_seed).
+  std::uint64_t catalog_seed = 1234;
+};
+
+/// Per-city Poisson arrival processes over a shared regional-Zipf catalog.
+class TrafficModel {
+ public:
+  /// @throws spacecdn::ConfigError on a non-positive rate, empty client set,
+  /// or zero total population.
+  TrafficModel(std::vector<sim::Shell1Client> clients, TrafficConfig config);
+
+  [[nodiscard]] const TrafficConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<sim::Shell1Client>& clients() const noexcept {
+    return clients_;
+  }
+  [[nodiscard]] const cdn::ContentCatalog& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] const cdn::RegionalPopularity& popularity() const noexcept {
+    return popularity_;
+  }
+
+  /// Mean offered rate of one city at multiplier 1 (requests/second).
+  [[nodiscard]] double city_rate_rps(std::size_t client_index) const;
+
+  /// The burst schedule's rate multiplier in effect at `now` (1.0 before the
+  /// first step and with an empty schedule).
+  [[nodiscard]] double rate_multiplier(Milliseconds now) const noexcept;
+
+  /// Draws the exponential gap to a city's next arrival given the rate in
+  /// effect at `now`.  Piecewise-constant schedules are sampled at the
+  /// current step's rate (a step mid-gap shifts the next arrival by at most
+  /// one interarrival -- negligible against the steps' multi-second scale).
+  [[nodiscard]] Milliseconds next_interarrival(std::size_t client_index,
+                                               Milliseconds now, des::Rng& rng) const;
+
+  /// One request drawn from the country's regional popularity curve.
+  [[nodiscard]] const cdn::ContentItem& sample_object(const data::CountryInfo& country,
+                                                      des::Rng& rng) const;
+
+ private:
+  std::vector<sim::Shell1Client> clients_;
+  TrafficConfig config_;
+  des::Rng catalog_rng_;
+  cdn::ContentCatalog catalog_;
+  cdn::RegionalPopularity popularity_;
+  std::vector<double> city_rate_rps_;
+};
+
+}  // namespace spacecdn::load

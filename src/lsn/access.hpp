@@ -27,6 +27,15 @@ struct AccessConfig {
   /// Typical downlink capacity per subscriber.
   Mbps downlink{120.0};
   Mbps uplink{15.0};
+  /// Aggregate Ku-band capacity one satellite can put on the ground across
+  /// all of its beams (quoted ~17-20 Gbps per Starlink v1.5 satellite; we
+  /// default below that to reflect spectrum reuse limits over a hot cell).
+  /// Like IslConfig::capacity this is an annotation consumed by the load
+  /// engine's contention model, not by the latency-only paths.
+  Mbps satellite_downlink_aggregate{16'000.0};
+  Mbps satellite_uplink_aggregate{4'000.0};
+  /// Aggregate gateway (ground-station) feeder-link capacity.
+  Mbps gateway_aggregate{10'000.0};
 };
 
 /// Samples access-layer RTT contributions.

@@ -23,6 +23,11 @@ struct IslConfig {
   /// Switching/forwarding overhead per satellite hop (optical terminals
   /// plus onboard routing).
   Milliseconds per_hop_overhead{1.0};
+  /// Line rate of one optical terminal (Starlink's space lasers are quoted
+  /// at ~100 Gbps).  Pure annotation for the load engine's contention model:
+  /// latency-only experiments ignore it, the request-level load engine
+  /// (src/load) charges transfers against it.
+  Mbps capacity{100'000.0};
 };
 
 /// Latency-weighted ISL graph; node ids equal satellite ids.

@@ -17,6 +17,39 @@ struct LinkSpec {
   Mbps capacity{100.0};
 };
 
+/// Serialization (transmission) delay of pushing `volume` onto the link.
+[[nodiscard]] constexpr Milliseconds serialization_delay(const LinkSpec& link,
+                                                         Megabytes volume) noexcept {
+  return transmission_delay(volume, link.capacity);
+}
+
+/// Cheap cumulative-load annotation for one directed link: tracks the time
+/// the transmitter is committed through and the bytes it has carried.  The
+/// load engine uses it for the cut-through links of a multi-hop path (the
+/// backlog a new transfer finds, and per-link utilization), while explicit
+/// des-driven queues model the bottleneck hop.
+struct LinkLoad {
+  Milliseconds busy_until{0.0};
+  Megabytes carried{0.0};
+
+  /// Charges a transfer arriving at `now`: returns the backlog wait it finds
+  /// and commits the transmitter for `serialization` beyond it.
+  Milliseconds charge(Milliseconds now, Milliseconds serialization,
+                      Megabytes volume) noexcept {
+    const Milliseconds wait =
+        busy_until > now ? busy_until - now : Milliseconds{0.0};
+    busy_until = now + wait + serialization;
+    carried += volume;
+    return wait;
+  }
+
+  /// Mean utilization of the link over [0, horizon] given its capacity.
+  [[nodiscard]] double utilization(Milliseconds horizon, Mbps capacity) const noexcept {
+    if (horizon.value() <= 0.0 || capacity.value() <= 0.0) return 0.0;
+    return transmission_delay(carried, capacity) / horizon;
+  }
+};
+
 /// M/M/1-style queueing delay as a function of utilisation.
 ///
 /// mean_wait = service_time * rho / (1 - rho), capped so a saturated link

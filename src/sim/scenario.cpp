@@ -140,6 +140,12 @@ void ScenarioValues::apply(ScenarioSpec& spec) const {
   spec.satellite_mttr_minutes = get("satellite-mttr-minutes", spec.satellite_mttr_minutes);
   spec.cache_mtbf_hours = get("cache-mtbf-hours", spec.cache_mtbf_hours);
   spec.cache_mttr_minutes = get("cache-mttr-minutes", spec.cache_mttr_minutes);
+  spec.arrival_rate_rps = get("arrival-rate", spec.arrival_rate_rps);
+  spec.object_size_dist = get("object-size-dist", spec.object_size_dist);
+  spec.link_capacity_scale = get("link-capacity", spec.link_capacity_scale);
+  spec.burst_trace = get("burst-trace", spec.burst_trace);
+  spec.load_horizon_s = get("load-horizon-s", spec.load_horizon_s);
+  spec.queue_discipline = get("queue-discipline", spec.queue_discipline);
 
   spec.seed = static_cast<std::uint64_t>(get("seed", static_cast<long>(spec.seed)));
   // One flag re-seeds the whole scenario: an explicit --seed also re-seeds

@@ -67,6 +67,13 @@ struct ScenarioSpec {
   double satellite_mttr_minutes = 0.0;
   double cache_mtbf_hours = 0.0;
   double cache_mttr_minutes = 0.0;
+  /// Request-level load engine (src/load).
+  double arrival_rate_rps = 2000.0;  ///< aggregate open-loop offered rate
+  std::string object_size_dist = "web";  ///< "web", "video", or "mixed"
+  double link_capacity_scale = 1.0;  ///< scales every contended capacity
+  std::string burst_trace;  ///< "sec:mult,..." rate schedule (empty: constant)
+  double load_horizon_s = 30.0;  ///< arrival horizon of one load run
+  std::string queue_discipline = "fifo";  ///< bottleneck queues: fifo or drr
 
   // --- execution ---
   /// Primary experiment seed; each bench declares its historical literal as

@@ -48,6 +48,10 @@ cdn::CdnDeployment& World::ground_cdn() {
   return *ground_cdn_;
 }
 
+cdn::CdnDeployment World::make_ground_cdn() const {
+  return {data::cdn_sites(), cdn::DeploymentConfig{}};
+}
+
 terrestrial::Backbone& World::backbone() {
   if (!backbone_) {
     backbone_ = std::make_unique<terrestrial::Backbone>(terrestrial::BackboneConfig{});

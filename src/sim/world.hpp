@@ -50,6 +50,9 @@ class World {
 
   /// The terrestrial anycast CDN deployment.
   [[nodiscard]] cdn::CdnDeployment& ground_cdn();
+  /// A fresh, unshared ground CDN (sweeps whose points mutate caches hand
+  /// each point its own, like make_fleet).
+  [[nodiscard]] cdn::CdnDeployment make_ground_cdn() const;
 
   /// The terrestrial backbone latency model.
   [[nodiscard]] terrestrial::Backbone& backbone();

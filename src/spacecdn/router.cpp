@@ -119,8 +119,9 @@ std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
 
   // Tier (i): overhead satellite.
   if (fleet_->cache_enabled(serving) && fleet_->cache(serving).access(item.id, now)) {
-    const FetchResult result{FetchTier::kServingSatellite, uplink * 2.0 + space_overhead,
-                             0, serving, false};
+    FetchResult result{FetchTier::kServingSatellite, uplink * 2.0 + space_overhead,
+                       0, serving, false};
+    result.serving_satellite = serving;
     count_served(result);
     if (trace != nullptr) {
       const std::uint32_t span = trace->open("tier:serving-satellite", parent_span);
@@ -147,9 +148,17 @@ std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
     (void)fleet_->cache(found->satellite).access(item.id, now);
     const bool admit = config_.admit_on_fetch && fleet_->cache_enabled(serving);
     if (admit) (void)fleet_->cache(serving).insert(item, now);
-    const FetchResult result{FetchTier::kIslNeighbor,
-                             (uplink + found->isl_latency) * 2.0 + space_overhead,
-                             found->hops, found->satellite, false};
+    FetchResult result{FetchTier::kIslNeighbor,
+                       (uplink + found->isl_latency) * 2.0 + space_overhead,
+                       found->hops, found->satellite, false};
+    result.serving_satellite = serving;
+    if (config_.record_paths) {
+      if (const auto tree = network_->isl().sssp_from(serving);
+          tree->reachable(found->satellite)) {
+        const auto path = tree->path_to(found->satellite);
+        result.isl_path.assign(path.nodes.begin(), path.nodes.end());
+      }
+    }
     count_served(result);
     static obs::CounterHandle admit_total{"spacecdn_cache_admit_total"};
     static obs::HistogramHandle isl_hops{"spacecdn_isl_hops", {}, {0.0, 16.0, 16}};
@@ -200,8 +209,17 @@ std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
 
   const bool admit = config_.admit_on_fetch && fleet_->cache_enabled(serving);
   if (admit) (void)fleet_->cache(serving).insert(item, now);
-  const FetchResult result{FetchTier::kGround, served.first_byte, breakdown->isl_hops, 0,
-                           served.hit};
+  FetchResult result{FetchTier::kGround, served.first_byte, breakdown->isl_hops, 0,
+                     served.hit};
+  result.serving_satellite = serving;
+  result.gateway = breakdown->gateway;
+  if (config_.record_paths) {
+    if (const auto tree = network_->isl().sssp_from(serving);
+        tree->reachable(breakdown->landing_satellite)) {
+      const auto path = tree->path_to(breakdown->landing_satellite);
+      result.isl_path.assign(path.nodes.begin(), path.nodes.end());
+    }
+  }
   count_served(result);
   if (admit) {
     static obs::CounterHandle admit_total{"spacecdn_cache_admit_total"};

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string_view>
+#include <vector>
 
 #include "cdn/deployment.hpp"
 #include "lsn/starlink.hpp"
@@ -40,6 +41,16 @@ struct FetchResult {
   std::uint32_t isl_hops = 0;     ///< hops used in tier (ii) / ground path
   std::uint32_t source_satellite = 0;  ///< holder for tiers (i)/(ii)
   bool ground_cache_hit = false;  ///< tier (iii): did the ground edge hit?
+  /// The satellite overhead of the client that served the downlink.
+  std::uint32_t serving_satellite = 0;
+  /// Gateway index of the bent-pipe leg (tier iii only).
+  std::optional<std::size_t> gateway;
+  /// Satellites traversed over ISLs, serving first (tier ii: serving ->
+  /// replica holder; tier iii: serving -> landing satellite).  Filled only
+  /// when RouterConfig::record_paths is set -- the load engine needs the
+  /// concrete links to charge bandwidth against, latency-only callers
+  /// should not pay the allocation.
+  std::vector<std::uint32_t> isl_path;
 };
 
 /// Retry/timeout policy of the resilient fetch path (fetch_resilient).
@@ -87,6 +98,10 @@ struct RouterConfig {
   /// carry the full scheduler/queueing overhead (see EXPERIMENTS.md).
   Milliseconds service_overhead_rtt{2.0};
   double service_overhead_sigma = 0.3;
+  /// Fill FetchResult::isl_path (and tier-iii gateway) so callers can charge
+  /// the transfer against the traversed links.  Off by default: it costs a
+  /// path reconstruction + allocation per fetch.
+  bool record_paths = false;
   /// Retry/timeout policy for fetch_resilient.
   ResilienceConfig resilience = {};
 };

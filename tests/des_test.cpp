@@ -71,6 +71,76 @@ TEST(Simulator, CancelPreventsExecution) {
   EXPECT_EQ(fired, 0);
 }
 
+TEST(Simulator, CancelOfFiredEventIsFalse) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule(Milliseconds{5.0}, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  // The event already ran; cancelling its id must report false and must not
+  // disturb later events, even though the pooled slot gets recycled.
+  EXPECT_FALSE(sim.cancel(id));
+  int later = 0;
+  const EventId reused = sim.schedule(Milliseconds{1.0}, [&] { ++later; });
+  EXPECT_FALSE(sim.cancel(id));  // stale generation, not the new occupant
+  sim.run();
+  EXPECT_EQ(later, 1);
+  EXPECT_FALSE(sim.cancel(reused));
+}
+
+TEST(Simulator, RunUntilEmptyQueueAdvancesClock) {
+  Simulator sim;
+  sim.run_until(Milliseconds{42.0});
+  EXPECT_DOUBLE_EQ(sim.now().value(), 42.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.processed_events(), 0u);
+  // run() on an empty queue is likewise a no-op that leaves the clock alone.
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now().value(), 42.0);
+}
+
+TEST(Simulator, SameInstantStableOrderingAcrossThousandEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  order.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule(Milliseconds{7.0}, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleAtInThePastThrowsConfigError) {
+  Simulator sim;
+  sim.schedule(Milliseconds{10.0}, [] {});
+  sim.run();  // clock is now 10
+  EXPECT_THROW(sim.schedule_at(Milliseconds{9.999}, [] {}), ConfigError);
+  // run_until also moves the clock; scheduling before it must throw too.
+  sim.run_until(Milliseconds{20.0});
+  EXPECT_THROW(sim.schedule_at(Milliseconds{15.0}, [] {}), ConfigError);
+  // Scheduling exactly at now() is allowed (zero-delay follow-up work).
+  int fired = 0;
+  sim.schedule_at(Milliseconds{20.0}, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, SlotPoolRecyclesWithoutGrowth) {
+  // A long-running open-loop simulation keeps scheduling follow-up events;
+  // the pooled storage must keep the live-event count exact throughout.
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < 10'000) sim.schedule(Milliseconds{1.0}, tick);
+  };
+  sim.schedule(Milliseconds{1.0}, tick);
+  sim.run();
+  EXPECT_EQ(fired, 10'000);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.processed_events(), 10'000u);
+}
+
 TEST(Simulator, StepRunsExactlyOne) {
   Simulator sim;
   int fired = 0;

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over google-benchmark JSON output.
+
+Compares the cpu_time of every benchmark in a current run against a committed
+baseline (bench/baselines/BENCH_micro_benchmarks.json) and fails when any
+benchmark regressed past the tolerance.
+
+CI runners and developer laptops differ wildly in absolute speed, so raw
+cpu_time ratios are useless on their own.  The gate instead normalizes every
+per-benchmark ratio by the *median* ratio across all shared benchmarks: a
+uniformly slower machine shifts every ratio equally and the median divides it
+back out, while a genuine regression in one benchmark sticks out against its
+peers.  (A change that slows *every* benchmark equally is indistinguishable
+from a slow machine by construction -- that is the price of a committed
+baseline; the per-run BENCH_*.json trajectory still records absolute times.)
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.5]
+    bench_compare.py --self-test
+
+Exit status: 0 = no regression, 1 = regression (or self-test failure),
+2 = usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import re
+import statistics
+import sys
+
+# Multipliers to nanoseconds for google-benchmark time units.
+_TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """Returns {benchmark name: cpu_time in ns} from a google-benchmark JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    return extract_benchmarks(doc, path)
+
+
+def extract_benchmarks(doc, label):
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions); the raw
+        # iterations row carries the representative cpu_time.
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry.get("name")
+        cpu_time = entry.get("cpu_time")
+        unit = entry.get("time_unit", "ns")
+        if name is None or cpu_time is None:
+            continue
+        if unit not in _TIME_UNIT_NS:
+            raise SystemExit(f"{label}: unknown time_unit '{unit}' for {name}")
+        out[name] = float(cpu_time) * _TIME_UNIT_NS[unit]
+    if not out:
+        raise SystemExit(f"{label}: no benchmark entries found")
+    return out
+
+
+def compare(baseline, current, tolerance, skip=None):
+    """Returns (regressions, report_lines).
+
+    A benchmark regresses when its machine-normalized cpu_time ratio exceeds
+    1 + tolerance.  Benchmarks present on only one side are reported but do
+    not fail the gate (renames should not break CI; deletions are visible in
+    review).
+    """
+    shared = sorted(set(baseline) & set(current))
+    lines = []
+    if skip:
+        skipped = [name for name in shared if re.search(skip, name)]
+        shared = [name for name in shared if not re.search(skip, name)]
+        for name in skipped:
+            lines.append(f"     skipped  {name} (matches --skip)")
+    if not shared:
+        raise SystemExit("no shared benchmarks between baseline and current run")
+
+    ratios = {name: current[name] / baseline[name] for name in shared if baseline[name] > 0}
+    if not ratios:
+        raise SystemExit("baseline cpu_times are all zero")
+    machine_speed = statistics.median(ratios.values())
+    lines.append(
+        f"{len(shared)} shared benchmarks; median cpu_time ratio {machine_speed:.3f} "
+        f"(machine-speed normalizer), tolerance +{tolerance:.0%}"
+    )
+
+    regressions = []
+    for name in shared:
+        if name not in ratios:
+            continue
+        normalized = ratios[name] / machine_speed
+        status = "ok"
+        if normalized > 1.0 + tolerance:
+            status = "REGRESSION"
+            regressions.append(name)
+        lines.append(
+            f"  {status:>10}  {name}: {baseline[name]:.1f} ns -> {current[name]:.1f} ns "
+            f"(normalized x{normalized:.2f})"
+        )
+
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"         new  {name}: {current[name]:.1f} ns (no baseline yet)")
+    for name in sorted(set(baseline) - set(current)):
+        lines.append(f"     missing  {name}: present in baseline only")
+    return regressions, lines
+
+
+def self_test(tolerance):
+    """Synthesizes a 50% single-benchmark regression and checks the gate trips."""
+    baseline = {f"BM_Case{i}": 100.0 * (i + 1) for i in range(8)}
+
+    # 1) An identical run must pass.
+    regressions, _ = compare(baseline, dict(baseline), tolerance)
+    if regressions:
+        print("self-test FAIL: identical runs flagged as regression", file=sys.stderr)
+        return 1
+
+    # 2) A uniformly 3x-slower machine must pass (median normalization).
+    slower_machine = {name: t * 3.0 for name, t in baseline.items()}
+    regressions, _ = compare(baseline, slower_machine, tolerance)
+    if regressions:
+        print("self-test FAIL: uniformly slower machine flagged", file=sys.stderr)
+        return 1
+
+    # 3) One benchmark 50% past the rest must fail the gate.
+    regressed = copy.deepcopy(slower_machine)
+    regressed["BM_Case3"] *= 1.0 + tolerance + 0.1
+    regressions, lines = compare(baseline, regressed, tolerance)
+    if regressions != ["BM_Case3"]:
+        print(f"self-test FAIL: expected ['BM_Case3'], got {regressions}", file=sys.stderr)
+        return 1
+
+    # 4) The JSON extraction path: round-trip through the google-benchmark shape.
+    doc = {
+        "benchmarks": [
+            {"name": n, "cpu_time": t, "time_unit": "ns"} for n, t in baseline.items()
+        ]
+        + [{"name": "BM_Agg_mean", "cpu_time": 1.0, "run_type": "aggregate"}]
+    }
+    parsed = extract_benchmarks(doc, "<self-test>")
+    if parsed != baseline:
+        print("self-test FAIL: JSON extraction mismatch", file=sys.stderr)
+        return 1
+
+    print("self-test OK: clean pass, machine-speed invariance, and a synthetic "
+          f"+{tolerance:.0%} regression trips the gate")
+    print("\n".join(lines[:2]))
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="committed baseline JSON")
+    parser.add_argument("current", nargs="?", help="current run JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed normalized slowdown fraction (default 0.5 = +50%%)",
+    )
+    parser.add_argument(
+        "--skip",
+        help="regex of benchmark names to exclude (e.g. UseRealTime pool sweeps "
+        "whose cpu_time only measures coordination)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the gate trips on a synthetic regression, then exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test(args.tolerance)
+    if not args.baseline or not args.current:
+        parser.error("baseline and current JSON paths are required (or --self-test)")
+
+    regressions, lines = compare(
+        load_benchmarks(args.baseline),
+        load_benchmarks(args.current),
+        args.tolerance,
+        skip=args.skip,
+    )
+    print("\n".join(lines))
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed past "
+            f"+{args.tolerance:.0%}: {', '.join(regressions)}"
+        )
+        return 1
+    print("\nOK: no benchmark regressed past the tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
