@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   sim::Runner runner(argc, argv, options);
   runner.banner();
 
-  const lsn::StarlinkNetwork& network = runner.world().network();
+  lsn::StarlinkNetwork& network = runner.world().network();
   const std::vector<sim::Shell1Client>& clients = runner.world().clients();
   const load::LoadConfig base = load::load_config_from_spec(runner.spec());
 

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
 
   // Touch every lazily-built substrate piece once before sharding (World's
   // lazy init is not thread-safe by design).
-  const lsn::StarlinkNetwork& network = runner.world().network();
+  lsn::StarlinkNetwork& network = runner.world().network();
   const std::vector<sim::Shell1Client>& clients = runner.world().clients();
   const load::LoadConfig base = load::load_config_from_spec(runner.spec());
 

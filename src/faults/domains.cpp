@@ -1,0 +1,153 @@
+#include "faults/domains.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "geo/distance.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::faults {
+
+FaultDomain plane_domain(const orbit::WalkerConstellation& constellation,
+                         std::uint32_t plane) {
+  const orbit::WalkerDesign& design = constellation.design();
+  SPACECDN_EXPECT(plane < design.planes,
+                  "plane domain: plane " + std::to_string(plane) + " out of range (" +
+                      std::to_string(design.planes) + " planes)");
+  FaultDomain domain;
+  domain.name = "plane-" + std::to_string(plane);
+  domain.members.reserve(design.sats_per_plane);
+  for (std::uint32_t slot = 0; slot < design.sats_per_plane; ++slot) {
+    domain.members.emplace_back(Component::kSatellite, constellation.id_of({plane, slot}));
+  }
+  return domain;
+}
+
+FaultDomain gateway_region_domain(std::string name,
+                                  std::span<const data::GroundStationInfo> gateways,
+                                  const geo::GeoPoint& center, Kilometers radius) {
+  FaultDomain domain;
+  domain.name = std::move(name);
+  for (std::size_t i = 0; i < gateways.size(); ++i) {
+    const geo::GeoPoint at{gateways[i].lat_deg, gateways[i].lon_deg, 0.0};
+    if (geo::great_circle_distance(center, at) <= radius) {
+      domain.members.emplace_back(Component::kGroundStation,
+                                  static_cast<std::uint32_t>(i));
+    }
+  }
+  return domain;
+}
+
+FaultDomain constellation_domain(const orbit::WalkerConstellation& constellation) {
+  FaultDomain domain;
+  domain.name = "constellation";
+  domain.members.reserve(constellation.size());
+  for (std::uint32_t sat = 0; sat < constellation.size(); ++sat) {
+    domain.members.emplace_back(Component::kSatellite, sat);
+  }
+  return domain;
+}
+
+namespace {
+
+/// Appends one domain-wide outage window: the selected members fail at
+/// `at` and recover together at `at + duration` (a recovery beyond `clamp`
+/// is dropped -- the outage outlasts the run, matching the renewal
+/// generator's convention; pass an unbounded clamp for scripted traces).
+void expand_event(const FaultDomain& domain, Milliseconds at, Milliseconds duration,
+                  double fraction, Milliseconds clamp, des::Rng& rng,
+                  std::vector<FaultEvent>& out) {
+  SPACECDN_EXPECT(duration.value() >= 0.0,
+                  "correlated event in '" + domain.name + "' has a negative duration");
+  SPACECDN_EXPECT(fraction >= 0.0 && fraction <= 1.0,
+                  "correlated event member fraction must be in [0, 1]");
+  std::vector<std::uint32_t> selected;
+  if (fraction >= 1.0) {
+    selected.resize(domain.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      selected[i] = static_cast<std::uint32_t>(i);
+    }
+  } else {
+    const auto k = static_cast<std::uint32_t>(
+        std::llround(fraction * static_cast<double>(domain.size())));
+    selected = rng.sample_without_replacement(static_cast<std::uint32_t>(domain.size()), k);
+    std::sort(selected.begin(), selected.end());
+  }
+  const Milliseconds recover_at = at + duration;
+  for (const std::uint32_t i : selected) {
+    const auto& [component, target] = domain.members[i];
+    out.push_back({at, component, Transition::kFail, target});
+  }
+  if (recover_at >= clamp) return;  // outage outlasts the run: stays down
+  for (const std::uint32_t i : selected) {
+    const auto& [component, target] = domain.members[i];
+    out.push_back({recover_at, component, Transition::kRecover, target});
+  }
+}
+
+}  // namespace
+
+FaultSchedule correlated_trace(const FaultDomain& domain,
+                               const std::vector<CorrelatedEvent>& events,
+                               des::Rng& rng) {
+  std::vector<FaultEvent> out;
+  for (const CorrelatedEvent& event : events) {
+    expand_event(domain, event.at, event.duration, event.member_fraction,
+                 Milliseconds{std::numeric_limits<double>::infinity()}, rng, out);
+  }
+  return FaultSchedule::from_trace(std::move(out));
+}
+
+FaultSchedule correlated_schedule(const FaultDomain& domain,
+                                  const CorrelatedProcess& process, Milliseconds horizon,
+                                  des::Rng& rng) {
+  if (!process.enabled() || domain.empty()) return FaultSchedule::from_trace({});
+  SPACECDN_EXPECT(horizon.value() > 0.0, "correlated schedule horizon must be positive");
+  SPACECDN_EXPECT(process.mean_duration.value() > 0.0,
+                  "an enabled correlated process needs a positive mean duration");
+  std::vector<FaultEvent> out;
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(process.mean_interval.value());
+    if (t >= horizon.value()) break;
+    const double duration = rng.exponential(process.mean_duration.value());
+    expand_event(domain, Milliseconds{t}, Milliseconds{duration},
+                 process.member_fraction, horizon, rng, out);
+    // The domain does not re-fail mid-outage; the next gap starts at repair.
+    t += duration;
+  }
+  return FaultSchedule::from_trace(std::move(out));
+}
+
+FaultSchedule merge_schedules(const std::vector<const FaultSchedule*>& schedules) {
+  std::vector<FaultEvent> all;
+  for (const FaultSchedule* schedule : schedules) {
+    if (schedule == nullptr) continue;
+    all.insert(all.end(), schedule->events().begin(), schedule->events().end());
+  }
+  // Earlier schedules land earlier in `all`, so the stable sort keeps their
+  // simultaneous events first.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+
+  // Union-depth resolution: a component fails when its first source takes it
+  // down and recovers only when the last one lets go.
+  std::map<std::pair<Component, std::uint32_t>, std::uint32_t> depth;
+  std::vector<FaultEvent> merged;
+  merged.reserve(all.size());
+  for (const FaultEvent& event : all) {
+    std::uint32_t& d = depth[{event.component, event.target}];
+    if (event.transition == Transition::kFail) {
+      if (d++ == 0) merged.push_back(event);
+    } else {
+      if (d == 0) continue;  // recovery of something nothing holds down
+      if (--d == 0) merged.push_back(event);
+    }
+  }
+  return FaultSchedule::from_trace(std::move(merged));
+}
+
+}  // namespace spacecdn::faults

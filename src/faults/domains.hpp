@@ -1,0 +1,110 @@
+// Correlated fault domains: compound failures that hit many components at
+// once.
+//
+// The renewal schedules in schedule.hpp model *independent* churn -- every
+// laser terminal flips its own coin.  Real incidents are dominated by
+// correlated events instead: a bad software rollout takes out an orbital
+// plane, a hurricane floods every gateway in a region, a solar storm grounds
+// a large slice of the constellation in one day.  A FaultDomain names the
+// blast radius (the member components); correlated_trace / correlated_schedule
+// turn scripted or seeded domain-wide events into ordinary FaultSchedules
+// whose member events share a timestamp, so the des::Simulator applies them
+// atomically.  merge_schedules composes a correlated timeline with the
+// independent renewal background without double-recovering components both
+// timelines touch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/types.hpp"
+#include "des/random.hpp"
+#include "faults/schedule.hpp"
+#include "geo/coordinates.hpp"
+#include "orbit/walker.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::faults {
+
+/// A named set of components that fail together.
+struct FaultDomain {
+  std::string name;
+  /// Member components, in a deterministic build order (member_fraction
+  /// subsets index into this list).
+  std::vector<std::pair<Component, std::uint32_t>> members;
+
+  [[nodiscard]] bool empty() const noexcept { return members.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return members.size(); }
+};
+
+/// Every satellite of one orbital plane (a plane-wide anomaly: bad firmware
+/// rollout, debris-avoidance stand-down).
+/// @throws spacecdn::ConfigError when `plane` is out of range.
+[[nodiscard]] FaultDomain plane_domain(const orbit::WalkerConstellation& constellation,
+                                       std::uint32_t plane);
+
+/// Every gateway within `radius` of `center` (a regional disaster: hurricane,
+/// grid failure, fiber cut at a shared teleport).  Members are gateway
+/// indices into the provided list, i.e. GroundSegment order (the default
+/// segment is data::ground_stations() in dataset order).
+[[nodiscard]] FaultDomain gateway_region_domain(std::string name,
+                                                std::span<const data::GroundStationInfo> gateways,
+                                                const geo::GeoPoint& center,
+                                                Kilometers radius);
+
+/// The whole constellation (a solar-storm mass-failure day).
+[[nodiscard]] FaultDomain constellation_domain(
+    const orbit::WalkerConstellation& constellation);
+
+/// One scripted domain-wide outage: at `at` a `member_fraction` subset of the
+/// domain fails, recovering together at `at + duration`.
+struct CorrelatedEvent {
+  Milliseconds at{0.0};
+  Milliseconds duration{0.0};
+  /// Fraction of the domain hit (1.0 = everything).  Partial subsets are
+  /// drawn without replacement from the domain's member list.
+  double member_fraction = 1.0;
+};
+
+/// Expands scripted domain events into a FaultSchedule.  Member selection
+/// for partial events draws from `rng`, so identical (domain, events, seed)
+/// produce identical schedules.
+/// @throws spacecdn::ConfigError on a negative duration or a fraction
+/// outside [0, 1].
+[[nodiscard]] FaultSchedule correlated_trace(const FaultDomain& domain,
+                                             const std::vector<CorrelatedEvent>& events,
+                                             des::Rng& rng);
+
+/// Seeded recurring domain events: exponential inter-event gaps of mean
+/// `mean_interval`, each outage lasting an exponential `mean_duration` and
+/// hitting a fixed `member_fraction` subset (re-drawn per event).
+struct CorrelatedProcess {
+  /// Mean time between domain events; <= 0 disables the process.
+  Milliseconds mean_interval{0.0};
+  Milliseconds mean_duration{0.0};
+  double member_fraction = 1.0;
+
+  [[nodiscard]] bool enabled() const noexcept { return mean_interval.value() > 0.0; }
+};
+
+/// Draws a recurring correlated-event timeline over [0, horizon).
+/// @throws spacecdn::ConfigError on a non-positive horizon or an enabled
+/// process with a non-positive mean duration.
+[[nodiscard]] FaultSchedule correlated_schedule(const FaultDomain& domain,
+                                                const CorrelatedProcess& process,
+                                                Milliseconds horizon, des::Rng& rng);
+
+/// Merges several schedules into one consistent timeline.  Overlapping
+/// outages of the same (component, target) -- e.g. a renewal failure inside
+/// a correlated storm window -- are resolved by union depth: a kFail is
+/// emitted when a component's outage depth rises 0 -> 1 and a kRecover when
+/// it falls back to 0, so a component never "recovers" while another source
+/// still holds it down.  Events keep their timestamps; simultaneous events
+/// stay in input order (earlier schedules first).
+[[nodiscard]] FaultSchedule merge_schedules(
+    const std::vector<const FaultSchedule*>& schedules);
+
+}  // namespace spacecdn::faults

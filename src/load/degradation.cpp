@@ -1,0 +1,22 @@
+#include "load/degradation.hpp"
+
+#include "util/error.hpp"
+
+namespace spacecdn::load {
+
+DegradationPolicy::DegradationPolicy(std::uint32_t satellite_count,
+                                     DegradationConfig config)
+    : config_(config), hot_until_(satellite_count, Milliseconds{0.0}) {}
+
+void DegradationPolicy::on_reject(std::uint32_t satellite, Milliseconds now) {
+  SPACECDN_EXPECT(satellite < hot_until_.size(), "degradation: satellite out of range");
+  if (hot_until_[satellite] <= now) ++hot_marks_;
+  hot_until_[satellite] = now + config_.hot_window;
+}
+
+bool DegradationPolicy::hot(std::uint32_t satellite, Milliseconds now) const {
+  SPACECDN_EXPECT(satellite < hot_until_.size(), "degradation: satellite out of range");
+  return hot_until_[satellite] > now;
+}
+
+}  // namespace spacecdn::load

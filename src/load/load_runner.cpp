@@ -16,8 +16,12 @@ space::RouterConfig router_config(const LoadConfig& config) {
   space::RouterConfig rc;
   rc.max_isl_hops = config.max_isl_hops;
   rc.record_paths = true;  // the engine charges transfers against the links
+  rc.resilience = config.resilience;
   return rc;
 }
+
+/// Deadline misses inside one rolling second that trip the flight recorder.
+constexpr std::size_t kMissSpikeThreshold = 64;
 
 /// Directed ISL link key: content flows from -> to.
 constexpr std::uint64_t link_key(std::uint32_t from, std::uint32_t to) noexcept {
@@ -26,7 +30,7 @@ constexpr std::uint64_t link_key(std::uint32_t from, std::uint32_t to) noexcept 
 
 }  // namespace
 
-LoadRunner::LoadRunner(const lsn::StarlinkNetwork& network, space::SatelliteFleet& fleet,
+LoadRunner::LoadRunner(lsn::StarlinkNetwork& network, space::SatelliteFleet& fleet,
                        cdn::CdnDeployment& ground_cdn,
                        std::vector<sim::Shell1Client> clients, LoadConfig config)
     : network_(&network),
@@ -34,8 +38,20 @@ LoadRunner::LoadRunner(const lsn::StarlinkNetwork& network, space::SatelliteFlee
       config_(std::move(config)),
       traffic_(std::move(clients), config_.traffic),
       router_(network, fleet, ground_cdn, router_config(config_)),
-      admission_(fleet.size(), config_.capacity.max_transfers_per_satellite),
+      admission_(fleet.size(), config_.capacity.max_transfers_per_satellite,
+                 config_.capacity.reject_storm_threshold),
       downlink_queues_(fleet.size()) {
+  if (!config_.fault_schedule.empty()) churn_.emplace(network, fleet);
+  if (config_.degradation.enabled) {
+    degradation_.emplace(fleet.size(), config_.degradation);
+    // New arrivals steer away from satellites inside a hot window.
+    router_.set_serving_filter(
+        [this](std::uint32_t sat) { return !degradation_->hot(sat, sim_.now()); });
+  }
+  admission_.set_reject_hook([this](std::uint32_t sat, std::size_t active) {
+    if (degradation_) degradation_->on_reject(sat, sim_.now());
+    if (user_reject_hook_) user_reject_hook_(sat, active);
+  });
   const auto& cities = traffic_.clients();
   city_rng_.reserve(cities.size());
   city_country_.reserve(cities.size());
@@ -50,7 +66,12 @@ LoadRunner::LoadRunner(const lsn::StarlinkNetwork& network, space::SatelliteFlee
 }
 
 void LoadRunner::set_reject_hook(AdmissionController::RejectHook hook) {
-  admission_.set_reject_hook(std::move(hook));
+  // The degradation policy's hook stays first in the chain.
+  user_reject_hook_ = std::move(hook);
+}
+
+space::ChurnController::Counters LoadRunner::churn_counters() const {
+  return churn_ ? churn_->counters() : space::ChurnController::Counters{};
 }
 
 LoadReport LoadRunner::run() {
@@ -65,13 +86,21 @@ LoadReport LoadRunner::run() {
     }
   }
 
+  // The fault timeline runs *inside* the event loop: outages land between
+  // arrivals with transfers in flight, exactly like a real incident.
+  if (churn_) {
+    config_.fault_schedule.install(
+        sim_, [this](const faults::FaultEvent& event) { churn_->apply(event); });
+  }
+
   for (std::size_t i = 0; i < traffic_.clients().size(); ++i) {
     schedule_next_arrival(i);
   }
   sim_.run();
 
-  report_.rejected = admission_.rejected();
   report_.peak_active_transfers = admission_.peak_active();
+  report_.breaker_short_circuits = router_.breaker_short_circuits();
+  if (degradation_) report_.hot_marks = degradation_->hot_marks();
   report_.satellite_utilization.assign(fleet_->size(), 0.0);
   for (std::uint32_t sat = 0; sat < downlink_queues_.size(); ++sat) {
     if (!downlink_queues_[sat]) continue;
@@ -93,6 +122,12 @@ LoadReport LoadRunner::run() {
         .inc(report_.rejected);
     m->counter("spacecdn_load_requests_total", {{"result", "no_coverage"}})
         .inc(report_.no_coverage);
+    m->counter("spacecdn_load_requests_total", {{"result", "failed"}})
+        .inc(report_.failed);
+    m->counter("spacecdn_load_deadline_missed_total").inc(report_.deadline_missed);
+    m->counter("spacecdn_load_abandoned_total").inc(report_.abandoned);
+    m->counter("spacecdn_load_shed_to_ground_total").inc(report_.shed_to_ground);
+    m->counter("spacecdn_load_hot_marks_total").inc(report_.hot_marks);
     for (std::size_t t = 0; t < report_.tier.size(); ++t) {
       m->counter("spacecdn_load_served_total",
                  {{"tier", std::string(space::to_string(
@@ -133,20 +168,65 @@ void LoadRunner::handle_arrival(std::size_t client_index) {
   const data::CountryInfo& country = *city_country_[client_index];
   const cdn::ContentItem& item = traffic_.sample_object(country, rng);
   const Milliseconds arrival = sim_.now();
-  const auto fetch =
-      router_.fetch(city_location_[client_index], country, item, rng, arrival);
-  if (!fetch) {
-    ++report_.no_coverage;
+
+  std::optional<space::FetchResult> fetch;
+  Milliseconds first_byte{0.0};
+  if (config_.resilient_fetch) {
+    const auto result = router_.fetch_resilient(city_location_[client_index], country,
+                                                item, rng, arrival);
+    report_.retries += result.retries;
+    if (result.hedged) ++report_.hedged;
+    if (result.hedge_won) ++report_.hedge_won;
+    if (!result.success) {
+      // Exhausted attempts or deadline budget (includes coverage gaps).
+      ++report_.failed;
+      if (config_.request_deadline.value() > 0.0) note_deadline_miss(arrival);
+      return;
+    }
+    fetch = result.served;
+    // The client-observed first byte includes every retry/backoff wait.
+    first_byte = result.total_latency;
+  } else {
+    fetch = router_.fetch(city_location_[client_index], country, item, rng, arrival);
+    if (!fetch) {
+      ++report_.no_coverage;
+      return;
+    }
+    first_byte = fetch->rtt;
+  }
+
+  const std::uint32_t serving = fetch->serving_satellite;
+  if (!admission_.try_admit(serving, arrival)) {
+    // Shed to ground: one bent-pipe-only re-fetch.  The rejection above just
+    // marked `serving` hot, so the serving filter steers the re-fetch to an
+    // alternate satellite whose downlink still has slots.
+    if (degradation_ && degradation_->config().shed_to_ground &&
+        config_.resilient_fetch) {
+      router_.set_ground_only(true);
+      const auto shed = router_.fetch_resilient(city_location_[client_index], country,
+                                                item, rng, arrival);
+      router_.set_ground_only(false);
+      if (shed.success && shed.served->serving_satellite != serving &&
+          admission_.try_admit(shed.served->serving_satellite, arrival)) {
+        ++report_.shed_to_ground;
+        dispatch_transfer(client_index, *shed.served, item.size, shed.total_latency,
+                          arrival);
+        return;
+      }
+    }
+    ++report_.rejected;
     return;
   }
-  const std::uint32_t serving = fetch->serving_satellite;
-  if (!admission_.try_admit(serving)) return;  // counted by the controller
+  dispatch_transfer(client_index, *fetch, item.size, first_byte, arrival);
+}
 
-  const space::FetchTier tier = fetch->tier;
-  const Milliseconds first_byte = fetch->rtt;
-  const Megabytes volume = item.size;
+void LoadRunner::dispatch_transfer(std::size_t client_index,
+                                   const space::FetchResult& fetch, Megabytes volume,
+                                   Milliseconds first_byte, Milliseconds arrival) {
+  const space::FetchTier tier = fetch.tier;
+  const std::uint32_t serving = fetch.serving_satellite;
   const std::uint64_t flow = traffic_.clients()[client_index].dataset_index;
-  const Milliseconds isl_wait = charge_isl_path(fetch->isl_path, volume);
+  const Milliseconds isl_wait = charge_isl_path(fetch.isl_path, volume);
 
   // The downlink is the final (and usually bottleneck) hop of every tier.
   auto to_downlink = [this, client_index, tier, first_byte, isl_wait, arrival, serving,
@@ -160,10 +240,10 @@ void LoadRunner::handle_arrival(std::size_t client_index) {
         });
   };
 
-  if (tier == space::FetchTier::kGround && fetch->gateway) {
+  if (tier == space::FetchTier::kGround && fetch.gateway) {
     // Tier (iii) rides the gateway feeder up, then the ISL path to the
     // serving satellite, then the downlink -- three stages in series.
-    gateway_queue(*fetch->gateway)
+    gateway_queue(*fetch.gateway)
         .submit(volume, flow, [this, to_downlink, isl_wait](Milliseconds gw_wait) {
           if (isl_wait.value() > 0.0) {
             sim_.schedule(isl_wait,
@@ -228,9 +308,39 @@ void LoadRunner::finish_transfer(std::size_t client_index, space::FetchTier tier
   // stage (the ISL wait was materialised as a schedule delay); the first
   // byte's RTT rides on top.
   const Milliseconds transfer = sim_.now() - arrival;
-  report_.latency_ms.add((first_byte + transfer).value());
+  const Milliseconds latency = first_byte + transfer;
+  report_.latency_ms.add(latency.value());
   report_.queue_wait_ms.add((queue_wait + isl_wait).value());
+
+  const double deadline = config_.request_deadline.value();
+  if (deadline > 0.0 && latency.value() > deadline) {
+    ++report_.deadline_missed;
+    note_deadline_miss(sim_.now());
+    if (latency.value() > 2.0 * deadline) {
+      // The viewer moved on: delivered, but not goodput.
+      ++report_.abandoned;
+      return;
+    }
+  }
   report_.delivered += volume;
+
+  // Tail-at-scale adaptive hedging: re-derive the hedge delay from the
+  // trailing completion p99 every 256 completions.
+  if (config_.hedge_auto && config_.resilient_fetch && report_.completed % 256 == 0 &&
+      report_.latency_ms.size() >= 64) {
+    router_.set_hedge_delay(Milliseconds{report_.latency_ms.quantile(0.99)});
+  }
+}
+
+void LoadRunner::note_deadline_miss(Milliseconds now) {
+  if (now - miss_window_start_ >= Milliseconds{1'000.0}) {
+    miss_window_start_ = now;
+    miss_window_count_ = 0;
+  }
+  // Trip once per window, at the crossing.
+  if (++miss_window_count_ == kMissSpikeThreshold) {
+    if (auto* recorder = obs::recorder()) recorder->trip("deadline-miss-spike", now);
+  }
 }
 
 LoadConfig load_config_from_spec(const sim::ScenarioSpec& spec) {
@@ -249,6 +359,39 @@ LoadConfig load_config_from_spec(const sim::ScenarioSpec& spec) {
   capacity.isl = preset.isl.capacity;
   capacity.discipline = parse_queue_discipline(spec.queue_discipline);
   config.capacity = capacity.scaled(spec.link_capacity_scale);
+
+  config.resilient_fetch = spec.resilient_fetch;
+  config.request_deadline = Milliseconds{spec.request_deadline_ms};
+  // The fetch-side deadline budget and the SLO share one knob: a resilient
+  // fetch never keeps retrying past the point where the completion would be
+  // a guaranteed miss.
+  config.resilience.deadline = config.request_deadline;
+  if (spec.attempt_timeout_ms > 0.0) {
+    config.resilience.attempt_timeout = Milliseconds{spec.attempt_timeout_ms};
+  }
+  config.resilience.backoff_jitter = spec.backoff_jitter;
+  if (spec.hedge_delay_ms < 0.0) {
+    config.hedge_auto = true;  // re-derived from the trailing p99 at runtime
+  } else {
+    config.resilience.hedge_delay = Milliseconds{spec.hedge_delay_ms};
+  }
+  config.resilience.breaker.failure_threshold =
+      static_cast<std::uint32_t>(spec.breaker_threshold);
+  config.resilience.breaker.open_cooldown =
+      Milliseconds::from_seconds(spec.breaker_cooldown_s);
+  config.degradation.enabled = spec.shed_to_ground;
+  config.degradation.shed_to_ground = spec.shed_to_ground;
+
+  // Chaos surge: the in-region population hammers the network exactly while
+  // the fault domain is down.  A solar storm is global, not regional -- no
+  // surge there.
+  if (!spec.chaos.empty() && spec.chaos_surge > 1.0 && spec.chaos != "solar-storm") {
+    config.traffic.surge.center = {spec.chaos_lat, spec.chaos_lon, 0.0};
+    config.traffic.surge.radius = Kilometers{spec.chaos_radius_km};
+    config.traffic.surge.multiplier = spec.chaos_surge;
+    config.traffic.surge.start = Milliseconds::from_seconds(spec.chaos_start_s);
+    config.traffic.surge.duration = Milliseconds::from_seconds(spec.chaos_duration_s);
+  }
   return config;
 }
 

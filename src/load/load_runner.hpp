@@ -21,17 +21,21 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cdn/deployment.hpp"
 #include "des/simulator.hpp"
 #include "des/stats.hpp"
+#include "faults/schedule.hpp"
 #include "load/capacity.hpp"
+#include "load/degradation.hpp"
 #include "load/traffic.hpp"
 #include "lsn/starlink.hpp"
 #include "net/link.hpp"
 #include "sim/scenario.hpp"
 #include "spacecdn/fleet.hpp"
+#include "spacecdn/resilience.hpp"
 #include "spacecdn/router.hpp"
 
 namespace spacecdn::load {
@@ -50,14 +54,52 @@ struct LoadConfig {
   std::uint32_t placement_plane_stride = 8;
   /// Primary seed; per-city streams derive from it via des::mix_seed.
   std::uint64_t seed = 42;
+
+  // --- compound-failure resilience (all off by default, so historical runs
+  // and their checksums are unchanged) ---
+  /// Route through fetch_resilient (deadline / retry / hedge / breaker)
+  /// instead of the plain three-tier fetch.
+  bool resilient_fetch = false;
+  /// Retry/deadline/hedge/breaker policy of the resilient path.
+  space::ResilienceConfig resilience = {};
+  /// Segment deadline for SLO accounting: a completion later than this is a
+  /// deadline miss, later than twice this an abandonment (the live-video
+  /// viewer has moved on; the bytes no longer count as goodput).  0 = no
+  /// deadline SLO.
+  Milliseconds request_deadline{0.0};
+  /// Re-derive the hedge delay from the trailing completion-latency p99
+  /// every few hundred completions (tail-at-scale's adaptive rule).
+  bool hedge_auto = false;
+  /// Admission-rejection degradation policy (hot marks + shed-to-ground).
+  DegradationConfig degradation = {};
+  /// Fault timeline applied *inside* the event loop via a ChurnController,
+  /// so outages hit mid-run with transfers in flight.  Empty = no faults.
+  faults::FaultSchedule fault_schedule = faults::FaultSchedule::from_trace({});
 };
 
 /// SLO-style outcome of one load run.
 struct LoadReport {
   std::uint64_t offered = 0;      ///< arrivals generated
   std::uint64_t completed = 0;    ///< transfers fully delivered
-  std::uint64_t rejected = 0;     ///< admission-control drops
+  std::uint64_t rejected = 0;     ///< admission-control drops (net of sheds)
   std::uint64_t no_coverage = 0;  ///< client had no serving satellite
+  /// Resilient fetches that exhausted every attempt or their deadline
+  /// budget (plain-fetch runs keep this at 0); completed + rejected +
+  /// no_coverage + failed == offered.
+  std::uint64_t failed = 0;
+  /// Completions later than the request deadline (subset of completed).
+  std::uint64_t deadline_missed = 0;
+  /// Completions later than twice the deadline: the viewer abandoned, the
+  /// bytes are excluded from delivered/goodput (subset of deadline_missed).
+  std::uint64_t abandoned = 0;
+  /// Admission rejections salvaged by the shed-to-ground policy (these
+  /// count as completed, not rejected).
+  std::uint64_t shed_to_ground = 0;
+  std::uint64_t retries = 0;    ///< resilient-fetch retries across all requests
+  std::uint64_t hedged = 0;     ///< hedged second requests issued
+  std::uint64_t hedge_won = 0;  ///< hedges that beat the primary
+  std::uint64_t breaker_short_circuits = 0;  ///< open-breaker bent-pipe skips
+  std::uint64_t hot_marks = 0;  ///< degradation hot-satellite markings
   /// Completions by FetchTier (kServingSatellite, kIslNeighbor, kGround).
   std::array<std::uint64_t, 3> tier{};
   /// Request completion latency (first byte + transfer incl. queueing), ms.
@@ -77,17 +119,32 @@ struct LoadReport {
   [[nodiscard]] double reject_fraction() const noexcept {
     return offered == 0 ? 0.0 : static_cast<double>(rejected) / static_cast<double>(offered);
   }
+  /// Fraction of offered requests that completed.
+  [[nodiscard]] double availability() const noexcept {
+    return offered == 0 ? 0.0
+                        : static_cast<double>(completed) / static_cast<double>(offered);
+  }
+  /// Fraction of offered requests that blew the deadline: late completions
+  /// plus requests that never completed at all (with a deadline SLO, a
+  /// failed or dropped request is a missed segment too).
+  [[nodiscard]] double deadline_miss_fraction() const noexcept {
+    if (offered == 0) return 0.0;
+    return static_cast<double>(deadline_missed + failed + rejected + no_coverage) /
+           static_cast<double>(offered);
+  }
 };
 
 /// Drives one open-loop load run over a SpaceCDN world.
 ///
-/// The caller owns the world objects (network read-only, fleet and ground
-/// CDN mutated by cache admissions); sweeps hand each run its own fleet +
-/// ground CDN so points are independent.
+/// The caller owns the world objects (fleet and ground CDN mutated by cache
+/// admissions; the network is mutated too when a fault schedule is
+/// installed -- chaos runs must hand each run its own network, like
+/// ablation_churn's World::make_network pattern); sweeps hand each run its
+/// own fleet + ground CDN so points are independent.
 class LoadRunner {
  public:
   /// @throws spacecdn::ConfigError on empty clients or bad traffic config.
-  LoadRunner(const lsn::StarlinkNetwork& network, space::SatelliteFleet& fleet,
+  LoadRunner(lsn::StarlinkNetwork& network, space::SatelliteFleet& fleet,
              cdn::CdnDeployment& ground_cdn, std::vector<sim::Shell1Client> clients,
              LoadConfig config);
 
@@ -103,11 +160,19 @@ class LoadRunner {
   [[nodiscard]] const TrafficModel& traffic() const noexcept { return traffic_; }
   [[nodiscard]] const LoadConfig& config() const noexcept { return config_; }
 
+  /// Churn counters of the installed fault schedule (zeroes without one).
+  [[nodiscard]] space::ChurnController::Counters churn_counters() const;
+
  private:
   /// One request from client `i` at the current simulation time.
   void handle_arrival(std::size_t client_index);
   /// Schedules client `i`'s next arrival if it lands inside the horizon.
   void schedule_next_arrival(std::size_t client_index);
+  /// Charges an admitted fetch against the capacity model (ISL path, the
+  /// gateway feeder for tier iii, the serving satellite's downlink).
+  void dispatch_transfer(std::size_t client_index, const space::FetchResult& fetch,
+                         Megabytes volume, Milliseconds first_byte,
+                         Milliseconds arrival);
   /// Charges `volume` along the recorded ISL path; returns the cut-through
   /// backlog wait (serialization pipelines, so only waits accumulate).
   [[nodiscard]] Milliseconds charge_isl_path(const std::vector<std::uint32_t>& path,
@@ -118,14 +183,26 @@ class LoadRunner {
                        Milliseconds first_byte, Milliseconds extra_wait,
                        Milliseconds arrival, std::uint32_t serving, Megabytes volume,
                        Milliseconds queue_wait);
+  /// Rolling-window deadline-miss bookkeeping; a spike trips the flight
+  /// recorder once per window.
+  void note_deadline_miss(Milliseconds now);
 
-  const lsn::StarlinkNetwork* network_;
+  lsn::StarlinkNetwork* network_;
   space::SatelliteFleet* fleet_;
   LoadConfig config_;
   TrafficModel traffic_;
   des::Simulator sim_;
   space::SpaceCdnRouter router_;
   AdmissionController admission_;
+  /// Applies fault_schedule events mid-run (engaged only when non-empty).
+  std::optional<space::ChurnController> churn_;
+  /// Hot-satellite marking + shed-to-ground (engaged when degradation.enabled).
+  std::optional<DegradationPolicy> degradation_;
+  /// The caller's reject hook; chained after the degradation policy's.
+  AdmissionController::RejectHook user_reject_hook_;
+  /// Rolling one-second deadline-miss window (flight-recorder spike trips).
+  Milliseconds miss_window_start_{0.0};
+  std::size_t miss_window_count_ = 0;
   std::vector<des::Rng> city_rng_;
   std::vector<const data::CountryInfo*> city_country_;
   std::vector<geo::GeoPoint> city_location_;
@@ -138,9 +215,15 @@ class LoadRunner {
 };
 
 /// Maps the scenario keys (`arrival-rate`, `object-size-dist`,
-/// `link-capacity`, `burst-trace`, `load-horizon-s`, `queue-discipline`)
-/// onto a LoadConfig.  Capacities start from the network preset's
-/// annotations (AccessConfig/IslConfig) scaled by `link_capacity_scale`.
+/// `link-capacity`, `burst-trace`, `load-horizon-s`, `queue-discipline`,
+/// plus the resilience keys `resilient-fetch`, `request-deadline-ms`,
+/// `attempt-timeout-ms`, `hedge-delay-ms` (-1 = auto-p99), `backoff-jitter`,
+/// `breaker-threshold`, `breaker-cooldown-s`, `shed-to-ground`, and the
+/// chaos-* surge window) onto a LoadConfig.  Capacities start from the
+/// network preset's annotations (AccessConfig/IslConfig) scaled by
+/// `link_capacity_scale`.  The fault schedule is *not* derived here --
+/// chaos benches build domain schedules themselves and assign
+/// LoadConfig::fault_schedule.
 [[nodiscard]] LoadConfig load_config_from_spec(const sim::ScenarioSpec& spec);
 
 /// The named object-size presets behind `object-size-dist`: "web" (small

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "geo/distance.hpp"
 #include "util/error.hpp"
 
 namespace spacecdn::load {
@@ -54,6 +55,15 @@ TrafficModel::TrafficModel(std::vector<sim::Shell1Client> clients, TrafficConfig
     city_rate_rps_.push_back(config_.requests_per_second * client.city->population_k /
                              total_population_k);
   }
+  if (config_.surge.enabled()) {
+    city_in_surge_region_.reserve(clients_.size());
+    for (const auto& client : clients_) {
+      city_in_surge_region_.push_back(
+          geo::great_circle_distance(config_.surge.center,
+                                     data::location(*client.city)) <=
+          config_.surge.radius);
+    }
+  }
 }
 
 double TrafficModel::city_rate_rps(std::size_t client_index) const {
@@ -70,9 +80,16 @@ double TrafficModel::rate_multiplier(Milliseconds now) const noexcept {
   return multiplier;
 }
 
+double TrafficModel::surge_multiplier(std::size_t client_index, Milliseconds now) const {
+  SPACECDN_EXPECT(client_index < clients_.size(), "client index out of range");
+  if (city_in_surge_region_.empty() || !config_.surge.active(now)) return 1.0;
+  return city_in_surge_region_[client_index] ? config_.surge.multiplier : 1.0;
+}
+
 Milliseconds TrafficModel::next_interarrival(std::size_t client_index, Milliseconds now,
                                              des::Rng& rng) const {
-  const double rate_rps = city_rate_rps(client_index) * rate_multiplier(now);
+  const double rate_rps = city_rate_rps(client_index) * rate_multiplier(now) *
+                          surge_multiplier(client_index, now);
   if (rate_rps <= 0.0) return Milliseconds::from_seconds(1e9);  // effectively never
   return Milliseconds::from_seconds(rng.exponential(1.0 / rate_rps));
 }

@@ -18,6 +18,7 @@
 #include "cdn/popularity.hpp"
 #include "data/types.hpp"
 #include "des/random.hpp"
+#include "geo/coordinates.hpp"
 #include "sim/scenario.hpp"
 #include "util/units.hpp"
 
@@ -37,6 +38,25 @@ struct BurstStep {
 /// non-increasing times.
 [[nodiscard]] std::vector<BurstStep> parse_burst_trace(const std::string& text);
 
+/// A colocated traffic surge: cities within `radius` of `center` offer
+/// `multiplier`x their base rate during [start, start + duration) -- the
+/// chaos scenarios' "everyone near the disaster reloads the news" spike,
+/// which composes with the global burst schedule.
+struct RegionalSurge {
+  geo::GeoPoint center = {};
+  Kilometers radius{0.0};
+  double multiplier = 1.0;
+  Milliseconds start{0.0};
+  Milliseconds duration{0.0};
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return radius.value() > 0.0 && multiplier != 1.0 && duration.value() > 0.0;
+  }
+  [[nodiscard]] bool active(Milliseconds now) const noexcept {
+    return enabled() && now >= start && now < start + duration;
+  }
+};
+
 /// Traffic tunables of one load run.
 struct TrafficConfig {
   /// Aggregate offered rate across every covered city (requests/second);
@@ -49,6 +69,8 @@ struct TrafficConfig {
   cdn::PopularityConfig popularity = {};
   /// Scripted rate multipliers (flash crowds); empty = constant rate.
   std::vector<BurstStep> burst = {};
+  /// Regional surge window (disabled by default).
+  RegionalSurge surge = {};
   /// Seed of the catalog's size/home-region draws (not the arrival streams;
   /// those come from the run seed via per-city des::mix_seed).
   std::uint64_t catalog_seed = 1234;
@@ -77,6 +99,11 @@ class TrafficModel {
   /// first step and with an empty schedule).
   [[nodiscard]] double rate_multiplier(Milliseconds now) const noexcept;
 
+  /// The regional-surge multiplier for one city at `now` (1.0 outside the
+  /// window, outside the region, or with the surge disabled).
+  [[nodiscard]] double surge_multiplier(std::size_t client_index,
+                                        Milliseconds now) const;
+
   /// Draws the exponential gap to a city's next arrival given the rate in
   /// effect at `now`.  Piecewise-constant schedules are sampled at the
   /// current step's rate (a step mid-gap shifts the next arrival by at most
@@ -95,6 +122,8 @@ class TrafficModel {
   cdn::ContentCatalog catalog_;
   cdn::RegionalPopularity popularity_;
   std::vector<double> city_rate_rps_;
+  /// Per-city membership in the surge region (precomputed great circles).
+  std::vector<bool> city_in_surge_region_;
 };
 
 }  // namespace spacecdn::load

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <initializer_list>
 
 #include "util/error.hpp"
 
@@ -40,6 +41,24 @@ bool parse_bool(const std::string& key, const std::string& value) {
     return true;
   if (value == "0" || value == "false" || value == "no" || value == "off") return false;
   throw ConfigError("scenario key '" + key + "' expects a boolean, got '" + value + "'");
+}
+
+/// Eager enum validation: a typo'd value fails at parse time with the valid
+/// set listed, instead of deep inside a sweep after minutes of work.  The
+/// valid sets are spelled here (sim cannot depend on load) and pinned by
+/// tests against the consumers' parsers.
+void expect_one_of(const std::string& key, const std::string& value,
+                   std::initializer_list<const char*> valid) {
+  for (const char* v : valid) {
+    if (value == v) return;
+  }
+  std::string options;
+  for (const char* v : valid) {
+    if (!options.empty()) options += "/";
+    options += v;
+  }
+  throw ConfigError("scenario key '" + key + "': unknown value '" + value + "' (" +
+                    options + ")");
 }
 
 }  // namespace
@@ -142,10 +161,35 @@ void ScenarioValues::apply(ScenarioSpec& spec) const {
   spec.cache_mttr_minutes = get("cache-mttr-minutes", spec.cache_mttr_minutes);
   spec.arrival_rate_rps = get("arrival-rate", spec.arrival_rate_rps);
   spec.object_size_dist = get("object-size-dist", spec.object_size_dist);
+  expect_one_of("object-size-dist", spec.object_size_dist, {"web", "video", "mixed"});
   spec.link_capacity_scale = get("link-capacity", spec.link_capacity_scale);
   spec.burst_trace = get("burst-trace", spec.burst_trace);
   spec.load_horizon_s = get("load-horizon-s", spec.load_horizon_s);
   spec.queue_discipline = get("queue-discipline", spec.queue_discipline);
+  expect_one_of("queue-discipline", spec.queue_discipline, {"fifo", "drr"});
+
+  spec.resilient_fetch = get("resilient-fetch", spec.resilient_fetch);
+  spec.request_deadline_ms = get("request-deadline-ms", spec.request_deadline_ms);
+  spec.attempt_timeout_ms = get("attempt-timeout-ms", spec.attempt_timeout_ms);
+  spec.hedge_delay_ms = get("hedge-delay-ms", spec.hedge_delay_ms);
+  spec.backoff_jitter = get("backoff-jitter", spec.backoff_jitter);
+  spec.breaker_threshold = get("breaker-threshold", spec.breaker_threshold);
+  spec.breaker_cooldown_s = get("breaker-cooldown-s", spec.breaker_cooldown_s);
+  spec.shed_to_ground = get("shed-to-ground", spec.shed_to_ground);
+
+  spec.chaos = get("chaos", spec.chaos);
+  if (!spec.chaos.empty()) {
+    expect_one_of("chaos", spec.chaos,
+                  {"disaster-region", "solar-storm", "flash-crowd-failover"});
+  }
+  spec.chaos_start_s = get("chaos-start-s", spec.chaos_start_s);
+  spec.chaos_duration_s = get("chaos-duration-s", spec.chaos_duration_s);
+  spec.chaos_lat = get("chaos-lat", spec.chaos_lat);
+  spec.chaos_lon = get("chaos-lon", spec.chaos_lon);
+  spec.chaos_radius_km = get("chaos-radius-km", spec.chaos_radius_km);
+  spec.chaos_surge = get("chaos-surge", spec.chaos_surge);
+  spec.chaos_fraction = get("chaos-fraction", spec.chaos_fraction);
+  spec.chaos_plane = get("chaos-plane", spec.chaos_plane);
 
   spec.seed = static_cast<std::uint64_t>(get("seed", static_cast<long>(spec.seed)));
   // One flag re-seeds the whole scenario: an explicit --seed also re-seeds

@@ -75,6 +75,31 @@ struct ScenarioSpec {
   double load_horizon_s = 30.0;  ///< arrival horizon of one load run
   std::string queue_discipline = "fifo";  ///< bottleneck queues: fifo or drr
 
+  // --- compound-failure resilience (src/load + src/spacecdn; all off by
+  // default, so historical checksums are unchanged) ---
+  bool resilient_fetch = false;    ///< route through fetch_resilient
+  double request_deadline_ms = 0.0;  ///< SLO + fetch budget (0: unbounded)
+  double attempt_timeout_ms = 0.0;   ///< per-attempt cutoff (0: router default)
+  double hedge_delay_ms = 0.0;       ///< >0: fixed hedge; <0: auto-p99; 0: off
+  double backoff_jitter = 0.0;       ///< +-fraction on the retry backoff
+  long breaker_threshold = 0;        ///< gateway circuit breaker (0: disabled)
+  double breaker_cooldown_s = 5.0;   ///< open -> half-open probe delay
+  bool shed_to_ground = false;       ///< degradation: salvage rejects via tier iii
+
+  // --- chaos scenario (bench/ablation_chaos) ---
+  /// "" (off), "disaster-region", "solar-storm", or "flash-crowd-failover".
+  std::string chaos;
+  double chaos_start_s = 5.0;      ///< fault/surge onset in the run
+  double chaos_duration_s = 10.0;  ///< outage + surge window length
+  /// Disaster epicentre (default: Frankfurt, the densest gateway cluster --
+  /// ~9 European gateways within the default blast radius).
+  double chaos_lat = 50.2;
+  double chaos_lon = 8.6;
+  double chaos_radius_km = 2000.0;  ///< gateway blast radius / surge region
+  double chaos_surge = 4.0;         ///< surge multiplier for in-region cities
+  double chaos_fraction = 0.25;     ///< solar storm: fraction of fleet hit
+  long chaos_plane = 10;            ///< flash-crowd failover: plane that dies
+
   // --- execution ---
   /// Primary experiment seed; each bench declares its historical literal as
   /// the default, so published numbers are unchanged but sweeps re-seed.

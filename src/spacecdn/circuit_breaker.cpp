@@ -1,0 +1,53 @@
+#include "spacecdn/circuit_breaker.hpp"
+
+namespace spacecdn::space {
+
+bool CircuitBreaker::allow(Milliseconds now) {
+  if (!enabled()) return true;
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ >= config_.open_cooldown) {
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        return true;
+      }
+      ++short_circuits_;
+      return false;
+    case State::kHalfOpen:
+      if (probe_in_flight_) {
+        ++short_circuits_;
+        return false;
+      }
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  if (!enabled()) return;
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::record_failure(Milliseconds now) {
+  if (!enabled()) return;
+  if (state_ == State::kHalfOpen) {
+    open(now);
+    return;
+  }
+  if (++consecutive_failures_ >= config_.failure_threshold) open(now);
+}
+
+void CircuitBreaker::open(Milliseconds now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  ++opens_;
+}
+
+}  // namespace spacecdn::space

@@ -1,0 +1,71 @@
+// A per-resource circuit breaker for the resilient fetch path.
+//
+// Retrying into a dead or overloaded tier converts one failure into
+// max_attempts timeouts -- the client pays the full attempt deadline each
+// time.  A breaker tracks consecutive failures against one resource (here: a
+// gateway's bent-pipe leg); past the threshold it *opens* and the router
+// skips the resource outright instead of timing out against it.  After a
+// cooldown the breaker admits a single half-open probe; a probe success
+// closes it again, a probe failure re-opens it for another cooldown.
+//
+// The breaker is pure bookkeeping on the caller's clock (simulation time
+// in), so it is deterministic and costs no RNG draws.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace spacecdn::space {
+
+/// Circuit-breaker policy.  A zero threshold disables the breaker entirely
+/// (allow() is always true and nothing is tracked) -- the default, so
+/// existing benches' numbers and checksums are unchanged.
+struct BreakerConfig {
+  /// Consecutive failures that open the breaker; 0 disables.
+  std::uint32_t failure_threshold = 0;
+  /// How long an open breaker rejects before admitting a half-open probe.
+  Milliseconds open_cooldown{5'000.0};
+};
+
+/// Consecutive-failure circuit breaker with half-open probing.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BreakerConfig config = {}) : config_(config) {}
+
+  /// Whether a request may use the resource at `now`.  An open breaker whose
+  /// cooldown has elapsed transitions to half-open and admits exactly one
+  /// probe; further calls are rejected until the probe reports back.
+  [[nodiscard]] bool allow(Milliseconds now);
+
+  /// Reports the outcome of an admitted request.  A success closes the
+  /// breaker (from any state); a failure counts toward the threshold, and in
+  /// half-open re-opens immediately.
+  void record_success();
+  void record_failure(Milliseconds now);
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] bool enabled() const noexcept { return config_.failure_threshold > 0; }
+  [[nodiscard]] std::uint32_t consecutive_failures() const noexcept {
+    return consecutive_failures_;
+  }
+  /// Times the breaker transitioned closed/half-open -> open.
+  [[nodiscard]] std::uint64_t opens() const noexcept { return opens_; }
+  /// Requests rejected by an open breaker.
+  [[nodiscard]] std::uint64_t short_circuits() const noexcept { return short_circuits_; }
+
+ private:
+  void open(Milliseconds now);
+
+  BreakerConfig config_;
+  State state_ = State::kClosed;
+  std::uint32_t consecutive_failures_ = 0;
+  Milliseconds opened_at_{0.0};
+  bool probe_in_flight_ = false;
+  std::uint64_t opens_ = 0;
+  std::uint64_t short_circuits_ = 0;
+};
+
+}  // namespace spacecdn::space

@@ -117,8 +117,10 @@ std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
   const Milliseconds space_overhead{rng.lognormal_median(
       config_.service_overhead_rtt.value(), config_.service_overhead_sigma)};
 
-  // Tier (i): overhead satellite.
-  if (fleet_->cache_enabled(serving) && fleet_->cache(serving).access(item.id, now)) {
+  // Tier (i): overhead satellite.  A shed-to-ground caller skips the space
+  // tiers outright (set_ground_only) -- the degraded bent-pipe-only mode.
+  if (!ground_only_ && fleet_->cache_enabled(serving) &&
+      fleet_->cache(serving).access(item.id, now)) {
     FetchResult result{FetchTier::kServingSatellite, uplink * 2.0 + space_overhead,
                        0, serving, false};
     result.serving_satellite = serving;
@@ -142,8 +144,10 @@ std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
   // Tier (ii): nearest replica over ISLs.  Offline holders carry no ISL
   // edges and crashed caches are not cache_enabled, so the lookup only ever
   // surfaces live, reachable replicas.
-  if (const auto found =
-          find_replica(network_->isl(), *fleet_, serving, item.id, config_.max_isl_hops)) {
+  if (const auto found = ground_only_
+                             ? std::optional<LookupResult>{}
+                             : find_replica(network_->isl(), *fleet_, serving, item.id,
+                                            config_.max_isl_hops)) {
     // Register the hit on the holder's cache.
     (void)fleet_->cache(found->satellite).access(item.id, now);
     const bool admit = config_.admit_on_fetch && fleet_->cache_enabled(serving);
@@ -189,6 +193,18 @@ std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
     unreachable.inc();
     if (trace != nullptr) {
       trace->attr(trace->open("tier:ground", parent_span), "outcome", "unreachable");
+    }
+    return std::nullopt;
+  }
+  if (CircuitBreaker* breaker = breaker_for(breakdown->gateway);
+      breaker != nullptr && !breaker->allow(now)) {
+    // Open breaker: skipping the bent pipe beats timing out against it.
+    static obs::CounterHandle short_circuit{"spacecdn_breaker_short_circuit_total"};
+    short_circuit.inc();
+    if (trace != nullptr) {
+      const std::uint32_t span = trace->open("tier:ground", parent_span);
+      trace->attr(span, "outcome", "breaker-open");
+      trace->attr(span, "gateway", std::to_string(breakdown->gateway));
     }
     return std::nullopt;
   }
@@ -242,22 +258,61 @@ std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
 }
 
 std::optional<std::uint32_t> SpaceCdnRouter::healthy_serving_satellite(
-    const geo::GeoPoint& client) const {
+    const geo::GeoPoint& client, std::optional<std::uint32_t> exclude) const {
   const auto& snapshot = network_->snapshot();
   const auto visible = snapshot.visible_satellites(
       client, network_->config().user_min_elevation_deg);
-  std::optional<std::uint32_t> best;
-  double best_range = 0.0;
+  std::optional<std::uint32_t> best_preferred;
+  std::optional<std::uint32_t> best_any;
+  double best_preferred_range = 0.0;
+  double best_any_range = 0.0;
   for (const std::uint32_t sat : visible) {
     if (!fleet_->online(sat)) continue;
+    if (exclude && sat == *exclude) continue;
     // At a single-altitude shell, minimum slant range == maximum elevation.
     const double range = snapshot.slant_range(client, sat).value();
-    if (!best || range < best_range) {
-      best = sat;
-      best_range = range;
+    if (!best_any || range < best_any_range) {
+      best_any = sat;
+      best_any_range = range;
+    }
+    if (serving_filter_ && !serving_filter_(sat)) continue;
+    if (!best_preferred || range < best_preferred_range) {
+      best_preferred = sat;
+      best_preferred_range = range;
     }
   }
-  return best;
+  // When the filter vetoes every visible satellite, the best vetoed one
+  // still serves: availability beats politeness.
+  return best_preferred ? best_preferred : best_any;
+}
+
+CircuitBreaker* SpaceCdnRouter::breaker_for(std::size_t gateway) const {
+  if (config_.resilience.breaker.failure_threshold == 0) return nullptr;
+  if (gateway_breakers_.empty()) {
+    gateway_breakers_.assign(network_->ground().gateway_count(),
+                             CircuitBreaker(config_.resilience.breaker));
+  }
+  return &gateway_breakers_[gateway];
+}
+
+const CircuitBreaker& SpaceCdnRouter::gateway_breaker(std::size_t gateway) const {
+  static const CircuitBreaker disabled{};
+  const CircuitBreaker* breaker = breaker_for(gateway);
+  return breaker != nullptr ? *breaker : disabled;
+}
+
+std::uint64_t SpaceCdnRouter::breaker_opens() const noexcept {
+  std::uint64_t total = 0;
+  for (const CircuitBreaker& breaker : gateway_breakers_) total += breaker.opens();
+  return total;
+}
+
+std::uint64_t SpaceCdnRouter::breaker_short_circuits() const noexcept {
+  std::uint64_t total = 0;
+  for (const CircuitBreaker& breaker : gateway_breakers_) {
+    total += breaker.short_circuits();
+  }
+  return total;
 }
 
 ResilientFetchResult SpaceCdnRouter::fetch_resilient(const geo::GeoPoint& client,
@@ -277,7 +332,19 @@ ResilientFetchResult SpaceCdnRouter::fetch_resilient(const geo::GeoPoint& client
 
   ResilientFetchResult out;
   double waited = 0.0;
+  const double deadline = rc.deadline.value();  // 0 = unbounded
   for (std::uint32_t attempt = 0; attempt < std::max(rc.max_attempts, 1u); ++attempt) {
+    // An attempt may spend at most the per-attempt timeout, clipped to
+    // whatever deadline budget is left.
+    double budget = rc.attempt_timeout.value();
+    if (deadline > 0.0) {
+      const double remaining = deadline - waited;
+      if (remaining <= 0.0) {
+        out.deadline_exceeded = true;
+        break;
+      }
+      budget = std::min(budget, remaining);
+    }
     ++out.attempts;
     std::uint32_t attempt_span = obs::kNoParent;
     if (trace) {
@@ -306,7 +373,40 @@ ResilientFetchResult SpaceCdnRouter::fetch_resilient(const geo::GeoPoint& client
     // The response can be lost in flight even when a path exists; the
     // server-side effects (cache admissions) still happened.
     const bool lost = rc.transient_loss > 0.0 && rng.chance(rc.transient_loss);
-    if (served && !lost && served->rtt <= rc.attempt_timeout) {
+    if (served && !lost && served->rtt.value() <= budget) {
+      if (served->gateway) {
+        if (CircuitBreaker* breaker = breaker_for(*served->gateway)) {
+          breaker->record_success();
+        }
+      }
+      // Tail hedge: a response slower than the hedge delay races a second
+      // request from the next-best serving satellite; the client keeps
+      // whichever lands first (tail-at-scale's deferred hedging, so at most
+      // ~the slowest percentile of requests pay the extra fetch).
+      if (rc.hedge_delay.value() > 0.0 && served->rtt > rc.hedge_delay) {
+        out.hedged = true;
+        if (m != nullptr) m->counter("spacecdn_hedge_issued_total").inc();
+        const auto second = healthy_serving_satellite(client, serving);
+        std::optional<FetchResult> hedge;
+        if (second) {
+          hedge = attempt_from(*second, client, country, item, rng, now,
+                               trace ? &*trace : nullptr, attempt_span);
+        }
+        const bool hedge_lost =
+            hedge && rc.transient_loss > 0.0 && rng.chance(rc.transient_loss);
+        if (hedge && !hedge_lost) {
+          const Milliseconds hedge_rtt = rc.hedge_delay + hedge->rtt;
+          if (hedge_rtt < served->rtt && hedge_rtt.value() <= budget) {
+            hedge->rtt = hedge_rtt;  // client-observed: issued hedge_delay in
+            served = hedge;
+            out.hedge_won = true;
+            if (m != nullptr) m->counter("spacecdn_hedge_won_total").inc();
+          }
+        }
+        if (trace) {
+          trace->attr(attempt_span, "hedged", out.hedge_won ? "won" : "lost");
+        }
+      }
       out.success = true;
       out.served = served;
       out.total_latency = Milliseconds{waited} + served->rtt;
@@ -326,22 +426,29 @@ ResilientFetchResult SpaceCdnRouter::fetch_resilient(const geo::GeoPoint& client
       }
       return out;
     }
-    // Timed out, lost, or no path: the client burns the full deadline, then
+    // Timed out, lost, or no path: the client burns the attempt budget, then
     // backs off exponentially before trying again.
     const char* outcome = !serving ? "no-coverage" : (!served ? "no-path"
                                      : (lost ? "lost" : "timeout"));
+    if (served && served->gateway) {
+      if (CircuitBreaker* breaker = breaker_for(*served->gateway)) {
+        breaker->record_failure(now);
+      }
+    }
     if (m != nullptr) {
       m->counter("spacecdn_resilient_attempt_failed_total", {{"outcome", outcome}})
           .inc();
     }
     if (trace) {
       trace->attr(attempt_span, "outcome", outcome);
-      trace->set_duration(attempt_span, rc.attempt_timeout);
+      trace->set_duration(attempt_span, Milliseconds{budget});
     }
-    waited += rc.attempt_timeout.value();
+    waited += budget;
     if (attempt + 1 < rc.max_attempts) {
-      const double backoff =
-          rc.backoff_base.value() * std::pow(rc.backoff_multiplier, attempt);
+      double backoff = rc.backoff_base.value() * std::pow(rc.backoff_multiplier, attempt);
+      if (rc.backoff_jitter > 0.0) {
+        backoff *= 1.0 + rc.backoff_jitter * rng.uniform(-1.0, 1.0);
+      }
       if (m != nullptr) {
         m->histogram("spacecdn_backoff_ms", {}, {0.0, 5'000.0, 100}).observe(backoff);
       }
@@ -351,14 +458,19 @@ ResilientFetchResult SpaceCdnRouter::fetch_resilient(const geo::GeoPoint& client
         trace->set_duration(span, Milliseconds{backoff});
       }
       waited += backoff;
+      // A backoff never outlives the deadline: the client gives up then.
+      if (deadline > 0.0) waited = std::min(waited, deadline);
     }
   }
-  out.retries = out.attempts - 1;
+  out.retries = out.attempts == 0 ? 0 : out.attempts - 1;
   out.total_latency = Milliseconds{waited};
   if (m != nullptr) {
     m->counter("spacecdn_resilient_failure_total").inc();
     m->counter("spacecdn_resilient_attempts_total").inc(out.attempts);
     m->counter("spacecdn_resilient_retries_total").inc(out.retries);
+    if (out.deadline_exceeded) {
+      m->counter("spacecdn_resilient_deadline_exceeded_total").inc();
+    }
   }
   if (trace) {
     trace->set_duration(trace->root(), out.total_latency);

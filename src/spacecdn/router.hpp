@@ -9,12 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string_view>
 #include <vector>
 
 #include "cdn/deployment.hpp"
 #include "lsn/starlink.hpp"
+#include "spacecdn/circuit_breaker.hpp"
 #include "spacecdn/fleet.hpp"
 #include "spacecdn/lookup.hpp"
 
@@ -70,6 +72,24 @@ struct ResilienceConfig {
   /// (handover stalls, transient link flaps below the fault model's
   /// granularity).  0 disables.
   double transient_loss = 0.0;
+  /// Per-request deadline budget: attempts and backoffs stop once the
+  /// cumulative wait reaches it, and each attempt's timeout is clipped to
+  /// the remaining budget (a live-video segment is worthless after its
+  /// deadline).  0 = unbounded, the historical behavior.
+  Milliseconds deadline{0.0};
+  /// Uniform jitter on the exponential backoff: each backoff is scaled by
+  /// 1 + backoff_jitter * U(-1, 1), de-synchronising retry storms.  0 keeps
+  /// the historical deterministic backoff and draws no RNG.
+  double backoff_jitter = 0.0;
+  /// Hedged request: when a served attempt's RTT exceeds this delay, a
+  /// second request is issued from the next-best serving satellite and the
+  /// client takes whichever response lands first (effective RTT
+  /// min(primary, hedge_delay + hedge)).  0 disables.  Load callers set it
+  /// from a trailing p99 (the classic tail-at-scale rule).
+  Milliseconds hedge_delay{0.0};
+  /// Per-gateway circuit breaker on the bent-pipe leg; failure_threshold 0
+  /// (default) disables it.
+  BreakerConfig breaker = {};
 };
 
 /// Outcome of one resilient fetch (possibly after retries/escalation).
@@ -82,6 +102,11 @@ struct ResilientFetchResult {
   Milliseconds total_latency{0.0};
   std::uint32_t attempts = 0;
   std::uint32_t retries = 0;
+  /// The deadline budget ran out before any attempt succeeded.
+  bool deadline_exceeded = false;
+  /// A hedged second request was issued / won the race.
+  bool hedged = false;
+  bool hedge_won = false;
 };
 
 /// Router configuration.
@@ -133,11 +158,43 @@ class SpaceCdnRouter {
   [[nodiscard]] const RouterConfig& config() const noexcept { return config_; }
   [[nodiscard]] SatelliteFleet& fleet() noexcept { return *fleet_; }
 
+  /// A serving-satellite veto consulted by the resilient path (degradation
+  /// policies mark hot satellites).  Return false to steer a request away
+  /// from a satellite; when every candidate is vetoed the best vetoed one
+  /// still serves (availability beats politeness).
+  using ServingFilter = std::function<bool(std::uint32_t satellite)>;
+  void set_serving_filter(ServingFilter filter) { serving_filter_ = std::move(filter); }
+
+  /// Overrides the configured hedge delay (load callers re-derive it from a
+  /// trailing latency p99 while a run is in flight).  <= 0 disables hedging.
+  void set_hedge_delay(Milliseconds delay) noexcept {
+    config_.resilience.hedge_delay = delay;
+  }
+
+  /// Degraded mode: skip the space tiers and serve everything over the
+  /// bent pipe (tier iii), today's ground-CDN path.  The load engine's
+  /// shed-to-ground policy flips this around a single re-fetch.
+  void set_ground_only(bool ground_only) noexcept { ground_only_ = ground_only; }
+
+  /// The bent-pipe breaker of one gateway (kClosed when breakers are off or
+  /// the gateway has never been tried).
+  [[nodiscard]] const CircuitBreaker& gateway_breaker(std::size_t gateway) const;
+  /// Total open transitions and open-breaker skips across all gateways.
+  [[nodiscard]] std::uint64_t breaker_opens() const noexcept;
+  [[nodiscard]] std::uint64_t breaker_short_circuits() const noexcept;
+
  private:
   /// The highest satellite above `client` that is online (fault-aware
-  /// variant of EphemerisSnapshot::serving_satellite).
+  /// variant of EphemerisSnapshot::serving_satellite), skipping `exclude`
+  /// (hedged requests need a second opinion) and preferring satellites the
+  /// serving filter accepts.
   [[nodiscard]] std::optional<std::uint32_t> healthy_serving_satellite(
-      const geo::GeoPoint& client) const;
+      const geo::GeoPoint& client,
+      std::optional<std::uint32_t> exclude = std::nullopt) const;
+
+  /// The breaker guarding one gateway's bent pipe, or nullptr when breakers
+  /// are disabled.  Lazily sizes the breaker set on first use.
+  [[nodiscard]] CircuitBreaker* breaker_for(std::size_t gateway) const;
 
   /// One fault-aware attempt across the three tiers from `serving`.  When a
   /// tracer is installed, tier spans are appended to `trace` under
@@ -154,6 +211,11 @@ class SpaceCdnRouter {
   SatelliteFleet* fleet_;
   cdn::CdnDeployment* ground_cdn_;
   RouterConfig config_;
+  ServingFilter serving_filter_;
+  bool ground_only_ = false;
+  /// Per-gateway bent-pipe breakers, lazily sized on first use; stays empty
+  /// while breakers are disabled so the default path costs nothing.
+  mutable std::vector<CircuitBreaker> gateway_breakers_;
 };
 
 }  // namespace spacecdn::space

@@ -1,14 +1,19 @@
 // Tests for the dynamic fault-injection engine (faults/) and the
-// self-healing layer on top of it (spacecdn/resilience, fetch_resilient).
+// self-healing layer on top of it (spacecdn/resilience, fetch_resilient,
+// circuit breakers, correlated fault domains).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
 #include "data/datasets.hpp"
+#include "faults/domains.hpp"
 #include "faults/schedule.hpp"
+#include "geo/distance.hpp"
 #include "lsn/starlink.hpp"
 #include "sim/world.hpp"
+#include "spacecdn/circuit_breaker.hpp"
 #include "spacecdn/placement.hpp"
 #include "spacecdn/resilience.hpp"
 #include "spacecdn/router.hpp"
@@ -302,6 +307,250 @@ TEST(ResilientFetch, ExhaustsBoundedRetriesUnderTotalLoss) {
   EXPECT_EQ(result.retries, 2u);
   // 3 burned timeouts plus backoffs 10 and 20 ms between the attempts.
   EXPECT_DOUBLE_EQ(result.total_latency.value(), 3 * 100.0 + 10.0 + 20.0);
+}
+
+TEST(ResilientFetch, DeadlineBudgetCapsTotalLatency) {
+  lsn::StarlinkNetwork& network = sim::shared_world().network();
+  space::SatelliteFleet fleet(network.constellation().size(),
+                              space::FleetConfig{Megabytes{1000.0},
+                                                 cdn::CachePolicy::kLru});
+  cdn::CdnDeployment ground(data::cdn_sites(), {});
+  space::RouterConfig config;
+  config.resilience.max_attempts = 10;
+  config.resilience.attempt_timeout = Milliseconds{100.0};
+  config.resilience.backoff_base = Milliseconds{10.0};
+  config.resilience.backoff_multiplier = 2.0;
+  config.resilience.transient_loss = 1.0;  // nothing ever lands
+  config.resilience.deadline = Milliseconds{250.0};
+  space::SpaceCdnRouter router(network, fleet, ground, config);
+
+  const auto& city = data::city("Tokyo");
+  const cdn::ContentItem obj{6, Megabytes{5.0}, data::Region::kAsia};
+  des::Rng rng(41);
+  const auto result = router.fetch_resilient(data::location(city),
+                                             data::country(city.country_code), obj, rng,
+                                             Milliseconds{0.0});
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.deadline_exceeded);
+  // 100 + 10 backoff + 100 + 20 backoff leaves a 20 ms budget for attempt 3;
+  // the worst case is exactly the deadline, never more.
+  EXPECT_DOUBLE_EQ(result.total_latency.value(), 250.0);
+  EXPECT_EQ(result.attempts, 3u);
+}
+
+TEST(ResilientFetch, HedgeRacesSecondSatelliteAndNeverWorsensRtt) {
+  lsn::StarlinkNetwork& network = sim::shared_world().network();
+  space::SatelliteFleet fleet(network.constellation().size(),
+                              space::FleetConfig{Megabytes{1000.0},
+                                                 cdn::CachePolicy::kLru});
+  cdn::CdnDeployment ground(data::cdn_sites(), {});
+  const auto& city = data::city("London");
+  const cdn::ContentItem obj{3, Megabytes{5.0}, data::Region::kEurope};
+
+  space::SpaceCdnRouter plain(network, fleet, ground);
+  des::Rng rng_plain(40);
+  const auto base = plain.fetch_resilient(data::location(city),
+                                          data::country(city.country_code), obj,
+                                          rng_plain, Milliseconds{0.0});
+  ASSERT_TRUE(base.success);
+
+  space::RouterConfig config;
+  config.resilience.hedge_delay = Milliseconds{0.01};  // hedge almost always
+  space::SpaceCdnRouter hedged_router(network, fleet, ground, config);
+  des::Rng rng_hedged(40);
+  const auto hedged = hedged_router.fetch_resilient(data::location(city),
+                                                    data::country(city.country_code),
+                                                    obj, rng_hedged, Milliseconds{0.0});
+  ASSERT_TRUE(hedged.success);
+  EXPECT_TRUE(hedged.hedged);
+  // The client keeps min(primary, hedge_delay + hedge), so hedging can only
+  // improve the observed RTT; a win must actually be cheaper.
+  EXPECT_LE(hedged.served->rtt.value(), base.served->rtt.value());
+  if (hedged.hedge_won) {
+    EXPECT_LT(hedged.served->rtt.value(), base.served->rtt.value());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Correlated fault domains
+// ---------------------------------------------------------------------------
+
+TEST(FaultDomains, PlaneDomainCoversExactlyOnePlane) {
+  const orbit::WalkerConstellation& constellation = sim::shared_world().constellation();
+  const std::uint32_t plane = 3;
+  const auto domain = faults::plane_domain(constellation, plane);
+  EXPECT_EQ(domain.size(), constellation.design().sats_per_plane);
+  for (std::uint32_t slot = 0; slot < constellation.design().sats_per_plane; ++slot) {
+    EXPECT_EQ(domain.members[slot].first, Component::kSatellite);
+    EXPECT_EQ(domain.members[slot].second, constellation.id_of({plane, slot}));
+  }
+  EXPECT_THROW((void)faults::plane_domain(constellation, constellation.design().planes),
+               ConfigError);
+}
+
+TEST(FaultDomains, GatewayRegionSelectsByRadius) {
+  const auto gateways = data::ground_stations();
+  const geo::GeoPoint frankfurt{50.2, 8.6, 0.0};
+  const Kilometers radius{2000.0};
+  const auto domain =
+      faults::gateway_region_domain("europe", gateways, frankfurt, radius);
+  ASSERT_GE(domain.size(), 5u);  // the European teleport cluster
+  EXPECT_LT(domain.size(), gateways.size());
+  for (const auto& [component, target] : domain.members) {
+    EXPECT_EQ(component, Component::kGroundStation);
+    const auto& gw = gateways[target];
+    EXPECT_LE(geo::great_circle_distance(frankfurt, {gw.lat_deg, gw.lon_deg, 0.0})
+                  .value(),
+              radius.value());
+  }
+  // A 1 km radius keeps only the epicentre's own gateway.
+  EXPECT_EQ(
+      faults::gateway_region_domain("fra", gateways, frankfurt, Kilometers{1.0}).size(),
+      1u);
+}
+
+TEST(FaultDomains, CorrelatedTraceFansOutAtomicallyAndDeterministically) {
+  const orbit::WalkerConstellation& constellation = sim::shared_world().constellation();
+  const auto domain = faults::constellation_domain(constellation);
+  ASSERT_EQ(domain.size(), constellation.size());
+  const std::vector<faults::CorrelatedEvent> events{
+      {Milliseconds{1'000.0}, Milliseconds{500.0}, 0.25}};
+
+  des::Rng a(9), b(9), c(10);
+  const auto one = faults::correlated_trace(domain, events, a);
+  const auto two = faults::correlated_trace(domain, events, b);
+  const auto other = faults::correlated_trace(domain, events, c);
+  EXPECT_EQ(one.events(), two.events());
+  EXPECT_NE(one.events(), other.events());
+
+  const auto expected = static_cast<std::size_t>(0.25 * constellation.size() + 0.5);
+  EXPECT_EQ(one.count(Component::kSatellite, Transition::kFail), expected);
+  EXPECT_EQ(one.count(Component::kSatellite, Transition::kRecover), expected);
+  for (const FaultEvent& event : one.events()) {
+    // Atomic fan-out: every member fails and recovers at the shared instants.
+    EXPECT_DOUBLE_EQ(event.at.value(),
+                     event.transition == Transition::kFail ? 1'000.0 : 1'500.0);
+  }
+}
+
+TEST(FaultDomains, FullFractionTakesWholeDomainWithoutRng) {
+  const orbit::WalkerConstellation& constellation = sim::shared_world().constellation();
+  const auto domain = faults::plane_domain(constellation, 0);
+  des::Rng a(1), b(2);  // different seeds: fraction 1.0 must not consult them
+  const std::vector<faults::CorrelatedEvent> events{
+      {Milliseconds{100.0}, Milliseconds{50.0}, 1.0}};
+  EXPECT_EQ(faults::correlated_trace(domain, events, a).events(),
+            faults::correlated_trace(domain, events, b).events());
+  EXPECT_EQ(faults::correlated_trace(domain, events, a).size(), 2 * domain.size());
+}
+
+TEST(FaultDomains, RejectsBadEvents) {
+  const auto domain = faults::plane_domain(sim::shared_world().constellation(), 0);
+  des::Rng rng(3);
+  EXPECT_THROW((void)faults::correlated_trace(
+                   domain, {{Milliseconds{0.0}, Milliseconds{-1.0}, 1.0}}, rng),
+               ConfigError);
+  EXPECT_THROW((void)faults::correlated_trace(
+                   domain, {{Milliseconds{0.0}, Milliseconds{1.0}, 1.5}}, rng),
+               ConfigError);
+}
+
+TEST(FaultDomains, CorrelatedScheduleIsSeededAndHorizonBounded) {
+  const auto domain = faults::constellation_domain(sim::shared_world().constellation());
+  const faults::CorrelatedProcess process{Milliseconds{5'000.0}, Milliseconds{1'000.0},
+                                          0.1};
+  const Milliseconds horizon{60'000.0};
+  des::Rng a(21), b(21);
+  const auto one = faults::correlated_schedule(domain, process, horizon, a);
+  const auto two = faults::correlated_schedule(domain, process, horizon, b);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(one.events(), two.events());
+  for (const FaultEvent& event : one.events()) {
+    EXPECT_LT(event.at.value(), horizon.value());
+  }
+}
+
+TEST(MergeSchedules, UnionDepthPreventsEarlyRecovery) {
+  // A renewal blip (fail 200, recover 400) inside a correlated storm window
+  // (fail 100, recover 1000) must not revive the satellite at 400.
+  const auto storm = FaultSchedule::from_trace(
+      {{Milliseconds{100.0}, Component::kSatellite, Transition::kFail, 5},
+       {Milliseconds{1'000.0}, Component::kSatellite, Transition::kRecover, 5}});
+  const auto blip = FaultSchedule::from_trace(
+      {{Milliseconds{200.0}, Component::kSatellite, Transition::kFail, 5},
+       {Milliseconds{400.0}, Component::kSatellite, Transition::kRecover, 5}});
+  const auto merged = faults::merge_schedules({&storm, &blip});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.events()[0],
+            (FaultEvent{Milliseconds{100.0}, Component::kSatellite, Transition::kFail, 5}));
+  EXPECT_EQ(merged.events()[1], (FaultEvent{Milliseconds{1'000.0}, Component::kSatellite,
+                                            Transition::kRecover, 5}));
+}
+
+TEST(MergeSchedules, DisjointTargetsPassThroughSorted) {
+  const auto a = FaultSchedule::from_trace(
+      {{Milliseconds{300.0}, Component::kSatellite, Transition::kFail, 1},
+       {Milliseconds{500.0}, Component::kSatellite, Transition::kRecover, 1}});
+  const auto b = FaultSchedule::from_trace(
+      {{Milliseconds{100.0}, Component::kGroundStation, Transition::kFail, 2},
+       {Milliseconds{200.0}, Component::kGroundStation, Transition::kRecover, 2}});
+  const auto merged = faults::merge_schedules({&a, &b});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(
+      merged.events().begin(), merged.events().end(),
+      [](const FaultEvent& x, const FaultEvent& y) { return x.at < y.at; }));
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+TEST(CircuitBreaker, OpensAfterThresholdThenProbesAfterCooldown) {
+  space::CircuitBreaker breaker({.failure_threshold = 3,
+                                 .open_cooldown = Milliseconds{1'000.0}});
+  ASSERT_TRUE(breaker.enabled());
+  EXPECT_TRUE(breaker.allow(Milliseconds{0.0}));
+  breaker.record_failure(Milliseconds{10.0});
+  breaker.record_failure(Milliseconds{20.0});
+  EXPECT_EQ(breaker.state(), space::CircuitBreaker::State::kClosed);
+  breaker.record_failure(Milliseconds{30.0});
+  EXPECT_EQ(breaker.state(), space::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+
+  // Open: everything short-circuits until the cooldown elapses.
+  EXPECT_FALSE(breaker.allow(Milliseconds{500.0}));
+  EXPECT_EQ(breaker.short_circuits(), 1u);
+  // Cooldown over: exactly one probe passes, concurrent calls still blocked.
+  EXPECT_TRUE(breaker.allow(Milliseconds{1'031.0}));
+  EXPECT_EQ(breaker.state(), space::CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow(Milliseconds{1'032.0}));
+  // Probe succeeds: closed again, failure count reset.
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), space::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);
+  EXPECT_TRUE(breaker.allow(Milliseconds{1'040.0}));
+}
+
+TEST(CircuitBreaker, HalfOpenFailureReopens) {
+  space::CircuitBreaker breaker({.failure_threshold = 1,
+                                 .open_cooldown = Milliseconds{100.0}});
+  breaker.record_failure(Milliseconds{0.0});
+  EXPECT_EQ(breaker.state(), space::CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(breaker.allow(Milliseconds{150.0}));  // half-open probe
+  breaker.record_failure(Milliseconds{160.0});      // probe fails
+  EXPECT_EQ(breaker.state(), space::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  // The new open window counts from the probe failure.
+  EXPECT_FALSE(breaker.allow(Milliseconds{200.0}));
+  EXPECT_TRUE(breaker.allow(Milliseconds{261.0}));
+}
+
+TEST(CircuitBreaker, ZeroThresholdDisables) {
+  space::CircuitBreaker breaker(space::BreakerConfig{});
+  EXPECT_FALSE(breaker.enabled());
+  for (int i = 0; i < 100; ++i) breaker.record_failure(Milliseconds{0.0});
+  EXPECT_EQ(breaker.state(), space::CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow(Milliseconds{0.0}));
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "des/random.hpp"
 #include "des/simulator.hpp"
 #include "load/capacity.hpp"
+#include "load/degradation.hpp"
 #include "load/load_runner.hpp"
 #include "load/traffic.hpp"
 #include "lsn/starlink.hpp"
@@ -47,6 +48,19 @@ TEST(BurstTrace, RejectsMalformedInput) {
   // Times must be strictly increasing.
   EXPECT_THROW((void)load::parse_burst_trace("10:1,10:2"), ConfigError);
   EXPECT_THROW((void)load::parse_burst_trace("10:1,5:2"), ConfigError);
+}
+
+TEST(BurstTrace, RejectsTrailingAndEmptyPairs) {
+  // A trailing comma leaves an empty pair; fail loudly instead of silently
+  // truncating the schedule.
+  EXPECT_THROW((void)load::parse_burst_trace("0:1,"), ConfigError);
+  EXPECT_THROW((void)load::parse_burst_trace(","), ConfigError);
+  EXPECT_THROW((void)load::parse_burst_trace("0:1,,5:2"), ConfigError);
+  EXPECT_THROW((void)load::parse_burst_trace(":2"), ConfigError);
+  EXPECT_THROW((void)load::parse_burst_trace("5:"), ConfigError);
+  // Partial-garbage numbers must not strtod-truncate silently either.
+  EXPECT_THROW((void)load::parse_burst_trace("1x:2"), ConfigError);
+  EXPECT_THROW((void)load::parse_burst_trace("1:2y"), ConfigError);
 }
 
 // ---------------------------------------------------------------------------
@@ -104,6 +118,32 @@ TEST(TrafficModel, InterarrivalMeanMatchesCityRate) {
     total_s += traffic.next_interarrival(0, Milliseconds{0.0}, rng).seconds();
   }
   EXPECT_NEAR(total_s / kDraws, 1.0 / rate, 0.05 / rate);
+}
+
+TEST(TrafficModel, RegionalSurgeMultipliesOnlyInRegionAndWindow) {
+  const auto clients = test_clients();
+  load::TrafficConfig config;
+  config.requests_per_second = 100.0;
+  config.surge.center = {clients[0].city->lat_deg, clients[0].city->lon_deg, 0.0};
+  config.surge.radius = Kilometers{50.0};
+  config.surge.multiplier = 4.0;
+  config.surge.start = Milliseconds::from_seconds(5.0);
+  config.surge.duration = Milliseconds::from_seconds(10.0);
+  const load::TrafficModel traffic(clients, config);
+
+  // In region, inside the window.
+  EXPECT_DOUBLE_EQ(traffic.surge_multiplier(0, Milliseconds::from_seconds(6.0)), 4.0);
+  // In region but before/after the window.
+  EXPECT_DOUBLE_EQ(traffic.surge_multiplier(0, Milliseconds::from_seconds(4.9)), 1.0);
+  EXPECT_DOUBLE_EQ(traffic.surge_multiplier(0, Milliseconds::from_seconds(15.0)), 1.0);
+  // A different metro (well outside the 50 km radius) never surges.
+  EXPECT_DOUBLE_EQ(traffic.surge_multiplier(1, Milliseconds::from_seconds(6.0)), 1.0);
+
+  // Disabled surge is the multiplicative identity everywhere.
+  load::TrafficConfig plain;
+  plain.requests_per_second = 100.0;
+  const load::TrafficModel no_surge(clients, plain);
+  EXPECT_DOUBLE_EQ(no_surge.surge_multiplier(0, Milliseconds::from_seconds(6.0)), 1.0);
 }
 
 TEST(TrafficModel, RejectsDegenerateConfigs) {
@@ -227,6 +267,54 @@ TEST(AdmissionController, ZeroCapDisablesAdmissionControl) {
   EXPECT_EQ(admission.rejected(), 0u);
 }
 
+TEST(AdmissionController, RejectStormsCountOncePerRollingWindow) {
+  load::AdmissionController admission(1, 1, /*reject_storm_threshold=*/3);
+  ASSERT_TRUE(admission.try_admit(0, Milliseconds{0.0}));
+
+  // Two rejections in the first 1 s window stay below the threshold.
+  EXPECT_FALSE(admission.try_admit(0, Milliseconds{10.0}));
+  EXPECT_FALSE(admission.try_admit(0, Milliseconds{20.0}));
+  EXPECT_EQ(admission.storms(), 0u);
+  // The third crosses the threshold: exactly one storm per window...
+  EXPECT_FALSE(admission.try_admit(0, Milliseconds{30.0}));
+  EXPECT_EQ(admission.storms(), 1u);
+  EXPECT_FALSE(admission.try_admit(0, Milliseconds{40.0}));
+  EXPECT_EQ(admission.storms(), 1u);
+  // ...and a later window can trip again.
+  EXPECT_FALSE(admission.try_admit(0, Milliseconds{1'500.0}));
+  EXPECT_FALSE(admission.try_admit(0, Milliseconds{1'510.0}));
+  EXPECT_EQ(admission.storms(), 1u);
+  EXPECT_FALSE(admission.try_admit(0, Milliseconds{1'520.0}));
+  EXPECT_EQ(admission.storms(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// DegradationPolicy
+// ---------------------------------------------------------------------------
+
+TEST(DegradationPolicy, HotMarksExpireAndCountOncePerWindow) {
+  load::DegradationConfig config;
+  config.enabled = true;
+  config.hot_window = Milliseconds{1'000.0};
+  load::DegradationPolicy policy(4, config);
+
+  EXPECT_FALSE(policy.hot(2, Milliseconds{0.0}));
+  policy.on_reject(2, Milliseconds{0.0});
+  EXPECT_TRUE(policy.hot(2, Milliseconds{999.0}));
+  EXPECT_FALSE(policy.hot(2, Milliseconds{1'000.0}));
+  EXPECT_FALSE(policy.hot(3, Milliseconds{500.0}));  // other satellites untouched
+  EXPECT_EQ(policy.hot_marks(), 1u);
+
+  // Re-marking inside an active window extends it without recounting.
+  policy.on_reject(2, Milliseconds{500.0});
+  EXPECT_EQ(policy.hot_marks(), 1u);
+  EXPECT_TRUE(policy.hot(2, Milliseconds{1'200.0}));
+
+  // A fresh mark after expiry is a new hot entry.
+  policy.on_reject(2, Milliseconds{3'000.0});
+  EXPECT_EQ(policy.hot_marks(), 2u);
+}
+
 // ---------------------------------------------------------------------------
 // Scenario-key mapping
 // ---------------------------------------------------------------------------
@@ -265,6 +353,54 @@ TEST(LoadConfig, FromSpecMapsScenarioKeys) {
   EXPECT_DOUBLE_EQ(config.capacity.satellite_downlink.value(),
                    preset.access.satellite_downlink_aggregate.value() * 0.5);
   EXPECT_DOUBLE_EQ(config.capacity.isl.value(), preset.isl.capacity.value() * 0.5);
+}
+
+TEST(LoadConfig, FromSpecMapsResilienceAndChaosKeys) {
+  sim::ScenarioSpec spec;
+  spec.constellation = "test-shell";
+  spec.resilient_fetch = true;
+  spec.request_deadline_ms = 350.0;
+  spec.attempt_timeout_ms = 90.0;
+  spec.hedge_delay_ms = 25.0;
+  spec.backoff_jitter = 0.2;
+  spec.breaker_threshold = 7;
+  spec.breaker_cooldown_s = 2.0;
+  spec.shed_to_ground = true;
+  spec.chaos = "disaster-region";
+  spec.chaos_surge = 3.0;
+  spec.chaos_lat = 10.0;
+  spec.chaos_lon = 20.0;
+  spec.chaos_radius_km = 500.0;
+  spec.chaos_start_s = 2.0;
+  spec.chaos_duration_s = 4.0;
+
+  const load::LoadConfig config = load::load_config_from_spec(spec);
+  EXPECT_TRUE(config.resilient_fetch);
+  EXPECT_DOUBLE_EQ(config.request_deadline.value(), 350.0);
+  EXPECT_DOUBLE_EQ(config.resilience.deadline.value(), 350.0);
+  EXPECT_DOUBLE_EQ(config.resilience.attempt_timeout.value(), 90.0);
+  EXPECT_DOUBLE_EQ(config.resilience.hedge_delay.value(), 25.0);
+  EXPECT_FALSE(config.hedge_auto);
+  EXPECT_DOUBLE_EQ(config.resilience.backoff_jitter, 0.2);
+  EXPECT_EQ(config.resilience.breaker.failure_threshold, 7u);
+  EXPECT_DOUBLE_EQ(config.resilience.breaker.open_cooldown.seconds(), 2.0);
+  EXPECT_TRUE(config.degradation.enabled);
+  EXPECT_TRUE(config.degradation.shed_to_ground);
+  // The chaos surge window rides along for region-scoped chaos modes.
+  EXPECT_TRUE(config.traffic.surge.enabled());
+  EXPECT_DOUBLE_EQ(config.traffic.surge.multiplier, 3.0);
+  EXPECT_DOUBLE_EQ(config.traffic.surge.start.seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(config.traffic.surge.duration.seconds(), 4.0);
+
+  // hedge-delay-ms = -1 switches to trailing-p99 auto mode.
+  spec.hedge_delay_ms = -1.0;
+  const load::LoadConfig auto_config = load::load_config_from_spec(spec);
+  EXPECT_TRUE(auto_config.hedge_auto);
+
+  // A constellation-wide storm has no epicentre, so no regional surge.
+  spec.chaos = "solar-storm";
+  const load::LoadConfig storm_config = load::load_config_from_spec(spec);
+  EXPECT_FALSE(storm_config.traffic.surge.enabled());
 }
 
 // ---------------------------------------------------------------------------
@@ -357,6 +493,40 @@ TEST(LoadRunner, RejectHookSeesAdmissionDrops) {
   EXPECT_GT(report.rejected, 0u);
   EXPECT_EQ(hook_fired, report.rejected);
   EXPECT_LE(report.peak_active_transfers, 4u);
+}
+
+TEST(LoadRunner, ResilientDeadlineAccountingIsConsistent) {
+  sim::World world(load_test_spec());
+  load::LoadConfig config = load::load_config_from_spec(world.spec());
+  config.resilient_fetch = true;
+  config.request_deadline = Milliseconds{40.0};  // tight: queueing makes many miss
+  config.resilience.deadline = config.request_deadline;
+
+  const load::LoadReport report = run_load(world, config);
+  ASSERT_GT(report.completed, 0u);
+  EXPECT_EQ(report.completed + report.rejected + report.no_coverage + report.failed,
+            report.offered);
+  EXPECT_GT(report.deadline_missed, 0u);
+  EXPECT_LE(report.deadline_missed, report.completed);
+  EXPECT_LE(report.abandoned, report.deadline_missed);
+  const double miss = report.deadline_miss_fraction();
+  EXPECT_GT(miss, 0.0);
+  EXPECT_LE(miss, 1.0);
+
+  // Without a deadline the SLO counters stay untouched.
+  load::LoadConfig no_deadline = config;
+  no_deadline.request_deadline = Milliseconds{0.0};
+  no_deadline.resilience.deadline = Milliseconds{0.0};
+  const load::LoadReport free_report = run_load(world, no_deadline);
+  EXPECT_EQ(free_report.deadline_missed, 0u);
+  EXPECT_EQ(free_report.abandoned, 0u);
+  // Only hard losses (rejects / coverage gaps / exhausted fetches) remain in
+  // the SLO-miss numerator once the deadline is lifted.
+  EXPECT_DOUBLE_EQ(
+      free_report.deadline_miss_fraction(),
+      static_cast<double>(free_report.rejected + free_report.no_coverage +
+                          free_report.failed) /
+          static_cast<double>(free_report.offered));
 }
 
 }  // namespace

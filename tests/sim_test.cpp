@@ -167,6 +167,63 @@ TEST(ScenarioValuesTest, UnusedReportsTypos) {
   EXPECT_EQ(unused.front(), "tets-per-city");
 }
 
+TEST(ScenarioValuesTest, ApplySetsResilienceAndChaosFields) {
+  sim::ScenarioSpec spec;
+  const sim::ScenarioValues values({{"resilient-fetch", "true"},
+                                    {"request-deadline-ms", "350"},
+                                    {"attempt-timeout-ms", "90"},
+                                    {"hedge-delay-ms", "-1"},
+                                    {"backoff-jitter", "0.2"},
+                                    {"breaker-threshold", "7"},
+                                    {"breaker-cooldown-s", "2.5"},
+                                    {"shed-to-ground", "yes"},
+                                    {"chaos", "solar-storm"},
+                                    {"chaos-fraction", "0.4"},
+                                    {"chaos-plane", "12"}},
+                                   {});
+  values.apply(spec);
+  EXPECT_TRUE(spec.resilient_fetch);
+  EXPECT_DOUBLE_EQ(spec.request_deadline_ms, 350.0);
+  EXPECT_DOUBLE_EQ(spec.attempt_timeout_ms, 90.0);
+  EXPECT_DOUBLE_EQ(spec.hedge_delay_ms, -1.0);
+  EXPECT_DOUBLE_EQ(spec.backoff_jitter, 0.2);
+  EXPECT_EQ(spec.breaker_threshold, 7L);
+  EXPECT_DOUBLE_EQ(spec.breaker_cooldown_s, 2.5);
+  EXPECT_TRUE(spec.shed_to_ground);
+  EXPECT_EQ(spec.chaos, "solar-storm");
+  EXPECT_DOUBLE_EQ(spec.chaos_fraction, 0.4);
+  EXPECT_EQ(spec.chaos_plane, 12L);
+}
+
+TEST(ScenarioValuesTest, InvalidEnumValuesFailLoudlyAtApply) {
+  // A typo'd enum must throw at parse time, not deep inside a sweep; the
+  // unused-key typo warning (above) still covers misspelled *keys*.
+  {
+    sim::ScenarioSpec spec;
+    const sim::ScenarioValues values({{"queue-discipline", "lifo"}}, {});
+    EXPECT_THROW(values.apply(spec), ConfigError);
+  }
+  {
+    sim::ScenarioSpec spec;
+    const sim::ScenarioValues values({{"object-size-dist", "webb"}}, {});
+    EXPECT_THROW(values.apply(spec), ConfigError);
+  }
+  {
+    sim::ScenarioSpec spec;
+    const sim::ScenarioValues values({{"chaos", "sharknado"}}, {});
+    EXPECT_THROW(values.apply(spec), ConfigError);
+  }
+  {
+    // The valid spellings all pass.
+    sim::ScenarioSpec spec;
+    const sim::ScenarioValues values({{"queue-discipline", "drr"},
+                                      {"object-size-dist", "video"},
+                                      {"chaos", "flash-crowd-failover"}},
+                                     {});
+    EXPECT_NO_THROW(values.apply(spec));
+  }
+}
+
 TEST(ParseCachePolicyTest, IsCaseInsensitive) {
   EXPECT_EQ(sim::parse_cache_policy("lru"), cdn::CachePolicy::kLru);
   EXPECT_EQ(sim::parse_cache_policy("LRU"), cdn::CachePolicy::kLru);
