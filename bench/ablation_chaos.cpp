@@ -24,13 +24,18 @@
 // still *measured* so the miss rates compare).  Points shard across the
 // pool and merge in order, so the FNV-1a checksum is bit-identical for any
 // --threads value (CI gates serial vs parallel like fig7/fig9).
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "data/datasets.hpp"
 #include "faults/domains.hpp"
 #include "load/load_runner.hpp"
+#include "obs/timeline.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/runner.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -109,6 +114,18 @@ ChaosPoint run_point(sim::World& world, const load::LoadConfig& config,
   return point;
 }
 
+std::string hex64(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 /// The ablated configuration: same world, same incident, same deadline SLO
 /// measurement -- but the plain three-tier fetch with every resilience
 /// mechanism stripped.
@@ -169,6 +186,60 @@ int main(int argc, char** argv) {
   std::cout << "sweep threads: " << runner.pool().thread_count()
             << ", determinism checksum: " << runner.checksum().hex()
             << " (identical for any --threads)\n\n";
+
+  // Sim-time observability artifacts.  Each point's series/timeline was
+  // recorded inside its own (serial, deterministic) run; merging them here
+  // in point order keeps the artifacts -- and their printed checksums --
+  // bit-identical for any --threads value.
+  const sim::ScenarioSpec& spec = runner.spec();
+  if (!spec.series_out.empty()) {
+    std::ofstream out(spec.series_out);
+    if (!out) {
+      std::cerr << "warning: cannot write --series-out " << spec.series_out << "\n";
+    } else {
+      const bool jsonl = ends_with(spec.series_out, ".jsonl");
+      std::uint64_t combined = obs::kFnv1aBasis;
+      for (std::size_t p = 0; p < results.size(); ++p) {
+        const obs::TimeSeries& series = results[p].report.series;
+        if (jsonl) {
+          series.write_jsonl(out, labels[p]);
+        } else {
+          series.write_csv(out, labels[p], /*header=*/p == 0);
+        }
+        combined = obs::fnv1a_fold(combined, series.checksum());
+      }
+      std::cout << "series checksum: " << hex64(combined) << " ("
+                << results[0].report.series.windows.size() << " windows/point) -> "
+                << spec.series_out << "\n";
+    }
+  }
+  if (!spec.timeline_out.empty()) {
+    std::ofstream out(spec.timeline_out);
+    if (!out) {
+      std::cerr << "warning: cannot write --timeline-out " << spec.timeline_out
+                << "\n";
+    } else {
+      std::uint64_t combined = obs::kFnv1aBasis;
+      for (std::size_t p = 0; p < results.size(); ++p) {
+        results[p].report.timeline.write_jsonl(out, labels[p]);
+        combined = obs::fnv1a_fold(combined, results[p].report.timeline.checksum());
+      }
+      std::cout << "timeline checksum: " << hex64(combined) << " -> "
+                << spec.timeline_out << "\n";
+      for (std::size_t p = 0; p < results.size(); ++p) {
+        const obs::IncidentTimeline& tl = results[p].report.timeline;
+        std::cout << "timeline[" << labels[p] << "]: " << tl.count("fault.fail")
+                  << " injections, " << tl.count("breaker.")
+                  << " breaker transitions, " << tl.count("degradation.")
+                  << " degradation events, " << results[p].report.slo_alerts
+                  << " SLO alerts (budget consumed "
+                  << ConsoleTable::format_fixed(
+                         results[p].report.slo_budget_consumed, 2)
+                  << "x)\n";
+      }
+    }
+  }
+  std::cout << "\n";
 
   CsvWriter csv(runner.csv(),
                 {"mode", "offered", "completed", "failed", "rejected", "no_coverage",
@@ -242,6 +313,26 @@ int main(int argc, char** argv) {
     if (p99_on > 50.0 * p50_on) {
       std::cout << "FAIL: resilience-on p99 unbounded relative to p50\n";
       ok = false;
+    }
+    if (!spec.timeline_out.empty()) {
+      // With a timeline recorded, the published incident must be legible in
+      // it: the seeded injection and at least one breaker transition in the
+      // resilient run, and an SLO burn-rate page in the ablated run (the
+      // resilient run holding the objective IS the result -- the page fires
+      // on the configuration that lost its error budget), all at
+      // deterministic sim-times.
+      if (on.timeline.count("fault.fail") == 0) {
+        std::cout << "FAIL: timeline missing the seeded fault injection\n";
+        ok = false;
+      }
+      if (on.timeline.count("breaker.") == 0) {
+        std::cout << "FAIL: timeline shows no circuit-breaker transition\n";
+        ok = false;
+      }
+      if (off.timeline.count("slo.alert-fire") == 0) {
+        std::cout << "FAIL: ablated-run timeline shows no SLO burn-rate alert\n";
+        ok = false;
+      }
     }
   }
   return runner.finish(ok);

@@ -14,6 +14,14 @@ void DegradationPolicy::on_reject(std::uint32_t satellite, Milliseconds now) {
   hot_until_[satellite] = now + config_.hot_window;
 }
 
+std::size_t DegradationPolicy::hot_count(Milliseconds now) const noexcept {
+  std::size_t hot = 0;
+  for (const Milliseconds until : hot_until_) {
+    if (until > now) ++hot;
+  }
+  return hot;
+}
+
 bool DegradationPolicy::hot(std::uint32_t satellite, Milliseconds now) const {
   SPACECDN_EXPECT(satellite < hot_until_.size(), "degradation: satellite out of range");
   return hot_until_[satellite] > now;

@@ -46,6 +46,9 @@ class DegradationPolicy {
   /// active window only extend it).
   [[nodiscard]] std::uint64_t hot_marks() const noexcept { return hot_marks_; }
 
+  /// Satellites currently inside a hot window (a series-recorder gauge).
+  [[nodiscard]] std::size_t hot_count(Milliseconds now) const noexcept;
+
   [[nodiscard]] const DegradationConfig& config() const noexcept { return config_; }
 
  private:

@@ -49,7 +49,15 @@ LoadRunner::LoadRunner(lsn::StarlinkNetwork& network, space::SatelliteFleet& fle
         [this](std::uint32_t sat) { return !degradation_->hot(sat, sim_.now()); });
   }
   admission_.set_reject_hook([this](std::uint32_t sat, std::size_t active) {
-    if (degradation_) degradation_->on_reject(sat, sim_.now());
+    if (degradation_) {
+      const std::uint64_t marks_before = degradation_->hot_marks();
+      degradation_->on_reject(sat, sim_.now());
+      // Only window *entries* land on the timeline; re-marks extend silently.
+      if (timeline_enabled_ && degradation_->hot_marks() != marks_before) {
+        timeline_.record(sim_.now(), "degradation.hot-mark",
+                         "satellite:" + std::to_string(sat));
+      }
+    }
     if (user_reject_hook_) user_reject_hook_(sat, active);
   });
   const auto& cities = traffic_.clients();
@@ -63,6 +71,109 @@ LoadRunner::LoadRunner(lsn::StarlinkNetwork& network, space::SatelliteFleet& fle
     city_country_.push_back(&data::country(client.city->country_code));
     city_location_.push_back(data::location(*client.city));
   }
+  setup_observability();
+}
+
+void LoadRunner::setup_observability() {
+  timeline_enabled_ = config_.timeline;
+  const bool series_on = config_.series_interval.value() > 0.0;
+  if (timeline_enabled_ || series_on) {
+    // The SLO tracker rides along with either artifact: burn rates feed the
+    // series, alert transitions feed the timeline.
+    slo_.emplace(config_.slo);
+    if (timeline_enabled_) {
+      const char* subject = config_.request_deadline.value() > 0.0
+                                ? "slo:deadline"
+                                : "slo:availability";
+      slo_->set_alert_hook([this, subject](const obs::SloAlert& alert) {
+        timeline_.record(alert.at,
+                         alert.firing ? "slo.alert-fire" : "slo.alert-resolve",
+                         subject, "short-window burn rate", alert.short_burn);
+      });
+    }
+  }
+  if (timeline_enabled_) {
+    router_.set_breaker_listener(
+        [this](std::size_t gateway, space::CircuitBreaker::State from,
+               space::CircuitBreaker::State to, Milliseconds at) {
+          timeline_.record(at,
+                           "breaker." + std::string(space::to_string(to)),
+                           "gateway:" + std::to_string(gateway),
+                           "from " + std::string(space::to_string(from)));
+        });
+  }
+  if (!series_on) return;
+  series_.emplace(obs::TimeSeriesConfig{config_.series_interval});
+  series_->add_gauge("offered",
+                     [this] { return static_cast<double>(window_.offered); });
+  series_->add_gauge("completed",
+                     [this] { return static_cast<double>(window_.completed); });
+  series_->add_gauge("failed",
+                     [this] { return static_cast<double>(window_.failed); });
+  series_->add_gauge("rejected",
+                     [this] { return static_cast<double>(window_.rejected); });
+  series_->add_gauge("no_coverage", [this] {
+    return static_cast<double>(window_.no_coverage);
+  });
+  series_->add_gauge("deadline_missed", [this] {
+    return static_cast<double>(window_.deadline_missed);
+  });
+  series_->add_gauge("shed_to_ground",
+                     [this] { return static_cast<double>(window_.shed); });
+  series_->add_gauge("availability", [this] {
+    return window_.offered == 0
+               ? 1.0
+               : static_cast<double>(window_.completed) /
+                     static_cast<double>(window_.offered);
+  });
+  series_->add_gauge("p50_ms", [this] {
+    return window_.latency_ms.size() == 0 ? 0.0
+                                          : window_.latency_ms.quantile(0.5);
+  });
+  series_->add_gauge("p99_ms", [this] {
+    return window_.latency_ms.size() == 0 ? 0.0
+                                          : window_.latency_ms.quantile(0.99);
+  });
+  series_->add_gauge(
+      "goodput_mbps",
+      obs::TimeSeriesRecorder::WindowProbe(
+          [this](Milliseconds start, Milliseconds end) {
+            const double seconds = (end - start).seconds();
+            return seconds <= 0.0 ? 0.0 : window_.delivered_mb * 8.0 / seconds;
+          }));
+  series_->add_gauge("queue_depth", [this] {
+    return static_cast<double>(queue_depth_total());
+  });
+  series_->add_gauge("active_transfers",
+                     [this] { return static_cast<double>(inflight_); });
+  series_->add_gauge("breaker_open", [this] {
+    return static_cast<double>(router_.breaker_open_count());
+  });
+  series_->add_gauge("hot_satellites", [this] {
+    return degradation_
+               ? static_cast<double>(degradation_->hot_count(sim_.now()))
+               : 0.0;
+  });
+  series_->add_gauge("slo_fast_burn", [this] {
+    return slo_ ? slo_->burn_rate(sim_.now(), slo_->config().short_window)
+                : 0.0;
+  });
+  series_->on_window_close([this] { window_ = WindowCounts{}; });
+}
+
+void LoadRunner::note_outcome(Milliseconds now, bool good) {
+  if (slo_) slo_->record(now, good);
+}
+
+std::size_t LoadRunner::queue_depth_total() const noexcept {
+  std::size_t total = 0;
+  for (const auto& queue : downlink_queues_) {
+    if (queue) total += queue->depth();
+  }
+  for (const auto& queue : gateway_queues_) {
+    if (queue) total += queue->depth();
+  }
+  return total;
 }
 
 void LoadRunner::set_reject_hook(AdmissionController::RejectHook hook) {
@@ -90,8 +201,30 @@ LoadReport LoadRunner::run() {
   // arrivals with transfers in flight, exactly like a real incident.
   if (churn_) {
     config_.fault_schedule.install(
-        sim_, [this](const faults::FaultEvent& event) { churn_->apply(event); });
+        sim_, [this](const faults::FaultEvent& event) {
+          if (timeline_enabled_) {
+            timeline_.record(sim_.now(),
+                             event.transition == faults::Transition::kFail
+                                 ? "fault.fail"
+                                 : "fault.recover",
+                             std::string(faults::to_string(event.component)) +
+                                 ":" + std::to_string(event.target));
+          }
+          churn_->apply(event);
+        });
   }
+  if (timeline_enabled_ && config_.traffic.surge.enabled()) {
+    const RegionalSurge& surge = config_.traffic.surge;
+    timeline_.record(surge.start, "surge.begin", "traffic", "regional surge",
+                     surge.multiplier);
+    timeline_.record(surge.start + surge.duration, "surge.end", "traffic", {},
+                     surge.multiplier);
+  }
+  // Observability ticks are DES events too: the SLO evaluator first so the
+  // series recorder (installed after, same boundaries) samples the already
+  // updated burn rate and alert state.
+  if (slo_) slo_->install(sim_, config_.horizon);
+  if (series_) series_->install(sim_, config_.horizon);
 
   for (std::size_t i = 0; i < traffic_.clients().size(); ++i) {
     schedule_next_arrival(i);
@@ -115,7 +248,20 @@ LoadReport LoadRunner::run() {
   }
   report_.goodput_mbps = report_.delivered.megabits() / config_.horizon.seconds();
 
+  if (slo_) {
+    report_.slo_alerts = slo_->alerts_fired();
+    report_.slo_budget_consumed = slo_->budget_consumed();
+  }
+  if (series_) report_.series = series_->take_series();
+  if (timeline_enabled_) report_.timeline = std::move(timeline_);
+
   if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->set_help("spacecdn_load_requests_total",
+                "Load-engine request outcomes by result label.");
+    m->set_help("spacecdn_load_latency_ms",
+                "Completion latency: first byte + transfer incl. queueing (ms).");
+    m->set_help("spacecdn_load_satellite_utilization",
+                "Downlink busy fraction per serving satellite over the horizon.");
     m->counter("spacecdn_load_requests_total", {{"result", "completed"}})
         .inc(report_.completed);
     m->counter("spacecdn_load_requests_total", {{"result", "rejected"}})
@@ -163,6 +309,7 @@ void LoadRunner::handle_arrival(std::size_t client_index) {
   // omission).
   schedule_next_arrival(client_index);
   ++report_.offered;
+  if (series_) ++window_.offered;
 
   des::Rng& rng = city_rng_[client_index];
   const data::CountryInfo& country = *city_country_[client_index];
@@ -180,6 +327,8 @@ void LoadRunner::handle_arrival(std::size_t client_index) {
     if (!result.success) {
       // Exhausted attempts or deadline budget (includes coverage gaps).
       ++report_.failed;
+      if (series_) ++window_.failed;
+      note_outcome(arrival, /*good=*/false);
       if (config_.request_deadline.value() > 0.0) note_deadline_miss(arrival);
       return;
     }
@@ -190,6 +339,8 @@ void LoadRunner::handle_arrival(std::size_t client_index) {
     fetch = router_.fetch(city_location_[client_index], country, item, rng, arrival);
     if (!fetch) {
       ++report_.no_coverage;
+      if (series_) ++window_.no_coverage;
+      note_outcome(arrival, /*good=*/false);
       return;
     }
     first_byte = fetch->rtt;
@@ -209,14 +360,25 @@ void LoadRunner::handle_arrival(std::size_t client_index) {
       if (shed.success && shed.served->serving_satellite != serving &&
           admission_.try_admit(shed.served->serving_satellite, arrival)) {
         ++report_.shed_to_ground;
+        ++inflight_;
+        if (series_) ++window_.shed;
+        if (timeline_enabled_) {
+          timeline_.record(
+              arrival, "degradation.shed",
+              "satellite:" + std::to_string(shed.served->serving_satellite),
+              "rejected at satellite:" + std::to_string(serving));
+        }
         dispatch_transfer(client_index, *shed.served, item.size, shed.total_latency,
                           arrival);
         return;
       }
     }
     ++report_.rejected;
+    if (series_) ++window_.rejected;
+    note_outcome(arrival, /*good=*/false);
     return;
   }
+  ++inflight_;
   dispatch_transfer(client_index, *fetch, item.size, first_byte, arrival);
 }
 
@@ -302,6 +464,7 @@ void LoadRunner::finish_transfer(std::size_t client_index, space::FetchTier tier
                                  Megabytes volume, Milliseconds queue_wait) {
   (void)client_index;
   admission_.release(serving);
+  if (inflight_ > 0) --inflight_;
   ++report_.completed;
   ++report_.tier[static_cast<std::size_t>(tier)];
   // sim time since arrival already contains every queueing + serialization
@@ -313,8 +476,15 @@ void LoadRunner::finish_transfer(std::size_t client_index, space::FetchTier tier
   report_.queue_wait_ms.add((queue_wait + isl_wait).value());
 
   const double deadline = config_.request_deadline.value();
-  if (deadline > 0.0 && latency.value() > deadline) {
+  const bool met_deadline = deadline <= 0.0 || latency.value() <= deadline;
+  note_outcome(sim_.now(), met_deadline);
+  if (series_) {
+    ++window_.completed;
+    window_.latency_ms.add(latency.value());
+  }
+  if (!met_deadline) {
     ++report_.deadline_missed;
+    if (series_) ++window_.deadline_missed;
     note_deadline_miss(sim_.now());
     if (latency.value() > 2.0 * deadline) {
       // The viewer moved on: delivered, but not goodput.
@@ -323,6 +493,7 @@ void LoadRunner::finish_transfer(std::size_t client_index, space::FetchTier tier
     }
   }
   report_.delivered += volume;
+  if (series_) window_.delivered_mb += volume.value();
 
   // Tail-at-scale adaptive hedging: re-derive the hedge delay from the
   // trailing completion p99 every 256 completions.
@@ -340,6 +511,10 @@ void LoadRunner::note_deadline_miss(Milliseconds now) {
   // Trip once per window, at the crossing.
   if (++miss_window_count_ == kMissSpikeThreshold) {
     if (auto* recorder = obs::recorder()) recorder->trip("deadline-miss-spike", now);
+    if (timeline_enabled_) {
+      timeline_.record(now, "flight-recorder.trip", "deadline-miss-spike", {},
+                       static_cast<double>(kMissSpikeThreshold));
+    }
   }
 }
 
@@ -392,6 +567,17 @@ LoadConfig load_config_from_spec(const sim::ScenarioSpec& spec) {
     config.traffic.surge.start = Milliseconds::from_seconds(spec.chaos_start_s);
     config.traffic.surge.duration = Milliseconds::from_seconds(spec.chaos_duration_s);
   }
+
+  // Sim-time observability: the recorder runs whenever a series artifact was
+  // requested, the timeline whenever a timeline artifact was.
+  if (!spec.series_out.empty()) {
+    config.series_interval = Milliseconds::from_seconds(spec.series_interval_s);
+  }
+  config.timeline = !spec.timeline_out.empty();
+  config.slo.objective = spec.slo_objective;
+  config.slo.short_window = Milliseconds::from_seconds(spec.slo_window_short_s);
+  config.slo.long_window = Milliseconds::from_seconds(spec.slo_window_long_s);
+  config.slo.burn_threshold = spec.slo_burn_threshold;
   return config;
 }
 

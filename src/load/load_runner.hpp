@@ -33,6 +33,9 @@
 #include "load/traffic.hpp"
 #include "lsn/starlink.hpp"
 #include "net/link.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeline.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/scenario.hpp"
 #include "spacecdn/fleet.hpp"
 #include "spacecdn/resilience.hpp"
@@ -75,6 +78,19 @@ struct LoadConfig {
   /// Fault timeline applied *inside* the event loop via a ChurnController,
   /// so outages hit mid-run with transfers in flight.  Empty = no faults.
   faults::FaultSchedule fault_schedule = faults::FaultSchedule::from_trace({});
+
+  // --- sim-time observability (all off by default; the recorder, timeline,
+  // and SLO tracker are per-run state driven by this run's private
+  // simulator, so parallel sweeps stay bit-identical) ---
+  /// Sampling window of the windowed time series; 0 disables the recorder.
+  Milliseconds series_interval{0.0};
+  /// Record the unified incident timeline (fault events, breaker
+  /// transitions, degradation hot-marks/sheds, recorder trips, SLO alerts).
+  bool timeline = false;
+  /// Burn-rate alerting policy.  The tracker is engaged whenever the series
+  /// recorder or the timeline is on: with a request deadline, "good" means
+  /// completed within it; without one, any completion is good.
+  obs::SloConfig slo = {};
 };
 
 /// SLO-style outcome of one load run.
@@ -115,6 +131,14 @@ struct LoadReport {
   /// heatmap; satellites that never served stay at 0).
   std::vector<double> satellite_utilization;
   double max_utilization = 0.0;
+  /// Windowed time series (empty unless LoadConfig::series_interval > 0).
+  obs::TimeSeries series;
+  /// Unified incident timeline (empty unless LoadConfig::timeline).
+  obs::IncidentTimeline timeline;
+  /// SLO burn-rate alerts fired / whole-run error budget consumed (0 while
+  /// the tracker is off).
+  std::uint64_t slo_alerts = 0;
+  double slo_budget_consumed = 0.0;
 
   [[nodiscard]] double reject_fraction() const noexcept {
     return offered == 0 ? 0.0 : static_cast<double>(rejected) / static_cast<double>(offered);
@@ -187,6 +211,14 @@ class LoadRunner {
   /// recorder once per window.
   void note_deadline_miss(Milliseconds now);
 
+  /// Engages the recorder / SLO tracker / timeline producers per config
+  /// (called from the constructor; no-op when everything is off).
+  void setup_observability();
+  /// Feeds one request outcome to the SLO tracker and window accumulators.
+  void note_outcome(Milliseconds now, bool good);
+  /// Sum of the current depths of every live bottleneck queue.
+  [[nodiscard]] std::size_t queue_depth_total() const noexcept;
+
   lsn::StarlinkNetwork* network_;
   space::SatelliteFleet* fleet_;
   LoadConfig config_;
@@ -212,14 +244,37 @@ class LoadRunner {
   /// Cut-through ISL loads, keyed by directed link (from << 32 | to).
   std::map<std::uint64_t, net::LinkLoad> isl_load_;
   LoadReport report_;
+
+  // --- sim-time observability (engaged only when configured) ---
+  std::optional<obs::TimeSeriesRecorder> series_;
+  std::optional<obs::SloTracker> slo_;
+  obs::IncidentTimeline timeline_;
+  bool timeline_enabled_ = false;
+  /// Concurrent admitted transfers (an active-transfers series gauge).
+  std::size_t inflight_ = 0;
+  /// Per-window accumulators behind the recorder's probes; reset at every
+  /// window close.
+  struct WindowCounts {
+    std::uint64_t offered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t no_coverage = 0;
+    std::uint64_t deadline_missed = 0;
+    std::uint64_t shed = 0;
+    double delivered_mb = 0.0;
+    des::SampleSet latency_ms;
+  };
+  WindowCounts window_;
 };
 
 /// Maps the scenario keys (`arrival-rate`, `object-size-dist`,
 /// `link-capacity`, `burst-trace`, `load-horizon-s`, `queue-discipline`,
 /// plus the resilience keys `resilient-fetch`, `request-deadline-ms`,
 /// `attempt-timeout-ms`, `hedge-delay-ms` (-1 = auto-p99), `backoff-jitter`,
-/// `breaker-threshold`, `breaker-cooldown-s`, `shed-to-ground`, and the
-/// chaos-* surge window) onto a LoadConfig.  Capacities start from the
+/// `breaker-threshold`, `breaker-cooldown-s`, `shed-to-ground`, the
+/// chaos-* surge window, and the observability keys `series-out` /
+/// `series-interval-s` / `timeline-out` / `slo-*`) onto a LoadConfig.  Capacities start from the
 /// network preset's annotations (AccessConfig/IslConfig) scaled by
 /// `link_capacity_scale`.  The fault schedule is *not* derived here --
 /// chaos benches build domain schedules themselves and assign

@@ -11,14 +11,15 @@ FlightRecorder::FlightRecorder(FlightRecorderConfig config)
     : ring_(std::max<std::size_t>(config.capacity, 1)) {}
 
 void FlightRecorder::push(Trace trace) {
-  ring_[head_] = std::move(trace);
+  const Milliseconds at = trace.at;
+  ring_[head_] = FlightEntry{pushed_, at, std::move(trace)};
   head_ = (head_ + 1) % ring_.size();
   size_ = std::min(size_ + 1, ring_.size());
   ++pushed_;
 }
 
-std::vector<Trace> FlightRecorder::snapshot() const {
-  std::vector<Trace> out;
+std::vector<FlightEntry> FlightRecorder::entries() const {
+  std::vector<FlightEntry> out;
   out.reserve(size_);
   // Oldest element sits at head_ once the ring has wrapped.
   const std::size_t start = size_ == ring_.size() ? head_ : 0;
@@ -28,14 +29,28 @@ std::vector<Trace> FlightRecorder::snapshot() const {
   return out;
 }
 
+std::vector<Trace> FlightRecorder::snapshot() const {
+  std::vector<Trace> out;
+  out.reserve(size_);
+  const std::size_t start = size_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()].trace);
+  }
+  return out;
+}
+
 void FlightRecorder::trip(std::string_view reason, Milliseconds at) {
   ++trips_;
   last_reason_.assign(reason);
   if (dump_ == nullptr) return;
   *dump_ << "# flight-recorder trip: " << reason << " at " << at.value()
-         << " ms (" << size_ << " traces retained)\n";
-  for (const Trace& trace : snapshot()) {
-    write_jsonl(*dump_, trace);
+         << " ms (" << size_ << " traces retained";
+  if (size_ > 0) {
+    *dump_ << ", seq " << pushed_ - size_ << ".." << pushed_ - 1;
+  }
+  *dump_ << ")\n";
+  for (const FlightEntry& entry : entries()) {
+    write_jsonl(*dump_, entry.trace);
     *dump_ << "\n";
   }
 }

@@ -22,15 +22,28 @@ struct FlightRecorderConfig {
   std::size_t capacity = 64;  ///< traces retained
 };
 
+/// One retained ring slot: the trace plus its global push sequence number
+/// and the simulation time it was recorded at, so a post-incident dump can
+/// be lined up against the incident timeline even after the ring wraps.
+struct FlightEntry {
+  std::uint64_t seq = 0;  ///< 0-based push index (monotonic across wraps)
+  Milliseconds at{0.0};   ///< sim-time stamp (the trace's request time)
+  Trace trace;
+};
+
 class FlightRecorder {
  public:
   explicit FlightRecorder(FlightRecorderConfig config = {});
 
-  /// Retains `trace`, evicting the oldest when full.
+  /// Retains `trace`, evicting the oldest when full.  The entry is stamped
+  /// with the next sequence number and the trace's sim-time.
   void push(Trace trace);
 
   /// Retained traces, oldest first.
   [[nodiscard]] std::vector<Trace> snapshot() const;
+
+  /// Retained entries (seq + sim-time + trace), oldest first.
+  [[nodiscard]] std::vector<FlightEntry> entries() const;
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
@@ -40,8 +53,9 @@ class FlightRecorder {
   void set_dump_sink(std::ostream* os) noexcept { dump_ = os; }
 
   /// Records an incident: bumps the trip counter, remembers `reason`, and
-  /// dumps the ring (JSONL preceded by a `# flight-recorder` header line)
-  /// to the dump sink when one is attached.
+  /// dumps the ring (JSONL preceded by a `# flight-recorder` header line
+  /// naming the retained seq range) to the dump sink when one is attached.
+  /// Dump order is oldest entry first, even after the ring has wrapped.
   void trip(std::string_view reason, Milliseconds at);
 
   [[nodiscard]] std::uint64_t trips() const noexcept { return trips_; }
@@ -52,7 +66,7 @@ class FlightRecorder {
   void clear() noexcept;
 
  private:
-  std::vector<Trace> ring_;
+  std::vector<FlightEntry> ring_;
   std::size_t head_ = 0;  ///< next write position
   std::size_t size_ = 0;
   std::uint64_t pushed_ = 0;

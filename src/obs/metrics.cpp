@@ -27,6 +27,21 @@ std::string escape_label(const std::string& value) {
   return out;
 }
 
+/// Escapes `# HELP` text: the exposition format escapes only backslash and
+/// line feed there (quotes are legal verbatim, unlike in label values).
+std::string escape_help(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 /// Escapes a JSON string value.
 std::string escape_json(const std::string& value) {
   std::string out;
@@ -176,6 +191,16 @@ std::uint64_t MetricsRegistry::counter_value(const std::string& name,
   return stream == family->second.end() ? 0 : stream->second.value();
 }
 
+void MetricsRegistry::set_help(const std::string& name, std::string text) {
+  help_[name] = std::move(text);
+}
+
+const std::string& MetricsRegistry::help(const std::string& name) const {
+  static const std::string empty;
+  const auto it = help_.find(name);
+  return it == help_.end() ? empty : it->second;
+}
+
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, family] : other.counters_) {
     for (const auto& [labels, c] : family) counter(name, labels).inc(c.value());
@@ -202,26 +227,44 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, sc] : other.sharded_) {
     sharded_counter(name, sc.shards()).merge(sc);
   }
+  for (const auto& [name, text] : other.help_) {
+    help_.emplace(name, text);  // first registration wins
+  }
 }
 
 void MetricsRegistry::export_prometheus(std::ostream& os) const {
+  // HELP precedes TYPE for every family that registered text; histograms
+  // always get one (the exposition consumers the conformance test mimics
+  // expect HELP+TYPE pairs on histogram families).
+  const auto write_help = [&](const std::string& name, const char* fallback) {
+    const auto it = help_.find(name);
+    if (it != help_.end()) {
+      os << "# HELP " << name << " " << escape_help(it->second) << "\n";
+    } else if (fallback != nullptr) {
+      os << "# HELP " << name << " " << fallback << "\n";
+    }
+  };
   for (const auto& [name, family] : counters_) {
+    write_help(name, nullptr);
     os << "# TYPE " << name << " counter\n";
     for (const auto& [labels, c] : family) {
       os << name << labels.prometheus() << " " << c.value() << "\n";
     }
   }
   for (const auto& [name, sc] : sharded_) {
+    write_help(name, nullptr);
     os << "# TYPE " << name << " counter\n";
     os << name << " " << sc.total() << "\n";
   }
   for (const auto& [name, family] : gauges_) {
+    write_help(name, nullptr);
     os << "# TYPE " << name << " gauge\n";
     for (const auto& [labels, g] : family) {
       os << name << labels.prometheus() << " " << format_number(g.value()) << "\n";
     }
   }
   for (const auto& [name, family] : histograms_) {
+    write_help(name, "Fixed-bin distribution (cumulative buckets).");
     os << "# TYPE " << name << " histogram\n";
     for (const auto& [labels, h] : family) {
       const des::Histogram& bins = h.bins();
@@ -301,6 +344,7 @@ void MetricsRegistry::clear() {
   histograms_.clear();
   histogram_options_.clear();
   sharded_.clear();
+  help_.clear();
   epoch_ = next_epoch();
 }
 

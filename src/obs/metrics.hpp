@@ -141,6 +141,12 @@ class MetricsRegistry {
   [[nodiscard]] std::uint64_t counter_value(const std::string& name,
                                             const LabelSet& labels = {}) const;
 
+  /// Registers the `# HELP` text of one metric family (any kind).  The
+  /// exposition escapes `\` and newlines per the Prometheus text format.
+  void set_help(const std::string& name, std::string text);
+  /// Registered help text, or "" when none (test helper).
+  [[nodiscard]] const std::string& help(const std::string& name) const;
+
   /// Folds every stream of `other` into this registry (counters add, gauges
   /// take `other`'s value, histograms are re-observed bucket-wise, sharded
   /// counters merge slot-wise).  The merge path for future parallel runs.
@@ -172,6 +178,7 @@ class MetricsRegistry {
   std::map<std::string, Family<HistogramMetric>> histograms_;
   std::map<std::string, HistogramOptions> histogram_options_;
   std::map<std::string, ShardedCounter> sharded_;
+  std::map<std::string, std::string> help_;
 };
 
 }  // namespace spacecdn::obs

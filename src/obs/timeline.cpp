@@ -1,0 +1,131 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <ostream>
+
+namespace spacecdn::obs {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fold_bytes(std::uint64_t hash, const void* data,
+                         std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t fold_double(std::uint64_t hash, double value) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return fnv1a_fold(hash, bits);
+}
+
+std::uint64_t fold_string(std::uint64_t hash, const std::string& s) noexcept {
+  hash = fnv1a_fold(hash, s.size());
+  return fold_bytes(hash, s.data(), s.size());
+}
+
+void write_escaped(std::ostream& os, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default: os << c; break;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a_fold(std::uint64_t hash, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= value & 0xffU;
+    hash *= kFnvPrime;
+    value >>= 8U;
+  }
+  return hash;
+}
+
+void IncidentTimeline::record(Milliseconds at, std::string kind,
+                              std::string subject, std::string detail,
+                              double value) {
+  events_.push_back(TimelineEvent{at, std::move(kind), std::move(subject),
+                                  std::move(detail), value});
+}
+
+std::size_t IncidentTimeline::count(std::string_view kind_prefix) const {
+  std::size_t n = 0;
+  for (const TimelineEvent& event : events_) {
+    if (std::string_view{event.kind}.substr(0, kind_prefix.size()) ==
+        kind_prefix) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<std::size_t> IncidentTimeline::export_order() const {
+  std::vector<std::size_t> order(events_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Stable: simultaneous events keep their insertion (production) order.
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return events_[a].at < events_[b].at;
+                   });
+  return order;
+}
+
+void IncidentTimeline::write_jsonl(std::ostream& os,
+                                   std::string_view run) const {
+  char number[64];
+  for (const std::size_t index : export_order()) {
+    const TimelineEvent& event = events_[index];
+    os << '{';
+    if (!run.empty()) {
+      os << "\"run\":\"";
+      write_escaped(os, run);
+      os << "\",";
+    }
+    std::snprintf(number, sizeof(number), "%.17g", event.at.value());
+    os << "\"at_ms\":" << number << ",\"kind\":\"";
+    write_escaped(os, event.kind);
+    os << "\",\"subject\":\"";
+    write_escaped(os, event.subject);
+    os << '"';
+    if (!event.detail.empty()) {
+      os << ",\"detail\":\"";
+      write_escaped(os, event.detail);
+      os << '"';
+    }
+    if (event.value != 0.0) {
+      std::snprintf(number, sizeof(number), "%.17g", event.value);
+      os << ",\"value\":" << number;
+    }
+    os << "}\n";
+  }
+}
+
+std::uint64_t IncidentTimeline::checksum() const {
+  std::uint64_t hash = kFnv1aBasis;
+  for (const std::size_t index : export_order()) {
+    const TimelineEvent& event = events_[index];
+    hash = fold_double(hash, event.at.value());
+    hash = fold_string(hash, event.kind);
+    hash = fold_string(hash, event.subject);
+    hash = fold_string(hash, event.detail);
+    hash = fold_double(hash, event.value);
+  }
+  return hash;
+}
+
+}  // namespace spacecdn::obs

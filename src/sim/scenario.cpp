@@ -206,6 +206,14 @@ void ScenarioValues::apply(ScenarioSpec& spec) const {
   spec.metrics_out = get("metrics-out", spec.metrics_out);
   spec.trace_out = get("trace-out", spec.trace_out);
   spec.profile = get("profile", spec.profile);
+
+  spec.series_out = get("series-out", spec.series_out);
+  spec.timeline_out = get("timeline-out", spec.timeline_out);
+  spec.series_interval_s = get("series-interval-s", spec.series_interval_s);
+  spec.slo_objective = get("slo-objective", spec.slo_objective);
+  spec.slo_window_short_s = get("slo-window-short-s", spec.slo_window_short_s);
+  spec.slo_window_long_s = get("slo-window-long-s", spec.slo_window_long_s);
+  spec.slo_burn_threshold = get("slo-burn-threshold", spec.slo_burn_threshold);
 }
 
 std::vector<std::string> ScenarioValues::unused() const {

@@ -113,6 +113,16 @@ struct ScenarioSpec {
   std::string metrics_out;  ///< metrics registry dump (Prometheus or .json)
   std::string trace_out;    ///< per-fetch trace spans (JSONL)
   bool profile = false;     ///< SPACECDN_PROFILE wall-clock table on stderr
+
+  // --- sim-time observability (src/obs recorder + SLO + timeline; per-run
+  // state, so unlike the sinks above these do NOT force --threads=1) ---
+  std::string series_out;    ///< windowed time series (.jsonl, else CSV)
+  std::string timeline_out;  ///< unified incident timeline (JSONL)
+  double series_interval_s = 1.0;    ///< sampling window width
+  double slo_objective = 0.999;      ///< SLO good-fraction target
+  double slo_window_short_s = 5.0;   ///< fast burn-rate window
+  double slo_window_long_s = 60.0;   ///< slow burn-rate window
+  double slo_burn_threshold = 10.0;  ///< burn multiple that pages
 };
 
 /// Parses a `key=value` scenario file: one pair per line, `#` comments and

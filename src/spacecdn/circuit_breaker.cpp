@@ -2,14 +2,21 @@
 
 namespace spacecdn::space {
 
+void CircuitBreaker::transition(State to, Milliseconds at) {
+  const State from = state_;
+  state_ = to;
+  if (hook_ && from != to) hook_(from, to, at);
+}
+
 bool CircuitBreaker::allow(Milliseconds now) {
   if (!enabled()) return true;
+  last_seen_ = now;
   switch (state_) {
     case State::kClosed:
       return true;
     case State::kOpen:
       if (now - opened_at_ >= config_.open_cooldown) {
-        state_ = State::kHalfOpen;
+        transition(State::kHalfOpen, now);
         probe_in_flight_ = true;
         return true;
       }
@@ -28,13 +35,14 @@ bool CircuitBreaker::allow(Milliseconds now) {
 
 void CircuitBreaker::record_success() {
   if (!enabled()) return;
-  state_ = State::kClosed;
+  transition(State::kClosed, last_seen_);
   consecutive_failures_ = 0;
   probe_in_flight_ = false;
 }
 
 void CircuitBreaker::record_failure(Milliseconds now) {
   if (!enabled()) return;
+  last_seen_ = now;
   if (state_ == State::kHalfOpen) {
     open(now);
     return;
@@ -43,11 +51,20 @@ void CircuitBreaker::record_failure(Milliseconds now) {
 }
 
 void CircuitBreaker::open(Milliseconds now) {
-  state_ = State::kOpen;
+  transition(State::kOpen, now);
   opened_at_ = now;
   consecutive_failures_ = 0;
   probe_in_flight_ = false;
   ++opens_;
+}
+
+std::string_view to_string(CircuitBreaker::State state) noexcept {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
 }
 
 }  // namespace spacecdn::space

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string_view>
 
 #include "util/units.hpp"
 
@@ -32,6 +34,12 @@ struct BreakerConfig {
 class CircuitBreaker {
  public:
   enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  /// Observes every state change.  `at` is the simulation time the breaker
+  /// learned about the change: transitions driven by allow()/record_failure()
+  /// carry the caller's clock; a record_success() close (the success callback
+  /// has no time argument) is stamped with the last clock the breaker saw.
+  using TransitionHook = std::function<void(State from, State to, Milliseconds at)>;
 
   explicit CircuitBreaker(BreakerConfig config = {}) : config_(config) {}
 
@@ -56,16 +64,25 @@ class CircuitBreaker {
   /// Requests rejected by an open breaker.
   [[nodiscard]] std::uint64_t short_circuits() const noexcept { return short_circuits_; }
 
+  /// Installs (or clears, with an empty function) the transition observer.
+  void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
+
  private:
   void open(Milliseconds now);
+  void transition(State to, Milliseconds at);
 
   BreakerConfig config_;
   State state_ = State::kClosed;
   std::uint32_t consecutive_failures_ = 0;
   Milliseconds opened_at_{0.0};
+  Milliseconds last_seen_{0.0};  ///< latest caller clock (stamps closes)
   bool probe_in_flight_ = false;
   std::uint64_t opens_ = 0;
   std::uint64_t short_circuits_ = 0;
+  TransitionHook hook_;
 };
+
+/// "closed" / "open" / "half-open" (timeline event kinds, logs).
+[[nodiscard]] std::string_view to_string(CircuitBreaker::State state) noexcept;
 
 }  // namespace spacecdn::space

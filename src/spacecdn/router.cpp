@@ -291,8 +291,26 @@ CircuitBreaker* SpaceCdnRouter::breaker_for(std::size_t gateway) const {
   if (gateway_breakers_.empty()) {
     gateway_breakers_.assign(network_->ground().gateway_count(),
                              CircuitBreaker(config_.resilience.breaker));
+    for (std::size_t g = 0; g < gateway_breakers_.size(); ++g) wire_breaker(g);
   }
   return &gateway_breakers_[gateway];
+}
+
+void SpaceCdnRouter::wire_breaker(std::size_t gateway) const {
+  if (!breaker_listener_) {
+    gateway_breakers_[gateway].set_transition_hook({});
+    return;
+  }
+  gateway_breakers_[gateway].set_transition_hook(
+      [this, gateway](CircuitBreaker::State from, CircuitBreaker::State to,
+                      Milliseconds at) {
+        breaker_listener_(gateway, from, to, at);
+      });
+}
+
+void SpaceCdnRouter::set_breaker_listener(BreakerListener listener) {
+  breaker_listener_ = std::move(listener);
+  for (std::size_t g = 0; g < gateway_breakers_.size(); ++g) wire_breaker(g);
 }
 
 const CircuitBreaker& SpaceCdnRouter::gateway_breaker(std::size_t gateway) const {
@@ -313,6 +331,14 @@ std::uint64_t SpaceCdnRouter::breaker_short_circuits() const noexcept {
     total += breaker.short_circuits();
   }
   return total;
+}
+
+std::size_t SpaceCdnRouter::breaker_open_count() const noexcept {
+  std::size_t open = 0;
+  for (const CircuitBreaker& breaker : gateway_breakers_) {
+    if (breaker.state() == CircuitBreaker::State::kOpen) ++open;
+  }
+  return open;
 }
 
 ResilientFetchResult SpaceCdnRouter::fetch_resilient(const geo::GeoPoint& client,

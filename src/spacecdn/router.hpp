@@ -182,6 +182,16 @@ class SpaceCdnRouter {
   /// Total open transitions and open-breaker skips across all gateways.
   [[nodiscard]] std::uint64_t breaker_opens() const noexcept;
   [[nodiscard]] std::uint64_t breaker_short_circuits() const noexcept;
+  /// Gateways whose breaker is currently open (a series-recorder gauge).
+  [[nodiscard]] std::size_t breaker_open_count() const noexcept;
+
+  /// Observes every gateway-breaker state change (the incident timeline's
+  /// "breaker.*" events).  Installing a listener wires existing breakers and
+  /// any created later; an empty function detaches.
+  using BreakerListener =
+      std::function<void(std::size_t gateway, CircuitBreaker::State from,
+                         CircuitBreaker::State to, Milliseconds at)>;
+  void set_breaker_listener(BreakerListener listener);
 
  private:
   /// The highest satellite above `client` that is online (fault-aware
@@ -195,6 +205,9 @@ class SpaceCdnRouter {
   /// The breaker guarding one gateway's bent pipe, or nullptr when breakers
   /// are disabled.  Lazily sizes the breaker set on first use.
   [[nodiscard]] CircuitBreaker* breaker_for(std::size_t gateway) const;
+
+  /// Points one breaker's transition hook at breaker_listener_.
+  void wire_breaker(std::size_t gateway) const;
 
   /// One fault-aware attempt across the three tiers from `serving`.  When a
   /// tracer is installed, tier spans are appended to `trace` under
@@ -216,6 +229,7 @@ class SpaceCdnRouter {
   /// Per-gateway bent-pipe breakers, lazily sized on first use; stays empty
   /// while breakers are disabled so the default path costs nothing.
   mutable std::vector<CircuitBreaker> gateway_breakers_;
+  BreakerListener breaker_listener_;
 };
 
 }  // namespace spacecdn::space

@@ -285,6 +285,47 @@ TEST(OnlineSummary, MergeMatchesSingleStream) {
   EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9 * whole.variance());
 }
 
+TEST(OnlineSummary, MergeIsAssociativeAcrossShards) {
+  // Parallel sweeps fold per-shard summaries in whatever grouping the
+  // scheduler produced; (a+b)+c and a+(b+c) must agree with the flat fold
+  // to floating-point tolerance, or thread count would leak into results.
+  Rng rng(19);
+  OnlineSummary shards[4];
+  for (int i = 0; i < 4000; ++i) {
+    shards[i % 4].add(rng.lognormal_median(30.0, 0.9));
+  }
+
+  OnlineSummary left;  // ((a+b)+c)+d
+  for (const OnlineSummary& shard : shards) left.merge(shard);
+
+  OnlineSummary bc = shards[1];  // a+((b+c)+d)
+  bc.merge(shards[2]);
+  bc.merge(shards[3]);
+  OnlineSummary right = shards[0];
+  right.merge(bc);
+
+  OnlineSummary pairs = shards[0];  // (a+b)+(c+d)
+  pairs.merge(shards[1]);
+  OnlineSummary cd = shards[2];
+  cd.merge(shards[3]);
+  pairs.merge(cd);
+
+  for (const OnlineSummary* grouped : {&right, &pairs}) {
+    EXPECT_EQ(grouped->count(), left.count());
+    EXPECT_DOUBLE_EQ(grouped->min(), left.min());
+    EXPECT_DOUBLE_EQ(grouped->max(), left.max());
+    EXPECT_NEAR(grouped->mean(), left.mean(), 1e-9 * left.mean());
+    EXPECT_NEAR(grouped->variance(), left.variance(), 1e-9 * left.variance());
+  }
+
+  // Merging an empty shard is the identity in any position.
+  OnlineSummary with_empty = left;
+  with_empty.merge(OnlineSummary{});
+  EXPECT_EQ(with_empty.count(), left.count());
+  EXPECT_DOUBLE_EQ(with_empty.mean(), left.mean());
+  EXPECT_DOUBLE_EQ(with_empty.variance(), left.variance());
+}
+
 TEST(OnlineSummary, MergeSkewedShardSizes) {
   // 1 sample vs 10,000: the combine must stay exact, not just balanced.
   OnlineSummary big, tiny, whole;

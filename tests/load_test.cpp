@@ -9,6 +9,7 @@
 
 #include "des/random.hpp"
 #include "des/simulator.hpp"
+#include "faults/schedule.hpp"
 #include "load/capacity.hpp"
 #include "load/degradation.hpp"
 #include "load/load_runner.hpp"
@@ -527,6 +528,108 @@ TEST(LoadRunner, ResilientDeadlineAccountingIsConsistent) {
       static_cast<double>(free_report.rejected + free_report.no_coverage +
                           free_report.failed) /
           static_cast<double>(free_report.offered));
+}
+
+TEST(LoadConfig, FromSpecMapsObservabilityKeys) {
+  sim::ScenarioSpec spec;
+  spec.constellation = "test-shell";
+  spec.series_out = "series.csv";
+  spec.series_interval_s = 0.5;
+  spec.timeline_out = "timeline.jsonl";
+  spec.slo_objective = 0.99;
+  spec.slo_window_short_s = 2.0;
+  spec.slo_window_long_s = 8.0;
+  spec.slo_burn_threshold = 4.0;
+
+  const load::LoadConfig config = load::load_config_from_spec(spec);
+  EXPECT_DOUBLE_EQ(config.series_interval.value(), 500.0);
+  EXPECT_TRUE(config.timeline);
+  EXPECT_DOUBLE_EQ(config.slo.objective, 0.99);
+  EXPECT_DOUBLE_EQ(config.slo.short_window.seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(config.slo.long_window.seconds(), 8.0);
+  EXPECT_DOUBLE_EQ(config.slo.burn_threshold, 4.0);
+
+  // With no sink paths the recorder and timeline stay disabled (the
+  // default-off guarantee behind the published checksums).
+  sim::ScenarioSpec off;
+  off.constellation = "test-shell";
+  const load::LoadConfig off_config = load::load_config_from_spec(off);
+  EXPECT_DOUBLE_EQ(off_config.series_interval.value(), 0.0);
+  EXPECT_FALSE(off_config.timeline);
+}
+
+TEST(LoadRunner, SeriesWindowsSumToReportTotals) {
+  sim::World world(load_test_spec());
+  load::LoadConfig config = load::load_config_from_spec(world.spec());
+  config.series_interval = Milliseconds{500.0};
+  config.timeline = true;
+
+  const load::LoadReport report = run_load(world, config);
+  ASSERT_GT(report.completed, 0u);
+  const obs::TimeSeries& series = report.series;
+  ASSERT_FALSE(series.empty());
+  // 2 s horizon / 0.5 s windows; the drain phase past the arrival horizon
+  // closes no extra windows (the recorder stops at the arrival horizon).
+  EXPECT_EQ(series.windows.size(), 4u);
+
+  const auto column = [&](const char* name) {
+    const auto it = std::find(series.columns.begin(), series.columns.end(), name);
+    EXPECT_NE(it, series.columns.end()) << name;
+    return static_cast<std::size_t>(it - series.columns.begin());
+  };
+  const auto sum = [&](std::size_t col) {
+    double total = 0.0;
+    for (const auto& w : series.windows) total += w.values[col];
+    return total;
+  };
+  EXPECT_DOUBLE_EQ(sum(column("offered")), static_cast<double>(report.offered));
+  EXPECT_DOUBLE_EQ(sum(column("rejected")), static_cast<double>(report.rejected));
+  // Completions can land after the last window closes (in-flight transfers
+  // drain past the arrival horizon), so windows undercount at most.
+  EXPECT_LE(sum(column("completed")), static_cast<double>(report.completed));
+  EXPECT_GT(sum(column("completed")), 0.0);
+}
+
+TEST(LoadRunner, SeriesAndTimelineAreDeterministic) {
+  sim::World world(load_test_spec());
+  load::LoadConfig config = load::load_config_from_spec(world.spec());
+  config.series_interval = Milliseconds{500.0};
+  config.timeline = true;
+  // Overload + churn so the timeline actually has fault and shed traffic.
+  config.traffic.requests_per_second *= 16.0;
+  config.capacity.max_transfers_per_satellite = 4;
+  config.degradation.enabled = true;
+  config.degradation.shed_to_ground = true;
+
+  using faults::Component;
+  using faults::Transition;
+  config.fault_schedule = faults::FaultSchedule::from_trace({
+      {Milliseconds{600.0}, Component::kSatellite, Transition::kFail, 3},
+      {Milliseconds{1'400.0}, Component::kSatellite, Transition::kRecover, 3},
+  });
+
+  const auto run_once = [&] { return run_load(world, config); };
+  const load::LoadReport a = run_once();
+  const load::LoadReport b = run_once();
+
+  EXPECT_EQ(a.series.checksum(), b.series.checksum());
+  EXPECT_EQ(a.timeline.checksum(), b.timeline.checksum());
+  EXPECT_FALSE(a.timeline.empty());
+  EXPECT_GT(a.timeline.count("fault.fail"), 0u);
+  // Shedding salvages admission rejects, so overload shows up as
+  // degradation events too.
+  EXPECT_GT(a.timeline.count("degradation."), 0u);
+
+  // Turning observability off must not change the simulated outcome.
+  load::LoadConfig off = config;
+  off.series_interval = Milliseconds{0.0};
+  off.timeline = false;
+  const load::LoadReport plain = run_load(world, off);
+  EXPECT_EQ(plain.offered, a.offered);
+  EXPECT_EQ(plain.completed, a.completed);
+  EXPECT_EQ(plain.rejected, a.rejected);
+  EXPECT_TRUE(plain.timeline.empty());
+  EXPECT_TRUE(plain.series.empty());
 }
 
 }  // namespace

@@ -10,10 +10,14 @@
 #include <vector>
 
 #include "data/datasets.hpp"
+#include "des/simulator.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/slo.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/timeline.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/world.hpp"
 #include "spacecdn/fleet.hpp"
@@ -114,6 +118,51 @@ TEST(Metrics, PrometheusEscapesLabelValues) {
   std::ostringstream os;
   reg.export_prometheus(os);
   EXPECT_NE(os.str().find("c{k=\"a\\\"b\\\\c\\nd\"} 1"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusHelpConformance) {
+  // Exposition-format conformance: # HELP precedes # TYPE for every family
+  // that has help text, histograms always carry HELP (fallback text when
+  // none was registered), and HELP escapes backslash and newline only
+  // (quotes are legal in help text, unlike in label values).
+  MetricsRegistry reg;
+  reg.counter("spacecdn_req_total").inc(3);
+  reg.set_help("spacecdn_req_total", "Requests \"offered\" \\ per\nrun.");
+  reg.counter("spacecdn_unhelped_total").inc();
+  reg.histogram("spacecdn_rtt_ms", {}, {0.0, 4.0, 2}).observe(1.0);
+
+  std::ostringstream os;
+  reg.export_prometheus(os);
+  const std::string text = os.str();
+
+  const auto help = text.find(
+      "# HELP spacecdn_req_total Requests \"offered\" \\\\ per\\nrun.\n");
+  const auto type = text.find("# TYPE spacecdn_req_total counter");
+  ASSERT_NE(help, std::string::npos);
+  ASSERT_NE(type, std::string::npos);
+  EXPECT_LT(help, type);
+
+  // No registered help: counters stay HELP-less, histograms get a fallback.
+  EXPECT_EQ(text.find("# HELP spacecdn_unhelped_total"), std::string::npos);
+  const auto hist_help = text.find("# HELP spacecdn_rtt_ms ");
+  const auto hist_type = text.find("# TYPE spacecdn_rtt_ms histogram");
+  ASSERT_NE(hist_help, std::string::npos);
+  ASSERT_NE(hist_type, std::string::npos);
+  EXPECT_LT(hist_help, hist_type);
+}
+
+TEST(Metrics, HelpMergeKeepsFirstRegistration) {
+  MetricsRegistry a;
+  a.counter("m").inc();
+  a.set_help("m", "first");
+  MetricsRegistry b;
+  b.counter("m").inc();
+  b.set_help("m", "second");
+  b.set_help("other", "only in b");
+  a.merge(b);
+  EXPECT_EQ(a.help("m"), "first");
+  EXPECT_EQ(a.help("other"), "only in b");
+  EXPECT_EQ(a.help("absent"), "");
 }
 
 TEST(Metrics, JsonExportParsesAsExpectedShape) {
@@ -314,6 +363,319 @@ TEST(FlightRecorder, TracerFeedsRecorder) {
   tracer.record(sample_trace());
   EXPECT_EQ(recorder.size(), 1u);
   EXPECT_EQ(recorder.snapshot()[0].id, 1u);
+}
+
+TEST(FlightRecorder, EntriesStampSeqAndSimTime) {
+  FlightRecorder recorder({.capacity = 4});
+  for (int i = 0; i < 3; ++i) {
+    Trace t = sample_trace();
+    t.at = Milliseconds{100.0 * (i + 1)};
+    recorder.push(std::move(t));
+  }
+  const auto entries = recorder.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].seq, 0u);
+  EXPECT_EQ(entries[2].seq, 2u);
+  EXPECT_DOUBLE_EQ(entries[0].at.value(), 100.0);
+  EXPECT_DOUBLE_EQ(entries[2].at.value(), 300.0);
+}
+
+TEST(FlightRecorder, WrapAroundKeepsOldestFirstAndDumpOrdering) {
+  FlightRecorder recorder({.capacity = 4});
+  for (int i = 0; i < 10; ++i) {
+    Trace t = sample_trace();
+    t.id = static_cast<std::uint64_t>(i);
+    t.at = Milliseconds{10.0 * i};
+    recorder.push(std::move(t));
+  }
+  // Ring wrapped twice; the four retained entries are pushes 6..9, oldest
+  // first even though the ring's head is mid-array.
+  const auto entries = recorder.entries();
+  ASSERT_EQ(entries.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(entries[i].seq, 6u + i);
+    EXPECT_EQ(entries[i].trace.id, 6u + i);
+    EXPECT_DOUBLE_EQ(entries[i].at.value(), 10.0 * (6.0 + static_cast<double>(i)));
+  }
+
+  // A trip after the wrap dumps the same order and names the seq range.
+  std::ostringstream dump;
+  recorder.set_dump_sink(&dump);
+  recorder.trip("wrap-audit", Milliseconds{999.0});
+  const std::string out = dump.str();
+  EXPECT_NE(out.find("seq 6..9"), std::string::npos);
+  EXPECT_EQ(count_lines(out), 5u);  // header + 4 retained traces
+  // JSONL body lines appear oldest first: trace id 6 before id 9.
+  EXPECT_LT(out.find("{\"trace_id\":6,"), out.find("{\"trace_id\":9,"));
+}
+
+// ------------------------------------------------------- time-series recorder
+
+TEST(TimeSeries, GaugeAndCounterColumns) {
+  TimeSeriesRecorder rec({.interval = Milliseconds{1'000.0}});
+  double depth = 0.0;
+  double cumulative = 0.0;
+  rec.add_gauge("depth", [&] { return depth; });
+  rec.add_counter("completed", [&] { return cumulative; });
+
+  depth = 3.0;
+  cumulative = 10.0;
+  rec.tick(Milliseconds{1'000.0});
+  depth = 1.0;
+  cumulative = 25.0;
+  rec.tick(Milliseconds{2'000.0});
+
+  const TimeSeries& s = rec.series();
+  ASSERT_EQ(s.columns.size(), 2u);
+  ASSERT_EQ(s.windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.windows[0].values[0], 3.0);   // gauge: sampled as-is
+  EXPECT_DOUBLE_EQ(s.windows[0].values[1], 10.0);  // counter: first delta
+  EXPECT_DOUBLE_EQ(s.windows[1].values[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.windows[1].values[1], 15.0);  // 25 - 10
+  EXPECT_DOUBLE_EQ(s.windows[1].start.value(), 1'000.0);
+  EXPECT_DOUBLE_EQ(s.windows[1].end.value(), 2'000.0);
+}
+
+TEST(TimeSeries, TracksRegistryCounterByDelta) {
+  MetricsRegistry reg;
+  TimeSeriesRecorder rec;
+  rec.track_counter(reg, "spacecdn_req_total", {{"tier", "ground"}}, "reqs");
+  reg.counter("spacecdn_req_total", {{"tier", "ground"}}).inc(4);
+  rec.tick(Milliseconds{1'000.0});
+  reg.counter("spacecdn_req_total", {{"tier", "ground"}}).inc(6);
+  rec.tick(Milliseconds{2'000.0});
+  ASSERT_EQ(rec.series().columns.size(), 1u);
+  EXPECT_EQ(rec.series().columns[0], "reqs");
+  EXPECT_DOUBLE_EQ(rec.series().windows[0].values[0], 4.0);
+  EXPECT_DOUBLE_EQ(rec.series().windows[1].values[0], 6.0);
+}
+
+TEST(TimeSeries, InstallAlignsToGridWithPartialLastWindow) {
+  // Horizon off the grid: interval 3 s over a 10.5 s run closes [0,3],
+  // [3,6], [6,9], and a final partial [9,10.5] exactly at the horizon.
+  des::Simulator sim;
+  TimeSeriesRecorder rec({.interval = Milliseconds{3'000.0}});
+  rec.add_gauge("t", [&] { return sim.now().value(); });
+  rec.install(sim, Milliseconds{10'500.0});
+  sim.run();
+
+  const auto& w = rec.series().windows;
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w[0].start.value(), 0.0);
+  EXPECT_DOUBLE_EQ(w[0].end.value(), 3'000.0);
+  EXPECT_DOUBLE_EQ(w[2].end.value(), 9'000.0);
+  EXPECT_DOUBLE_EQ(w[3].start.value(), 9'000.0);
+  EXPECT_DOUBLE_EQ(w[3].end.value(), 10'500.0);
+  EXPECT_EQ(w[3].index, 3u);
+}
+
+TEST(TimeSeries, MidRunInstallProducesPartialFirstWindow) {
+  // Installed at t=4.5 s on a 3 s grid: the first close is the next grid
+  // boundary (6 s), so the first window is the partial [4.5, 6].
+  des::Simulator sim;
+  TimeSeriesRecorder rec({.interval = Milliseconds{3'000.0}});
+  rec.add_gauge("one", [] { return 1.0; });
+  sim.schedule(Milliseconds{4'500.0},
+               [&] { rec.install(sim, Milliseconds{9'000.0}); });
+  sim.run();
+
+  const auto& w = rec.series().windows;
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0].start.value(), 4'500.0);
+  EXPECT_DOUBLE_EQ(w[0].end.value(), 6'000.0);
+  EXPECT_DOUBLE_EQ(w[1].start.value(), 6'000.0);
+  EXPECT_DOUBLE_EQ(w[1].end.value(), 9'000.0);
+}
+
+TEST(TimeSeries, WindowCloseHookResetsAccumulators) {
+  TimeSeriesRecorder rec;
+  double in_window = 7.0;
+  rec.add_gauge("x", [&] { return in_window; });
+  rec.on_window_close([&] { in_window = 0.0; });
+  rec.tick(Milliseconds{1'000.0});
+  rec.tick(Milliseconds{2'000.0});
+  // Probes sample before the close hook runs: window 0 sees the value,
+  // window 1 sees the reset.
+  EXPECT_DOUBLE_EQ(rec.series().windows[0].values[0], 7.0);
+  EXPECT_DOUBLE_EQ(rec.series().windows[1].values[0], 0.0);
+}
+
+TEST(TimeSeries, ChecksumIsDeterministicAndShapeSensitive) {
+  const auto record = [](double scale) {
+    TimeSeriesRecorder rec;
+    double v = 0.0;
+    rec.add_gauge("v", [&] { return v; });
+    v = 1.0 * scale;
+    rec.tick(Milliseconds{1'000.0});
+    v = 2.0 * scale;
+    rec.tick(Milliseconds{2'000.0});
+    return rec.checksum();
+  };
+  EXPECT_EQ(record(1.0), record(1.0));
+  EXPECT_NE(record(1.0), record(2.0));
+}
+
+TEST(TimeSeries, CsvAndJsonlExportShape) {
+  TimeSeriesRecorder rec;
+  rec.add_gauge("depth", [] { return 2.5; });
+  rec.tick(Milliseconds{1'000.0});
+
+  std::ostringstream csv;
+  rec.series().write_csv(csv, "on");
+  EXPECT_EQ(csv.str(),
+            "run,window,start_ms,end_ms,depth\non,0,0,1000,2.5\n");
+
+  std::ostringstream bare;
+  rec.series().write_csv(bare, /*run=*/{}, /*header=*/false);
+  EXPECT_EQ(bare.str(), "0,0,1000,2.5\n");
+
+  std::ostringstream jsonl;
+  rec.series().write_jsonl(jsonl, "on");
+  EXPECT_EQ(jsonl.str(),
+            "{\"run\":\"on\",\"window\":0,\"start_ms\":0,\"end_ms\":1000,"
+            "\"depth\":2.5}\n");
+}
+
+// --------------------------------------------------------- incident timeline
+
+TEST(Timeline, ExportsInSimTimeOrderWithStableTies) {
+  IncidentTimeline tl;
+  tl.record(Milliseconds{200.0}, "fault.recover", "gateway:1");
+  tl.record(Milliseconds{100.0}, "fault.fail", "gateway:1");
+  tl.record(Milliseconds{100.0}, "breaker.open", "gateway:1");
+
+  std::ostringstream os;
+  tl.write_jsonl(os);
+  const std::string out = os.str();
+  const auto fail = out.find("fault.fail");
+  const auto open = out.find("breaker.open");
+  const auto recover = out.find("fault.recover");
+  // Sorted by sim-time; the two t=100 events keep insertion order.
+  EXPECT_LT(fail, open);
+  EXPECT_LT(open, recover);
+}
+
+TEST(Timeline, JsonlShapeOmitsEmptyDetailAndZeroValue) {
+  IncidentTimeline tl;
+  tl.record(Milliseconds{5'000.0}, "slo.alert-fire", "slo:deadline",
+            "burn \"hot\"", 23.5);
+  tl.record(Milliseconds{6'000.0}, "breaker.closed", "gateway:2");
+
+  std::ostringstream os;
+  tl.write_jsonl(os, "off");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("{\"run\":\"off\",\"at_ms\":5000,\"kind\":\"slo.alert-fire\","
+                     "\"subject\":\"slo:deadline\",\"detail\":\"burn \\\"hot\\\"\","
+                     "\"value\":23.5}"),
+            std::string::npos);
+  EXPECT_NE(out.find("{\"run\":\"off\",\"at_ms\":6000,\"kind\":\"breaker.closed\","
+                     "\"subject\":\"gateway:2\"}"),
+            std::string::npos);
+}
+
+TEST(Timeline, CountsByDottedPrefix) {
+  IncidentTimeline tl;
+  tl.record(Milliseconds{1.0}, "breaker.open", "gateway:0");
+  tl.record(Milliseconds{2.0}, "breaker.half-open", "gateway:0");
+  tl.record(Milliseconds{3.0}, "breaker.closed", "gateway:0");
+  tl.record(Milliseconds{4.0}, "fault.fail", "satellite:7");
+  EXPECT_EQ(tl.count("breaker."), 3u);
+  EXPECT_EQ(tl.count("breaker.open"), 1u);
+  EXPECT_EQ(tl.count("fault."), 1u);
+  EXPECT_EQ(tl.count("slo."), 0u);
+  EXPECT_EQ(tl.size(), 4u);
+}
+
+TEST(Timeline, ChecksumIgnoresRunLabelButNotContent) {
+  IncidentTimeline a;
+  a.record(Milliseconds{1.0}, "fault.fail", "gateway:3");
+  IncidentTimeline b;
+  b.record(Milliseconds{1.0}, "fault.fail", "gateway:3");
+  EXPECT_EQ(a.checksum(), b.checksum());
+  b.record(Milliseconds{2.0}, "fault.recover", "gateway:3");
+  EXPECT_NE(a.checksum(), b.checksum());
+}
+
+// ----------------------------------------------------------------- SLO engine
+
+TEST(Slo, BurnRateMeasuresBudgetConsumption) {
+  // objective 0.9 -> 10% error budget; a window that is 50% bad burns at
+  // 5x the sustainable rate.
+  SloTracker slo({.objective = 0.9,
+                  .short_window = Milliseconds{2'000.0},
+                  .long_window = Milliseconds{4'000.0},
+                  .burn_threshold = 3.0,
+                  .bucket = Milliseconds{1'000.0}});
+  for (int i = 0; i < 5; ++i) slo.record(Milliseconds{500.0}, true);
+  for (int i = 0; i < 5; ++i) slo.record(Milliseconds{500.0}, false);
+  EXPECT_DOUBLE_EQ(slo.burn_rate(Milliseconds{1'000.0}, Milliseconds{1'000.0}),
+                   5.0);
+  EXPECT_DOUBLE_EQ(slo.burn_rate(Milliseconds{1'000.0}, Milliseconds{4'000.0}),
+                   5.0);  // trailing window clamps to recorded history
+  EXPECT_DOUBLE_EQ(slo.budget_consumed(), 5.0);
+}
+
+TEST(Slo, FiresWhenBothWindowsBurnAndResolvesAfter) {
+  SloTracker slo({.objective = 0.9,
+                  .short_window = Milliseconds{1'000.0},
+                  .long_window = Milliseconds{3'000.0},
+                  .burn_threshold = 3.0,
+                  .bucket = Milliseconds{1'000.0}});
+  std::vector<SloAlert> seen;
+  slo.set_alert_hook([&](const SloAlert& a) { seen.push_back(a); });
+
+  // Bucket 0: healthy.  Buckets 1-2: 50% bad (burn 5x > 3x threshold).
+  for (int i = 0; i < 10; ++i) slo.record(Milliseconds{100.0}, true);
+  slo.evaluate(Milliseconds{1'000.0});
+  EXPECT_FALSE(slo.firing());
+
+  for (int i = 0; i < 5; ++i) slo.record(Milliseconds{1'100.0}, true);
+  for (int i = 0; i < 5; ++i) slo.record(Milliseconds{1'100.0}, false);
+  // Short window (bucket 1) burns 5x, but the long window still includes
+  // the healthy bucket 0: 5/20 bad = 2.5x < 3x -- no page yet.
+  slo.evaluate(Milliseconds{2'000.0});
+  EXPECT_FALSE(slo.firing());
+
+  for (int i = 0; i < 5; ++i) slo.record(Milliseconds{2'100.0}, true);
+  for (int i = 0; i < 5; ++i) slo.record(Milliseconds{2'100.0}, false);
+  // Long window now 10/30 bad = 3.33x >= 3x and short 5x >= 3x: fire.
+  slo.evaluate(Milliseconds{3'000.0});
+  EXPECT_TRUE(slo.firing());
+  EXPECT_EQ(slo.alerts_fired(), 1u);
+
+  // Two healthy buckets: the short window (bucket 3) drops to 0 -- resolve.
+  for (int i = 0; i < 10; ++i) slo.record(Milliseconds{3'100.0}, true);
+  slo.evaluate(Milliseconds{4'000.0});
+  EXPECT_FALSE(slo.firing());
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(seen[0].firing);
+  EXPECT_DOUBLE_EQ(seen[0].at.value(), 3'000.0);
+  EXPECT_GE(seen[0].short_burn, 3.0);
+  EXPECT_GE(seen[0].long_burn, 3.0);
+  EXPECT_FALSE(seen[1].firing);
+  EXPECT_DOUBLE_EQ(seen[1].at.value(), 4'000.0);
+  // The transition log mirrors the hook calls.
+  ASSERT_EQ(slo.alerts().size(), 2u);
+  EXPECT_TRUE(slo.alerts()[0].firing);
+}
+
+TEST(Slo, InstallEvaluatesOnBucketBoundaries) {
+  des::Simulator sim;
+  SloTracker slo({.objective = 0.9,
+                  .short_window = Milliseconds{1'000.0},
+                  .long_window = Milliseconds{1'000.0},
+                  .burn_threshold = 2.0,
+                  .bucket = Milliseconds{1'000.0}});
+  slo.install(sim, Milliseconds{3'000.0});
+  // All-bad traffic in bucket 1 fires at the 2 s boundary evaluation.
+  sim.schedule(Milliseconds{1'500.0}, [&] {
+    for (int i = 0; i < 4; ++i) slo.record(sim.now(), false);
+  });
+  sim.run();
+  EXPECT_EQ(slo.alerts_fired(), 1u);
+  ASSERT_FALSE(slo.alerts().empty());
+  EXPECT_DOUBLE_EQ(slo.alerts()[0].at.value(), 2'000.0);
 }
 
 // ------------------------------------------------------------ telemetry hub

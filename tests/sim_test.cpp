@@ -195,6 +195,34 @@ TEST(ScenarioValuesTest, ApplySetsResilienceAndChaosFields) {
   EXPECT_EQ(spec.chaos_plane, 12L);
 }
 
+TEST(ScenarioValuesTest, ApplySetsObservabilityFields) {
+  sim::ScenarioSpec spec;
+  const sim::ScenarioValues values({{"series-out", "series.jsonl"},
+                                    {"timeline-out", "timeline.jsonl"},
+                                    {"series-interval-s", "0.25"},
+                                    {"slo-objective", "0.995"},
+                                    {"slo-window-short-s", "2"},
+                                    {"slo-window-long-s", "15"},
+                                    {"slo-burn-threshold", "4"}},
+                                   {});
+  values.apply(spec);
+  EXPECT_EQ(spec.series_out, "series.jsonl");
+  EXPECT_EQ(spec.timeline_out, "timeline.jsonl");
+  EXPECT_DOUBLE_EQ(spec.series_interval_s, 0.25);
+  EXPECT_DOUBLE_EQ(spec.slo_objective, 0.995);
+  EXPECT_DOUBLE_EQ(spec.slo_window_short_s, 2.0);
+  EXPECT_DOUBLE_EQ(spec.slo_window_long_s, 15.0);
+  EXPECT_DOUBLE_EQ(spec.slo_burn_threshold, 4.0);
+
+  // Defaults: both sinks off, paper-era SRE alerting parameters.
+  const sim::ScenarioSpec defaults;
+  EXPECT_TRUE(defaults.series_out.empty());
+  EXPECT_TRUE(defaults.timeline_out.empty());
+  EXPECT_DOUBLE_EQ(defaults.series_interval_s, 1.0);
+  EXPECT_DOUBLE_EQ(defaults.slo_objective, 0.999);
+  EXPECT_DOUBLE_EQ(defaults.slo_burn_threshold, 10.0);
+}
+
 TEST(ScenarioValuesTest, InvalidEnumValuesFailLoudlyAtApply) {
   // A typo'd enum must throw at parse time, not deep inside a sweep; the
   // unused-key typo warning (above) still covers misspelled *keys*.
