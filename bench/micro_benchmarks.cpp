@@ -12,6 +12,8 @@
 #include "measurement/aim.hpp"
 #include "net/graph.hpp"
 #include "orbit/ephemeris.hpp"
+#include "orbit/visibility_index.hpp"
+#include "orbit/walker.hpp"
 #include "sim/world.hpp"
 #include "spacecdn/lookup.hpp"
 #include "util/thread_pool.hpp"
@@ -52,6 +54,50 @@ void BM_ServingSatelliteSelection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServingSatelliteSelection);
+
+// The 10k-satellite cases build their own constellation (gen2-10k preset)
+// once; the snapshot carries the spatial-grid visibility index.
+const orbit::WalkerConstellation& gen2_10k() {
+  static const orbit::WalkerConstellation constellation(
+      orbit::multi_shell_preset("gen2-10k"));
+  return constellation;
+}
+
+const orbit::EphemerisSnapshot& gen2_10k_snapshot() {
+  static const orbit::EphemerisSnapshot snapshot(gen2_10k(), Milliseconds{0.0});
+  return snapshot;
+}
+
+void BM_ServingSatellite(benchmark::State& state) {
+  const auto& snapshot = gen2_10k_snapshot();
+  const geo::GeoPoint client{48.86, 2.35, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snapshot.serving_satellite(client, 25.0));
+  }
+}
+BENCHMARK(BM_ServingSatellite);
+
+void BM_ServingSatelliteScan(benchmark::State& state) {
+  const auto& snapshot = gen2_10k_snapshot();
+  const geo::GeoPoint client{48.86, 2.35, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snapshot.serving_satellite_scan(client, 25.0));
+  }
+}
+BENCHMARK(BM_ServingSatelliteScan);
+
+void BM_VisibilityIndexBuild(benchmark::State& state) {
+  const auto& constellation = gen2_10k();
+  std::vector<double> x, y, z;
+  constellation.positions_ecef_into(Milliseconds{0.0}, x, y, z);
+  orbit::VisibilityIndex index;
+  for (auto _ : state) {
+    index.rebuild(x, y, z);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() * constellation.size());
+}
+BENCHMARK(BM_VisibilityIndexBuild);
 
 void BM_IslDijkstraFullSweep(benchmark::State& state) {
   const auto& isl = shell1().isl();

@@ -13,15 +13,17 @@ namespace spacecdn::faults {
 
 FaultDomain plane_domain(const orbit::WalkerConstellation& constellation,
                          std::uint32_t plane) {
-  const orbit::WalkerDesign& design = constellation.design();
-  SPACECDN_EXPECT(plane < design.planes,
+  // `plane` is a global plane index (shell 0's planes first), so every plane
+  // of a multi-shell constellation is addressable as a fault domain.
+  SPACECDN_EXPECT(plane < constellation.plane_count(),
                   "plane domain: plane " + std::to_string(plane) + " out of range (" +
-                      std::to_string(design.planes) + " planes)");
+                      std::to_string(constellation.plane_count()) + " planes)");
   FaultDomain domain;
   domain.name = "plane-" + std::to_string(plane);
-  domain.members.reserve(design.sats_per_plane);
-  for (std::uint32_t slot = 0; slot < design.sats_per_plane; ++slot) {
-    domain.members.emplace_back(Component::kSatellite, constellation.id_of({plane, slot}));
+  const std::uint32_t slots = constellation.plane_size(plane);
+  domain.members.reserve(slots);
+  for (std::uint32_t slot = 0; slot < slots; ++slot) {
+    domain.members.emplace_back(Component::kSatellite, constellation.plane_sat(plane, slot));
   }
   return domain;
 }

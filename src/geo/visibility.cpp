@@ -10,7 +10,10 @@ Kilometers slant_range(const GeoPoint& ground, const Ecef& satellite) noexcept {
 }
 
 double elevation_angle_deg(const GeoPoint& ground, const Ecef& satellite) noexcept {
-  const Ecef g = to_ecef_spherical(ground);
+  return elevation_angle_deg(to_ecef_spherical(ground), satellite);
+}
+
+double elevation_angle_deg(const Ecef& g, const Ecef& satellite) noexcept {
   const Ecef los{satellite.x - g.x, satellite.y - g.y, satellite.z - g.z};
   const double range = norm(los).value();
   if (range < 1e-9) return 90.0;
@@ -26,6 +29,11 @@ bool is_visible(const GeoPoint& ground, const Ecef& satellite,
   return elevation_angle_deg(ground, satellite) >= min_elevation_deg;
 }
 
+bool is_visible(const Ecef& ground_ecef, const Ecef& satellite,
+                double min_elevation_deg) noexcept {
+  return elevation_angle_deg(ground_ecef, satellite) >= min_elevation_deg;
+}
+
 Kilometers coverage_radius(Kilometers altitude, double min_elevation_deg) noexcept {
   // Geometry: with Earth radius R, orbit radius r = R + h and elevation e,
   // the Earth-central angle to the edge of coverage is
@@ -34,6 +42,10 @@ Kilometers coverage_radius(Kilometers altitude, double min_elevation_deg) noexce
   const double e = deg_to_rad(min_elevation_deg);
   const double psi = std::acos(std::clamp(kEarthRadiusKm * std::cos(e) / r, -1.0, 1.0)) - e;
   return Kilometers{kEarthRadiusKm * std::max(0.0, psi)};
+}
+
+double coverage_central_angle_deg(Kilometers altitude, double min_elevation_deg) noexcept {
+  return rad_to_deg(coverage_radius(altitude, min_elevation_deg).value() / kEarthRadiusKm);
 }
 
 Kilometers slant_range_at_elevation(Kilometers altitude, double elevation_deg) noexcept {

@@ -16,15 +16,30 @@ namespace spacecdn::geo {
 [[nodiscard]] double elevation_angle_deg(const GeoPoint& ground,
                                          const Ecef& satellite) noexcept;
 
+/// Elevation angle with the ground point already converted to spherical ECEF.
+/// Bit-identical to the GeoPoint overload (same math after the conversion);
+/// lets hot loops amortise `to_ecef_spherical` across many satellites.
+[[nodiscard]] double elevation_angle_deg(const Ecef& ground_ecef,
+                                         const Ecef& satellite) noexcept;
+
 /// True when the satellite is at or above `min_elevation_deg` from `ground`.
 /// Starlink user terminals require ~25 degrees; gateways ~10.
 [[nodiscard]] bool is_visible(const GeoPoint& ground, const Ecef& satellite,
+                              double min_elevation_deg) noexcept;
+
+/// is_visible with a pre-converted spherical-ECEF ground point.
+[[nodiscard]] bool is_visible(const Ecef& ground_ecef, const Ecef& satellite,
                               double min_elevation_deg) noexcept;
 
 /// Radius (along the Earth's surface) of the coverage disc of a satellite at
 /// `altitude`, for terminals requiring `min_elevation_deg`.
 [[nodiscard]] Kilometers coverage_radius(Kilometers altitude,
                                          double min_elevation_deg) noexcept;
+
+/// The same coverage footprint expressed as the Earth-central angle psi in
+/// degrees (the quantity spatial-grid visibility queries bucket by).
+[[nodiscard]] double coverage_central_angle_deg(Kilometers altitude,
+                                                double min_elevation_deg) noexcept;
 
 /// Slant range to a satellite at `altitude` seen at elevation
 /// `elevation_deg`; the classic law-of-cosines relation.

@@ -69,7 +69,7 @@ LoadRunner::LoadRunner(lsn::StarlinkNetwork& network, space::SatelliteFleet& fle
     // draws the same numbers as the unfiltered one (fig7's convention).
     city_rng_.emplace_back(des::mix_seed(config_.seed, client.dataset_index));
     city_country_.push_back(&data::country(client.city->country_code));
-    city_location_.push_back(data::location(*client.city));
+    city_location_.push_back(sim::client_location(client));
   }
   setup_observability();
 }

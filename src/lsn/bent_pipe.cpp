@@ -12,8 +12,7 @@ BentPipeRouter::BentPipeRouter(const GroundSegment& ground, const IslNetwork& is
       isl_(&isl),
       user_min_elevation_deg_(user_min_elevation_deg),
       gateway_min_elevation_deg_(gateway_min_elevation_deg),
-      gateway_snapshot_(&isl.snapshot()),
-      gateway_snapshot_time_(isl.snapshot().time()),
+      gateway_epoch_(isl.snapshot().epoch()),
       gateway_satellites_(
           ground.gateway_visible_satellites(isl.snapshot(), gateway_min_elevation_deg)) {}
 
@@ -23,12 +22,10 @@ const std::vector<std::vector<std::uint32_t>>& BentPipeRouter::landing_candidate
   // against a refresh racing the first post-advance access.
   const std::lock_guard lock(gateway_mutex_);
   const orbit::EphemerisSnapshot& snapshot = isl_->snapshot();
-  if (gateway_snapshot_ != &snapshot ||
-      gateway_snapshot_time_.value() != snapshot.time().value()) {
+  if (gateway_epoch_ != snapshot.epoch()) {
     gateway_satellites_ =
         ground_->gateway_visible_satellites(snapshot, gateway_min_elevation_deg_);
-    gateway_snapshot_ = &snapshot;
-    gateway_snapshot_time_ = snapshot.time();
+    gateway_epoch_ = snapshot.epoch();
   }
   return gateway_satellites_;
 }

@@ -86,13 +86,13 @@ class BentPipeRouter {
   const IslNetwork* isl_;
   double user_min_elevation_deg_;
   double gateway_min_elevation_deg_;
-  /// Snapshot identity the cached lists were computed from.  The time value
-  /// participates because a rebuilt snapshot can legitimately reuse the old
-  /// allocation's address; two snapshots of one constellation with equal
-  /// times are identical, so {address, time} pins the geometry.
+  /// Epoch of the snapshot the cached lists were computed from.  Epochs are
+  /// process-globally monotonic (EphemerisSnapshot::epoch), so this cannot
+  /// suffer the ABA hazard of the earlier {address, time} key: a rebuilt
+  /// snapshot reallocated at the old address with an equal time value would
+  /// have matched and served stale lists.
   mutable std::mutex gateway_mutex_;
-  mutable const orbit::EphemerisSnapshot* gateway_snapshot_ = nullptr;
-  mutable Milliseconds gateway_snapshot_time_{0.0};
+  mutable std::uint64_t gateway_epoch_ = 0;
   mutable std::vector<std::vector<std::uint32_t>> gateway_satellites_;
 };
 

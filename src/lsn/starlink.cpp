@@ -6,13 +6,8 @@ namespace spacecdn::lsn {
 
 StarlinkConfig starlink_preset(std::string_view name) {
   StarlinkConfig config;
-  if (name == "shell1") return config;
-  if (name == "test-shell") {
-    config.shell = orbit::test_shell();
-    return config;
-  }
-  throw ConfigError("unknown constellation preset '" + std::string(name) +
-                    "' (shell1/test-shell)");
+  config.shell = orbit::multi_shell_preset(name);
+  return config;
 }
 
 StarlinkNetwork::StarlinkNetwork(StarlinkConfig config)
@@ -25,21 +20,22 @@ StarlinkNetwork::StarlinkNetwork(StarlinkConfig config)
 }
 
 void StarlinkNetwork::set_time(Milliseconds t) {
-  auto snapshot = std::make_unique<orbit::EphemerisSnapshot>(constellation_, t);
-  if (isl_ == nullptr) {
-    isl_ = std::make_unique<IslNetwork>(constellation_, *snapshot, config_.isl,
+  if (snapshot_ == nullptr) {
+    snapshot_ = std::make_unique<orbit::EphemerisSnapshot>(constellation_, t);
+    isl_ = std::make_unique<IslNetwork>(constellation_, *snapshot_, config_.isl,
                                         failed_now_);
     router_ = std::make_unique<BentPipeRouter>(
         ground_, *isl_, config_.user_min_elevation_deg,
         config_.gateway_min_elevation_deg);
-  } else {
-    // Re-propagation keeps the ISL fabric, routing cache, and router alive:
-    // advance() rebuilds edge weights in place (failure state carries over)
-    // and invalidates cached SSSP trees; the router refreshes its gateway
-    // visibility lists lazily off the rebound snapshot.
-    isl_->advance(*snapshot);
+    return;
   }
-  snapshot_ = std::move(snapshot);
+  // Re-propagation keeps every allocation alive: the snapshot advances in
+  // place (position buffers and visibility index reused, epoch bumped), the
+  // ISL fabric rebuilds edge weights in place (failure state carries over)
+  // and invalidates cached SSSP trees, and the router refreshes its gateway
+  // visibility lists lazily when it sees the new snapshot epoch.
+  snapshot_->advance(t);
+  isl_->advance(*snapshot_);
 }
 
 void StarlinkNetwork::fail_satellite(std::uint32_t sat) {

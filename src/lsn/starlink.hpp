@@ -1,9 +1,10 @@
 // StarlinkNetwork: the assembled LEO ISP.
 //
-// Owns the Shell 1 constellation, the ground segment, the access-layer
-// model, and a router bound to the current simulation time.  Advancing time
-// re-propagates the ephemeris and rebuilds the ISL fabric, which is how
-// satellite handovers and topology dynamics enter every experiment.
+// Owns the constellation (one Walker shell or a multi-shell stack), the
+// ground segment, the access-layer model, and a router bound to the current
+// simulation time.  Advancing time re-propagates the ephemeris in place and
+// rebuilds the ISL fabric, which is how satellite handovers and topology
+// dynamics enter every experiment.
 #pragma once
 
 #include <memory>
@@ -21,7 +22,9 @@ namespace spacecdn::lsn {
 
 /// Assembly configuration.
 struct StarlinkConfig {
-  orbit::WalkerDesign shell = orbit::starlink_shell1();
+  /// The constellation to fly.  MultiShellDesign converts implicitly from a
+  /// single WalkerDesign, so `config.shell = orbit::test_shell()` still works.
+  orbit::MultiShellDesign shell = orbit::starlink_shell1();
   AccessConfig access = {};
   IslConfig isl = {};
   terrestrial::BackboneConfig gateway_backbone = {};
@@ -32,9 +35,11 @@ struct StarlinkConfig {
   std::vector<std::uint32_t> failed_satellites = {};
 };
 
-/// Named assembly presets for scenario configs: "shell1" (the paper's
-/// Starlink Shell 1, the default everywhere) or "test-shell" (the reduced
-/// 8x8 constellation unit tests use for speed).
+/// Named assembly presets for scenario configs; the constellation comes from
+/// orbit::multi_shell_preset: "shell1" (the paper's Starlink Shell 1, the
+/// default everywhere), "test-shell" (the reduced 8x8 unit-test shell),
+/// "starlink-4shell" (the published Gen1 Shells 1-4, 4,236 satellites), or
+/// "gen2-10k" (a ~10k-satellite Gen2-style stack).
 /// @throws spacecdn::ConfigError on an unknown preset name.
 [[nodiscard]] StarlinkConfig starlink_preset(std::string_view name);
 

@@ -1,38 +1,111 @@
 #include "orbit/ephemeris.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
 #include "obs/profile.hpp"
 #include "util/error.hpp"
 
 namespace spacecdn::orbit {
 
-EphemerisSnapshot::EphemerisSnapshot(const WalkerConstellation& constellation,
-                                     Milliseconds t)
-    : time_(t) {
-  SPACECDN_PROFILE("EphemerisSnapshot::build");
-  positions_ = constellation.positions_ecef(t);
+namespace {
+
+std::uint64_t next_epoch() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
-const geo::Ecef& EphemerisSnapshot::position(std::uint32_t sat_id) const {
-  SPACECDN_EXPECT(sat_id < positions_.size(), "satellite id out of range");
-  return positions_[sat_id];
+}  // namespace
+
+EphemerisSnapshot::EphemerisSnapshot(const WalkerConstellation& constellation,
+                                     Milliseconds t)
+    : constellation_(&constellation), time_(t) {
+  SPACECDN_PROFILE("EphemerisSnapshot::build");
+  constellation_->positions_ecef_into(t, x_, y_, z_);
+  index_.rebuild(x_, y_, z_);
+  epoch_ = next_epoch();
+}
+
+void EphemerisSnapshot::advance(Milliseconds t) {
+  SPACECDN_PROFILE("EphemerisSnapshot::advance");
+  time_ = t;
+  constellation_->positions_ecef_into(t, x_, y_, z_);
+  index_.rebuild(x_, y_, z_);
+  epoch_ = next_epoch();
+}
+
+geo::Ecef EphemerisSnapshot::position(std::uint32_t sat_id) const {
+  SPACECDN_EXPECT(sat_id < x_.size(), "satellite id out of range");
+  return geo::Ecef{x_[sat_id], y_[sat_id], z_[sat_id]};
+}
+
+double EphemerisSnapshot::query_psi_deg(double min_elevation_deg) const {
+  return geo::coverage_central_angle_deg(constellation_->max_altitude(),
+                                         min_elevation_deg);
 }
 
 std::vector<std::uint32_t> EphemerisSnapshot::visible_satellites(
     const geo::GeoPoint& ground, double min_elevation_deg) const {
+  // Below-horizon queries have no coverage cap to bound the cells; scan.
+  if (min_elevation_deg <= 0.0) return visible_satellites_scan(ground, min_elevation_deg);
+
   std::vector<std::uint32_t> out;
-  for (std::uint32_t id = 0; id < positions_.size(); ++id) {
-    if (geo::is_visible(ground, positions_[id], min_elevation_deg)) out.push_back(id);
+  index_.candidates(ground, query_psi_deg(min_elevation_deg), out);
+  std::sort(out.begin(), out.end());
+
+  const geo::Ecef g = geo::to_ecef_spherical(ground);
+  std::size_t kept = 0;
+  for (const std::uint32_t id : out) {
+    if (geo::is_visible(g, position(id), min_elevation_deg)) out[kept++] = id;
   }
+  out.resize(kept);
   return out;
 }
 
 std::optional<std::uint32_t> EphemerisSnapshot::serving_satellite(
     const geo::GeoPoint& ground, double min_elevation_deg) const {
+  if (min_elevation_deg <= 0.0) return serving_satellite_scan(ground, min_elevation_deg);
+
+  thread_local std::vector<std::uint32_t> scratch;
+  scratch.clear();
+  index_.candidates(ground, query_psi_deg(min_elevation_deg), scratch);
+
+  const geo::Ecef g = geo::to_ecef_spherical(ground);
   std::optional<std::uint32_t> best;
   double best_elev = min_elevation_deg;
-  for (std::uint32_t id = 0; id < positions_.size(); ++id) {
-    const double elev = geo::elevation_angle_deg(ground, positions_[id]);
-    if (elev >= best_elev) {
+  for (const std::uint32_t id : scratch) {
+    const double elev = geo::elevation_angle_deg(g, position(id));
+    if (elev < best_elev) continue;
+    // Strictly-better elevation wins; an exact tie goes to the lowest id, so
+    // the result does not depend on bucket enumeration order.
+    if (!best || elev > best_elev || id < *best) {
+      best_elev = elev;
+      best = id;
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> EphemerisSnapshot::visible_satellites_scan(
+    const geo::GeoPoint& ground, double min_elevation_deg) const {
+  std::vector<std::uint32_t> out;
+  const geo::Ecef g = geo::to_ecef_spherical(ground);
+  for (std::uint32_t id = 0; id < size(); ++id) {
+    if (geo::is_visible(g, position(id), min_elevation_deg)) out.push_back(id);
+  }
+  return out;
+}
+
+std::optional<std::uint32_t> EphemerisSnapshot::serving_satellite_scan(
+    const geo::GeoPoint& ground, double min_elevation_deg) const {
+  const geo::Ecef g = geo::to_ecef_spherical(ground);
+  std::optional<std::uint32_t> best;
+  double best_elev = min_elevation_deg;
+  for (std::uint32_t id = 0; id < size(); ++id) {
+    const double elev = geo::elevation_angle_deg(g, position(id));
+    if (elev < best_elev) continue;
+    if (!best || elev > best_elev) {  // ascending ids: ties keep the lowest id
       best_elev = elev;
       best = id;
     }
@@ -41,15 +114,17 @@ std::optional<std::uint32_t> EphemerisSnapshot::serving_satellite(
 }
 
 Kilometers EphemerisSnapshot::isl_distance(std::uint32_t a, std::uint32_t b) const {
-  SPACECDN_EXPECT(a < positions_.size() && b < positions_.size(),
-                  "satellite id out of range");
-  return geo::euclidean_distance(positions_[a], positions_[b]);
+  SPACECDN_EXPECT(a < x_.size() && b < x_.size(), "satellite id out of range");
+  const double dx = x_[a] - x_[b];
+  const double dy = y_[a] - y_[b];
+  const double dz = z_[a] - z_[b];
+  return Kilometers{std::sqrt(dx * dx + dy * dy + dz * dz)};
 }
 
 Kilometers EphemerisSnapshot::slant_range(const geo::GeoPoint& ground,
                                           std::uint32_t sat_id) const {
-  SPACECDN_EXPECT(sat_id < positions_.size(), "satellite id out of range");
-  return geo::slant_range(ground, positions_[sat_id]);
+  SPACECDN_EXPECT(sat_id < x_.size(), "satellite id out of range");
+  return geo::slant_range(ground, position(sat_id));
 }
 
 }  // namespace spacecdn::orbit

@@ -1,6 +1,15 @@
 // Ephemeris snapshots: all satellite positions at an instant, plus the
 // geometric queries every higher layer needs (serving satellite selection,
 // visibility lists, ISL lengths).
+//
+// Positions live in struct-of-arrays form (separate x/y/z km vectors) with a
+// spatial-grid visibility index over sub-satellite points, so ground-side
+// queries inspect only the grid cells within the constellation's coverage
+// cap instead of scanning every satellite.  Snapshots advance in place
+// (buffers reused, same propagation math as fresh construction, so positions
+// are bit-identical) and carry a process-globally monotonic epoch that
+// downstream caches key on — a pointer or a time value can recur after a
+// rebuild (ABA), an epoch cannot.
 #pragma once
 
 #include <cstdint>
@@ -8,31 +17,55 @@
 #include <vector>
 
 #include "geo/visibility.hpp"
+#include "orbit/visibility_index.hpp"
 #include "orbit/walker.hpp"
 
 namespace spacecdn::orbit {
 
-/// Immutable snapshot of a constellation at a single simulation time.
+/// Snapshot of a constellation at a single simulation time.  Immutable except
+/// through advance(), which re-propagates every orbit to a new time in place.
 class EphemerisSnapshot {
  public:
   EphemerisSnapshot(const WalkerConstellation& constellation, Milliseconds t);
 
   [[nodiscard]] Milliseconds time() const noexcept { return time_; }
   [[nodiscard]] std::uint32_t size() const noexcept {
-    return static_cast<std::uint32_t>(positions_.size());
+    return static_cast<std::uint32_t>(x_.size());
   }
-  [[nodiscard]] const geo::Ecef& position(std::uint32_t sat_id) const;
-  [[nodiscard]] const std::vector<geo::Ecef>& positions() const noexcept {
-    return positions_;
+  /// Monotonic generation counter, unique across every snapshot construction
+  /// and advance() in the process.  Cache keys MUST use this, never the
+  /// snapshot's address or time.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const WalkerConstellation& constellation() const noexcept {
+    return *constellation_;
   }
 
-  /// Ids of all satellites visible from `ground` at >= `min_elevation_deg`.
+  [[nodiscard]] geo::Ecef position(std::uint32_t sat_id) const;
+
+  /// Re-propagate all orbits to time `t`, reusing the position buffers and
+  /// rebuilding the visibility index.  Positions equal a freshly-constructed
+  /// snapshot's bit for bit (identical per-orbit math); epoch() changes.
+  void advance(Milliseconds t);
+
+  /// Ids of all satellites visible from `ground` at >= `min_elevation_deg`,
+  /// ascending.  Answered through the spatial index; identical to
+  /// visible_satellites_scan.
   [[nodiscard]] std::vector<std::uint32_t> visible_satellites(
       const geo::GeoPoint& ground, double min_elevation_deg) const;
 
-  /// The serving satellite: highest elevation above `min_elevation_deg`, or
-  /// nullopt when none qualifies (coverage gap).
+  /// The serving satellite: highest elevation at or above
+  /// `min_elevation_deg`, or nullopt when none qualifies (coverage gap).
+  /// Exact elevation ties break toward the LOWEST satellite id, so the
+  /// answer is independent of candidate enumeration order.
   [[nodiscard]] std::optional<std::uint32_t> serving_satellite(
+      const geo::GeoPoint& ground, double min_elevation_deg) const;
+
+  /// Brute-force O(N) reference implementations: same contract and same
+  /// results as the indexed queries.  Kept for equivalence tests and the
+  /// speedup micro-benchmarks.
+  [[nodiscard]] std::vector<std::uint32_t> visible_satellites_scan(
+      const geo::GeoPoint& ground, double min_elevation_deg) const;
+  [[nodiscard]] std::optional<std::uint32_t> serving_satellite_scan(
       const geo::GeoPoint& ground, double min_elevation_deg) const;
 
   /// Straight-line distance between two satellites (ISL length).
@@ -43,8 +76,15 @@ class EphemerisSnapshot {
                                        std::uint32_t sat_id) const;
 
  private:
+  /// Coverage cap radius (deg) bounding the index query for a ground-side
+  /// visibility question at `min_elevation_deg`.
+  [[nodiscard]] double query_psi_deg(double min_elevation_deg) const;
+
+  const WalkerConstellation* constellation_;
   Milliseconds time_;
-  std::vector<geo::Ecef> positions_;
+  std::vector<double> x_, y_, z_;  ///< ECEF km, indexed by satellite id
+  VisibilityIndex index_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace spacecdn::orbit

@@ -1,0 +1,101 @@
+#include "orbit/visibility_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/earth.hpp"
+
+namespace spacecdn::orbit {
+
+namespace {
+
+// Safety pad against floating-point rounding at cap/cell boundaries.  The
+// exact elevation test downstream discards extras, so padding only costs a
+// few candidates.
+constexpr double kPadDeg = 0.05;
+
+}  // namespace
+
+std::uint32_t VisibilityIndex::lat_row(double lat_deg) noexcept {
+  const double r = (lat_deg + 90.0) / kLatCellDeg;
+  const auto row = static_cast<std::int32_t>(std::floor(r));
+  return static_cast<std::uint32_t>(std::clamp(row, 0, static_cast<std::int32_t>(kLatCells - 1)));
+}
+
+std::uint32_t VisibilityIndex::lon_col(double lon_deg) noexcept {
+  const double c = (lon_deg + 180.0) / kLonCellDeg;
+  auto col = static_cast<std::int32_t>(std::floor(c));
+  // atan2 yields (-180, 180]; +180 maps to column kLonCells -> wrap to 0.
+  if (col >= static_cast<std::int32_t>(kLonCells)) col -= kLonCells;
+  if (col < 0) col += kLonCells;
+  return static_cast<std::uint32_t>(col);
+}
+
+void VisibilityIndex::rebuild(const std::vector<double>& x, const std::vector<double>& y,
+                              const std::vector<double>& z) {
+  size_ = static_cast<std::uint32_t>(x.size());
+  bucket_of_.resize(size_);
+  offsets_.assign(bucket_count() + 1, 0);
+
+  // Pass 1: bucket of each satellite's sub-satellite point + per-bucket counts.
+  for (std::uint32_t id = 0; id < size_; ++id) {
+    const double r = std::sqrt(x[id] * x[id] + y[id] * y[id] + z[id] * z[id]);
+    const double lat = geo::rad_to_deg(std::asin(std::clamp(z[id] / r, -1.0, 1.0)));
+    const double lon = geo::rad_to_deg(std::atan2(y[id], x[id]));
+    const std::uint32_t bucket = lat_row(lat) * kLonCells + lon_col(lon);
+    bucket_of_[id] = bucket;
+    ++offsets_[bucket + 1];
+  }
+
+  // Pass 2: exclusive prefix sum -> CSR offsets.
+  for (std::uint32_t b = 1; b <= bucket_count(); ++b) offsets_[b] += offsets_[b - 1];
+
+  // Pass 3: scatter ids.  Iterating in id order keeps each bucket's id list
+  // ascending, which downstream sorts rely on being cheap (nearly sorted).
+  ids_.resize(size_);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::uint32_t id = 0; id < size_; ++id) ids_[cursor[bucket_of_[id]]++] = id;
+}
+
+void VisibilityIndex::candidates(const geo::GeoPoint& ground, double psi_deg,
+                                 std::vector<std::uint32_t>& out) const {
+  const double psi = psi_deg + kPadDeg;
+  const double lat0 = ground.lat_deg;
+
+  const std::uint32_t row_lo = lat_row(std::max(-90.0, lat0 - psi));
+  const std::uint32_t row_hi = lat_row(std::min(90.0, lat0 + psi));
+
+  // Longitude half-width of the cap's bounding box: asin(sin psi / cos lat0).
+  // When the cap reaches a pole (|lat0| + psi >= 90) every longitude
+  // intersects it, so scan full rows.
+  const double sin_psi = std::sin(geo::deg_to_rad(std::min(psi, 90.0)));
+  const double cos_lat0 = std::cos(geo::deg_to_rad(lat0));
+  bool full_ring = std::abs(lat0) + psi >= 90.0;
+  double half_width_deg = 180.0;
+  if (!full_ring) {
+    const double s = sin_psi / cos_lat0;
+    if (s >= 1.0) {
+      full_ring = true;
+    } else {
+      half_width_deg = geo::rad_to_deg(std::asin(s)) + kPadDeg;
+    }
+  }
+
+  std::uint32_t col_lo = 0;
+  std::uint32_t col_count = kLonCells;
+  if (!full_ring && 2.0 * half_width_deg < 360.0 - kLonCellDeg) {
+    col_lo = lon_col(std::remainder(ground.lon_deg - half_width_deg, 360.0));
+    const std::uint32_t col_hi = lon_col(std::remainder(ground.lon_deg + half_width_deg, 360.0));
+    col_count = (col_hi + kLonCells - col_lo) % kLonCells + 1;
+  }
+
+  for (std::uint32_t row = row_lo; row <= row_hi; ++row) {
+    for (std::uint32_t c = 0; c < col_count; ++c) {
+      const std::uint32_t bucket = row * kLonCells + (col_lo + c) % kLonCells;
+      out.insert(out.end(), ids_.begin() + offsets_[bucket],
+                 ids_.begin() + offsets_[bucket + 1]);
+    }
+  }
+}
+
+}  // namespace spacecdn::orbit

@@ -2,41 +2,101 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string>
 
+#include "geo/visibility.hpp"
 #include "util/error.hpp"
 
 namespace spacecdn::orbit {
 
-WalkerConstellation::WalkerConstellation(const WalkerDesign& design) : design_(design) {
-  SPACECDN_EXPECT(design.planes > 0, "constellation must have at least one plane");
-  SPACECDN_EXPECT(design.sats_per_plane > 0, "planes must hold at least one satellite");
-  SPACECDN_EXPECT(design.phasing < design.planes,
-                  "Walker phasing factor must be < number of planes");
+WalkerConstellation::WalkerConstellation(const MultiShellDesign& design)
+    : shells_(design.shells) {
+  SPACECDN_EXPECT(!shells_.empty(), "constellation must have at least one shell");
 
-  const double raan_step = 360.0 / design.planes;
-  const double slot_step = 360.0 / design.sats_per_plane;
-  const double phase_step =
-      design.phasing * 360.0 / static_cast<double>(design.total_satellites());
-
+  shell_base_.reserve(shells_.size());
+  shell_plane_base_.reserve(shells_.size());
   orbits_.reserve(design.total_satellites());
-  for (std::uint32_t p = 0; p < design.planes; ++p) {
-    for (std::uint32_t s = 0; s < design.sats_per_plane; ++s) {
-      const double raan = p * raan_step;
-      const double phase = s * slot_step + p * phase_step;
-      orbits_.emplace_back(design.altitude, design.inclination_deg, raan, phase);
+  for (const WalkerDesign& shell : shells_) {
+    SPACECDN_EXPECT(shell.planes > 0, "constellation must have at least one plane");
+    SPACECDN_EXPECT(shell.sats_per_plane > 0, "planes must hold at least one satellite");
+    SPACECDN_EXPECT(shell.phasing < shell.planes,
+                    "Walker phasing factor must be < number of planes");
+
+    shell_base_.push_back(total_);
+    shell_plane_base_.push_back(plane_count_);
+
+    const double raan_step = 360.0 / shell.planes;
+    const double slot_step = 360.0 / shell.sats_per_plane;
+    const double phase_step =
+        shell.phasing * 360.0 / static_cast<double>(shell.total_satellites());
+
+    for (std::uint32_t p = 0; p < shell.planes; ++p) {
+      for (std::uint32_t s = 0; s < shell.sats_per_plane; ++s) {
+        const double raan = p * raan_step;
+        const double phase = s * slot_step + p * phase_step;
+        orbits_.emplace_back(shell.altitude, shell.inclination_deg, raan, phase);
+      }
     }
+
+    total_ += shell.total_satellites();
+    plane_count_ += shell.planes;
+    if (shell.altitude.value() > max_altitude_.value()) max_altitude_ = shell.altitude;
   }
 }
 
-SatelliteIndex WalkerConstellation::index_of(std::uint32_t sat_id) const {
+WalkerConstellation::WalkerConstellation(const WalkerDesign& design)
+    : WalkerConstellation(MultiShellDesign{design}) {}
+
+const WalkerDesign& WalkerConstellation::shell(std::uint32_t s) const {
+  SPACECDN_EXPECT(s < shells_.size(), "shell index out of range");
+  return shells_[s];
+}
+
+std::uint32_t WalkerConstellation::shell_of(std::uint32_t sat_id) const {
   SPACECDN_EXPECT(sat_id < size(), "satellite id out of range");
-  return SatelliteIndex{sat_id / design_.sats_per_plane, sat_id % design_.sats_per_plane};
+  std::uint32_t s = static_cast<std::uint32_t>(shells_.size()) - 1;
+  while (shell_base_[s] > sat_id) --s;
+  return s;
+}
+
+std::uint32_t WalkerConstellation::shell_base(std::uint32_t s) const {
+  SPACECDN_EXPECT(s < shells_.size(), "shell index out of range");
+  return shell_base_[s];
+}
+
+SatelliteIndex WalkerConstellation::index_of(std::uint32_t sat_id) const {
+  const std::uint32_t s = shell_of(sat_id);
+  const std::uint32_t local = sat_id - shell_base_[s];
+  return SatelliteIndex{local / shells_[s].sats_per_plane,
+                        local % shells_[s].sats_per_plane, s};
 }
 
 std::uint32_t WalkerConstellation::id_of(SatelliteIndex idx) const {
-  SPACECDN_EXPECT(idx.plane < design_.planes && idx.in_plane < design_.sats_per_plane,
+  SPACECDN_EXPECT(idx.shell < shells_.size(), "satellite index out of range");
+  const WalkerDesign& shell = shells_[idx.shell];
+  SPACECDN_EXPECT(idx.plane < shell.planes && idx.in_plane < shell.sats_per_plane,
                   "satellite index out of range");
-  return idx.plane * design_.sats_per_plane + idx.in_plane;
+  return shell_base_[idx.shell] + idx.plane * shell.sats_per_plane + idx.in_plane;
+}
+
+std::uint32_t WalkerConstellation::plane_size(std::uint32_t global_plane) const {
+  SPACECDN_EXPECT(global_plane < plane_count_, "plane index out of range");
+  std::uint32_t s = static_cast<std::uint32_t>(shells_.size()) - 1;
+  while (shell_plane_base_[s] > global_plane) --s;
+  return shells_[s].sats_per_plane;
+}
+
+std::uint32_t WalkerConstellation::plane_sat(std::uint32_t global_plane,
+                                            std::uint32_t in_plane) const {
+  SPACECDN_EXPECT(global_plane < plane_count_, "plane index out of range");
+  std::uint32_t s = static_cast<std::uint32_t>(shells_.size()) - 1;
+  while (shell_plane_base_[s] > global_plane) --s;
+  return id_of({global_plane - shell_plane_base_[s], in_plane, s});
+}
+
+std::uint32_t WalkerConstellation::plane_of(std::uint32_t sat_id) const {
+  const SatelliteIndex idx = index_of(sat_id);
+  return shell_plane_base_[idx.shell] + idx.plane;
 }
 
 const CircularOrbit& WalkerConstellation::orbit(std::uint32_t sat_id) const {
@@ -51,25 +111,43 @@ std::vector<geo::Ecef> WalkerConstellation::positions_ecef(Milliseconds t) const
   return out;
 }
 
+void WalkerConstellation::positions_ecef_into(Milliseconds t, std::vector<double>& x,
+                                              std::vector<double>& y,
+                                              std::vector<double>& z) const {
+  const std::size_t n = orbits_.size();
+  x.resize(n);
+  y.resize(n);
+  z.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geo::Ecef p = orbits_[i].position_ecef(t);
+    x[i] = p.x;
+    y[i] = p.y;
+    z[i] = p.z;
+  }
+}
+
 std::vector<std::uint32_t> WalkerConstellation::grid_neighbors(std::uint32_t sat_id) const {
   const SatelliteIndex idx = index_of(sat_id);
-  const std::uint32_t p = design_.planes;
-  const std::uint32_t s = design_.sats_per_plane;
+  const WalkerDesign& shell = shells_[idx.shell];
+  const std::uint32_t p = shell.planes;
+  const std::uint32_t s = shell.sats_per_plane;
   const double slot_step = 360.0 / s;
   const double phase_step =
-      design_.phasing * 360.0 / static_cast<double>(design_.total_satellites());
+      shell.phasing * 360.0 / static_cast<double>(shell.total_satellites());
 
   std::vector<std::uint32_t> out;
   out.reserve(4);
   // Intra-plane: next and previous slot (always present when s > 1).
   if (s > 1) {
-    out.push_back(id_of({idx.plane, (idx.in_plane + 1) % s}));
-    out.push_back(id_of({idx.plane, (idx.in_plane + s - 1) % s}));
+    out.push_back(id_of({idx.plane, (idx.in_plane + 1) % s, idx.shell}));
+    out.push_back(id_of({idx.plane, (idx.in_plane + s - 1) % s, idx.shell}));
   }
   // Inter-plane: the *phase-nearest* slot in each adjacent plane.  Using the
   // same slot index would leave the plane wrap-around seam with partners up
   // to ~90 degrees apart along-track -- beyond optical line of sight.  Real
-  // ISL terminals track the nearest neighbour, which this selects.
+  // ISL terminals track the nearest neighbour, which this selects.  Adjacency
+  // is within the satellite's own shell only: cross-shell relative velocities
+  // are too high for optical terminals to hold a link.
   if (p > 1) {
     const double my_phase = idx.in_plane * slot_step + idx.plane * phase_step;
     for (const std::uint32_t neighbor_plane : {(idx.plane + 1) % p, (idx.plane + p - 1) % p}) {
@@ -77,7 +155,7 @@ std::vector<std::uint32_t> WalkerConstellation::grid_neighbors(std::uint32_t sat
       const double rounded = std::round(target);
       const auto slot = static_cast<std::uint32_t>(
           (static_cast<std::int64_t>(rounded) % s + s) % s);
-      out.push_back(id_of({neighbor_plane, slot}));
+      out.push_back(id_of({neighbor_plane, slot, idx.shell}));
     }
   }
   return out;
@@ -97,6 +175,88 @@ WalkerDesign test_shell() {
                       .inclination_deg = 53.0,
                       .altitude = Kilometers{550.0},
                       .phasing = 3};
+}
+
+namespace {
+
+// Published Starlink Gen1 Shells 2-4 (FCC filings; Shell 1 is
+// starlink_shell1).  Phasing factors follow the same harmonic-phasing choice
+// as Shell 1 (F chosen so adjacent planes interleave roughly half a slot).
+WalkerDesign starlink_shell2() {
+  return WalkerDesign{.planes = 72,
+                      .sats_per_plane = 22,
+                      .inclination_deg = 53.2,
+                      .altitude = Kilometers{540.0},
+                      .phasing = 39};
+}
+
+WalkerDesign starlink_shell3() {
+  return WalkerDesign{.planes = 36,
+                      .sats_per_plane = 20,
+                      .inclination_deg = 70.0,
+                      .altitude = Kilometers{570.0},
+                      .phasing = 11};
+}
+
+WalkerDesign starlink_shell4() {
+  return WalkerDesign{.planes = 6,
+                      .sats_per_plane = 58,
+                      .inclination_deg = 97.6,
+                      .altitude = Kilometers{560.0},
+                      .phasing = 1};
+}
+
+// Gen2-style low-inclination capacity shells (modelled on the Gen2 FCC
+// amendment's 43 deg and 33 deg entries, scaled so the full stack lands at
+// ~10k satellites).
+WalkerDesign gen2_shell_43() {
+  return WalkerDesign{.planes = 60,
+                      .sats_per_plane = 48,
+                      .inclination_deg = 43.0,
+                      .altitude = Kilometers{530.0},
+                      .phasing = 17};
+}
+
+WalkerDesign gen2_shell_33() {
+  return WalkerDesign{.planes = 48,
+                      .sats_per_plane = 60,
+                      .inclination_deg = 33.0,
+                      .altitude = Kilometers{525.0},
+                      .phasing = 13};
+}
+
+}  // namespace
+
+MultiShellDesign multi_shell_preset(std::string_view name) {
+  if (name == "shell1") return starlink_shell1();
+  if (name == "test-shell") return test_shell();
+  if (name == "starlink-4shell") {
+    return MultiShellDesign{
+        {starlink_shell1(), starlink_shell2(), starlink_shell3(), starlink_shell4()}};
+  }
+  if (name == "gen2-10k") {
+    return MultiShellDesign{{starlink_shell1(), starlink_shell2(), starlink_shell3(),
+                             starlink_shell4(), gen2_shell_43(), gen2_shell_33()}};
+  }
+  throw ConfigError("unknown constellation preset: " + std::string(name));
+}
+
+const std::vector<std::string>& constellation_preset_names() {
+  static const std::vector<std::string> names = {"shell1", "test-shell",
+                                                 "starlink-4shell", "gen2-10k"};
+  return names;
+}
+
+double coverage_lat_limit_deg(const MultiShellDesign& design,
+                              double min_elevation_deg) {
+  double limit = 0.0;
+  for (const WalkerDesign& shell : design.shells) {
+    const double incl = shell.inclination_deg > 90.0 ? 180.0 - shell.inclination_deg
+                                                     : shell.inclination_deg;
+    const double psi_deg = geo::coverage_central_angle_deg(shell.altitude, min_elevation_deg);
+    limit = std::max(limit, incl + psi_deg);
+  }
+  return std::min(limit, 90.0);
 }
 
 }  // namespace spacecdn::orbit

@@ -1,26 +1,34 @@
-// Walker-delta constellation generation.
+// Walker-delta constellation generation, single- and multi-shell.
 //
 // A Walker delta pattern i:T/P/F places T satellites in P evenly-spaced
 // planes at inclination i; adjacent planes are phase-offset by F * 360 / T
-// degrees.  Starlink Shell 1 is (approximately) 53:1584/72/39.
+// degrees.  Starlink Shell 1 is (approximately) 53:1584/72/39.  Real
+// mega-constellations stack several such shells at different altitudes and
+// inclinations (the published Starlink Gen1 design flies four); a
+// MultiShellDesign concatenates N Walker shells into one constellation with
+// contiguous global satellite ids (shell 0 first, then shell 1, ...).
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "orbit/kepler.hpp"
 
 namespace spacecdn::orbit {
 
-/// Index of a satellite within a Walker constellation.
+/// Index of a satellite within a (multi-shell) Walker constellation.  The
+/// plane and slot are *shell-local*; `shell` defaults to 0 so single-shell
+/// callers keep writing `{plane, in_plane}`.
 struct SatelliteIndex {
-  std::uint32_t plane = 0;     ///< orbital plane, 0 .. planes-1
+  std::uint32_t plane = 0;     ///< orbital plane within the shell
   std::uint32_t in_plane = 0;  ///< slot within the plane, 0 .. sats_per_plane-1
+  std::uint32_t shell = 0;     ///< shell ordinal, 0 .. shell_count-1
 
   friend bool operator==(const SatelliteIndex&, const SatelliteIndex&) = default;
 };
 
-/// Parameters of a Walker delta constellation.
+/// Parameters of one Walker delta shell.
 struct WalkerDesign {
   std::uint32_t planes = 0;
   std::uint32_t sats_per_plane = 0;
@@ -35,32 +43,98 @@ struct WalkerDesign {
   }
 };
 
-/// A fully-generated Walker constellation: one CircularOrbit per satellite,
-/// with contiguous satellite ids (id = plane * sats_per_plane + in_plane).
+/// An ordered stack of Walker shells forming one constellation.  Implicitly
+/// constructible from a single WalkerDesign, so every pre-multi-shell call
+/// site (`config.constellation = starlink_shell1()`) keeps compiling.
+struct MultiShellDesign {
+  std::vector<WalkerDesign> shells;
+
+  MultiShellDesign() = default;
+  MultiShellDesign(std::vector<WalkerDesign> s) : shells(std::move(s)) {}
+  MultiShellDesign(const WalkerDesign& single) : shells{single} {}
+
+  [[nodiscard]] std::uint32_t total_satellites() const noexcept {
+    std::uint32_t total = 0;
+    for (const WalkerDesign& shell : shells) total += shell.total_satellites();
+    return total;
+  }
+};
+
+/// A fully-generated constellation: one CircularOrbit per satellite, with
+/// contiguous satellite ids.  Shells are laid out back to back; within a
+/// shell, id = shell_base + plane * sats_per_plane + in_plane (for a single
+/// shell this is the historical id = plane * sats_per_plane + in_plane).
 class WalkerConstellation {
  public:
-  /// @throws spacecdn::ConfigError for zero planes/sats or phasing >= planes.
+  /// @throws spacecdn::ConfigError for an empty design, zero planes/sats, or
+  /// phasing >= planes in any shell.
+  explicit WalkerConstellation(const MultiShellDesign& design);
   explicit WalkerConstellation(const WalkerDesign& design);
 
-  [[nodiscard]] const WalkerDesign& design() const noexcept { return design_; }
-  [[nodiscard]] std::uint32_t size() const noexcept { return design_.total_satellites(); }
+  /// The first shell's parameters.  Single-shell convenience kept for tests
+  /// and tools that predate multi-shell; plane-structured consumers
+  /// (placement, fault domains) use the global-plane accessors below.
+  [[nodiscard]] const WalkerDesign& design() const noexcept { return shells_[0]; }
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return total_; }
+  [[nodiscard]] std::uint32_t shell_count() const noexcept {
+    return static_cast<std::uint32_t>(shells_.size());
+  }
+  [[nodiscard]] const WalkerDesign& shell(std::uint32_t s) const;
+  [[nodiscard]] const std::vector<WalkerDesign>& shells() const noexcept {
+    return shells_;
+  }
+  /// The shell owning a satellite id.
+  [[nodiscard]] std::uint32_t shell_of(std::uint32_t sat_id) const;
+  /// First global satellite id of a shell.
+  [[nodiscard]] std::uint32_t shell_base(std::uint32_t s) const;
+  /// Largest shell altitude (the visibility index's coverage bound).
+  [[nodiscard]] Kilometers max_altitude() const noexcept { return max_altitude_; }
 
   [[nodiscard]] SatelliteIndex index_of(std::uint32_t sat_id) const;
   [[nodiscard]] std::uint32_t id_of(SatelliteIndex idx) const;
+
+  // --- global-plane addressing ---
+  // Planes are numbered across shells in shell order (shell 0's planes
+  // first), so plane-structured policies (k copies per plane, plane fault
+  // domains) stay well-defined on multi-shell constellations.  For a single
+  // shell the global plane index equals SatelliteIndex::plane.
+  [[nodiscard]] std::uint32_t plane_count() const noexcept { return plane_count_; }
+  /// Satellites in one global plane.
+  [[nodiscard]] std::uint32_t plane_size(std::uint32_t global_plane) const;
+  /// Global id of slot `in_plane` of a global plane.
+  [[nodiscard]] std::uint32_t plane_sat(std::uint32_t global_plane,
+                                        std::uint32_t in_plane) const;
+  /// Global plane index of a satellite.
+  [[nodiscard]] std::uint32_t plane_of(std::uint32_t sat_id) const;
 
   [[nodiscard]] const CircularOrbit& orbit(std::uint32_t sat_id) const;
 
   /// Positions of all satellites at time `t` (ECEF), indexed by satellite id.
   [[nodiscard]] std::vector<geo::Ecef> positions_ecef(Milliseconds t) const;
 
+  /// Struct-of-arrays propagation into caller-owned buffers (resized to
+  /// size()).  EphemerisSnapshot's incremental advance reuses its buffers
+  /// across re-propagations through this; values are bit-identical to
+  /// positions_ecef (same per-orbit math, different storage).
+  void positions_ecef_into(Milliseconds t, std::vector<double>& x,
+                           std::vector<double>& y, std::vector<double>& z) const;
+
   /// Neighbour ids in the +grid inter-satellite-link topology: forward and
-  /// backward along the plane, plus the same slot in the two adjacent planes
-  /// (wrapping around).
+  /// backward along the plane, plus the phase-nearest slot in the two
+  /// adjacent planes of the *same shell*.  Optical terminals cannot track
+  /// across shells (relative velocities are too high), so grid links never
+  /// cross a shell boundary.
   [[nodiscard]] std::vector<std::uint32_t> grid_neighbors(std::uint32_t sat_id) const;
 
  private:
-  WalkerDesign design_;
+  std::vector<WalkerDesign> shells_;
+  std::vector<std::uint32_t> shell_base_;        ///< first id per shell
+  std::vector<std::uint32_t> shell_plane_base_;  ///< first global plane per shell
   std::vector<CircularOrbit> orbits_;
+  std::uint32_t total_ = 0;
+  std::uint32_t plane_count_ = 0;
+  Kilometers max_altitude_{0.0};
 };
 
 /// Starlink Shell 1: 72 planes x 22 satellites at 550 km, 53 deg inclination.
@@ -69,5 +143,24 @@ class WalkerConstellation {
 
 /// A reduced shell (8 planes x 8 sats) used by unit tests and quick examples.
 [[nodiscard]] WalkerDesign test_shell();
+
+/// Named multi-shell constellation presets (scenario key `constellation=`):
+///  * "shell1"          -- the paper's single Shell 1 (1,584 satellites)
+///  * "test-shell"      -- the reduced 8x8 unit-test shell (64)
+///  * "starlink-4shell" -- the published Starlink Gen1 Shells 1-4 (4,236)
+///  * "gen2-10k"        -- Gen1 shells plus two Gen2-style low-inclination
+///                         shells, ~10k satellites (9,996)
+/// @throws spacecdn::ConfigError on an unknown preset name.
+[[nodiscard]] MultiShellDesign multi_shell_preset(std::string_view name);
+
+/// The preset names multi_shell_preset accepts, for scenario validation.
+[[nodiscard]] const std::vector<std::string>& constellation_preset_names();
+
+/// The latitude band a constellation can serve terminals in, derived from
+/// the shells' geometry: max over shells of (effective inclination + the
+/// coverage half-angle at `min_elevation_deg`), clamped to 90.  A
+/// retrograde/polar shell (inclination > 90) reaches |lat| = 180 - incl.
+[[nodiscard]] double coverage_lat_limit_deg(const MultiShellDesign& design,
+                                            double min_elevation_deg);
 
 }  // namespace spacecdn::orbit

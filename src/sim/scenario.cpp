@@ -6,6 +6,8 @@
 #include <fstream>
 #include <initializer_list>
 
+#include "lsn/starlink.hpp"
+#include "orbit/walker.hpp"
 #include "util/error.hpp"
 
 namespace spacecdn::sim {
@@ -62,6 +64,22 @@ void expect_one_of(const std::string& key, const std::string& value,
 }
 
 }  // namespace
+
+double derived_coverage_lat_deg(const std::string& constellation) {
+  // The shell1 family keeps the published 56.0 calibration byte-identically
+  // (deriving it geometrically would give ~61.5 and silently change every
+  // client set and figure checksum).  Other presets get the geometric bound
+  // at the default user-terminal elevation mask.
+  if (constellation == "shell1" || constellation == "test-shell") {
+    return kShell1CoverageLatDeg;
+  }
+  return orbit::coverage_lat_limit_deg(orbit::multi_shell_preset(constellation),
+                                       lsn::StarlinkConfig{}.user_min_elevation_deg);
+}
+
+geo::GeoPoint client_location(const Shell1Client& client) {
+  return client.point ? *client.point : data::location(*client.city);
+}
 
 std::vector<Shell1Client> shell1_clients(double coverage_lat_deg) {
   std::vector<Shell1Client> clients;
@@ -147,7 +165,27 @@ bool ScenarioValues::get(const std::string& key, bool fallback) const {
 
 void ScenarioValues::apply(ScenarioSpec& spec) const {
   spec.constellation = get("constellation", spec.constellation);
+  {
+    // Eager preset validation, same spirit as expect_one_of below.
+    bool known = false;
+    std::string options;
+    for (const std::string& name : orbit::constellation_preset_names()) {
+      known = known || spec.constellation == name;
+      if (!options.empty()) options += "/";
+      options += name;
+    }
+    if (!known) {
+      throw ConfigError("scenario key 'constellation': unknown value '" +
+                        spec.constellation + "' (" + options + ")");
+    }
+  }
+  const bool coverage_given = values_.count("coverage-lat") != 0;
   spec.coverage_lat_deg = get("coverage-lat", spec.coverage_lat_deg);
+  // The coverage band follows the constellation unless pinned explicitly
+  // (or pre-set programmatically to something other than the default).
+  if (!coverage_given && spec.coverage_lat_deg == kShell1CoverageLatDeg) {
+    spec.coverage_lat_deg = derived_coverage_lat_deg(spec.constellation);
+  }
   spec.tests_per_city =
       static_cast<std::uint32_t>(get("tests-per-city", static_cast<long>(spec.tests_per_city)));
   spec.anycast_noise_ms = get("anycast-noise-ms", spec.anycast_noise_ms);

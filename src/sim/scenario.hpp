@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,18 +25,35 @@ namespace spacecdn::sim {
 
 /// Shell 1 flies at 53 deg inclination; ground coverage extends a few
 /// degrees beyond that, so clients with |lat| above this band see no
-/// serving satellite.  Every bench that filters the city dataset to the
-/// covered population uses this one constant.
+/// serving satellite.  This is the published calibration the paper's client
+/// sets (and their checksums) were produced with, so the "shell1" and
+/// "test-shell" presets pin it byte-identically; other presets derive their
+/// band from the shells' geometry (derived_coverage_lat_deg).
 inline constexpr double kShell1CoverageLatDeg = 56.0;
 
-/// One city inside the coverage band.  `dataset_index` is the city's
-/// position in the full data::cities() table, so per-client RNG streams
-/// derived from it are stable whether a sweep iterates the filtered or the
-/// unfiltered list (the fig7 checksum depends on this).
+/// The |latitude| cutoff for a constellation preset's client set: the
+/// published 56.0 for the shell1 family, and
+/// orbit::coverage_lat_limit_deg(preset, user elevation mask) for every
+/// other preset (a polar shell reaches the poles, so starlink-4shell covers
+/// all cities).  @throws spacecdn::ConfigError on an unknown preset.
+[[nodiscard]] double derived_coverage_lat_deg(const std::string& constellation);
+
+/// One client terminal inside the coverage band, anchored to a city.
+/// `dataset_index` is the city's position in the full data::cities() table,
+/// so per-client RNG streams derived from it are stable whether a sweep
+/// iterates the filtered or the unfiltered list (the fig7 checksum depends
+/// on this).  Synthetic mega-user fleets (sim::synthesize_users) reuse the
+/// struct with a unique dataset_index per user and `point` set.
 struct Shell1Client {
   const data::CityInfo* city = nullptr;
   std::size_t dataset_index = 0;
+  /// When set, the terminal sits here instead of at the city centroid; the
+  /// city stays the population/traffic anchor.
+  std::optional<geo::GeoPoint> point{};
 };
+
+/// The terminal's ground position: the scatter point if set, else the city.
+[[nodiscard]] geo::GeoPoint client_location(const Shell1Client& client);
 
 /// Cities within |lat| <= coverage_lat_deg, in dataset order.
 [[nodiscard]] std::vector<Shell1Client> shell1_clients(
@@ -50,7 +68,8 @@ struct Shell1Client {
 /// default-constructed spec reproduces the paper configuration.
 struct ScenarioSpec {
   // --- world ---
-  /// Constellation preset name ("shell1" or "test-shell").
+  /// Constellation preset name (orbit::constellation_preset_names: "shell1",
+  /// "test-shell", "starlink-4shell", "gen2-10k").
   std::string constellation = "shell1";
   /// Client-set policy: keep cities within this |latitude| band.
   double coverage_lat_deg = kShell1CoverageLatDeg;

@@ -1,0 +1,66 @@
+#include "sim/users.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "des/random.hpp"
+#include "geo/earth.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::sim {
+
+namespace {
+
+/// km per degree of latitude on the spherical model.
+constexpr double kKmPerLatDeg = geo::kEarthRadiusKm * geo::kPi / 180.0;
+
+geo::GeoPoint scatter_around(const geo::GeoPoint& center, Kilometers radius,
+                             des::Rng& rng) {
+  // Uniform point in a disc: radius scales with sqrt(u).
+  const double r_km = radius.value() * std::sqrt(rng.uniform(0.0, 1.0));
+  const double theta = rng.uniform(0.0, 2.0 * geo::kPi);
+  const double dlat = r_km * std::cos(theta) / kKmPerLatDeg;
+  // Longitude degrees shrink with cos(lat); clamp the divisor so polar
+  // cities scatter along a tight ring instead of dividing by ~0.
+  const double cos_lat = std::max(0.01, std::cos(geo::deg_to_rad(center.lat_deg)));
+  const double dlon = r_km * std::sin(theta) / (kKmPerLatDeg * cos_lat);
+
+  geo::GeoPoint p{std::clamp(center.lat_deg + dlat, -90.0, 90.0),
+                  center.lon_deg + dlon, center.alt_km};
+  if (p.lon_deg >= 180.0) p.lon_deg -= 360.0;
+  if (p.lon_deg < -180.0) p.lon_deg += 360.0;
+  return p;
+}
+
+}  // namespace
+
+std::vector<Shell1Client> synthesize_users(const std::vector<Shell1Client>& cities,
+                                           std::size_t count, std::uint64_t seed,
+                                           Kilometers scatter_radius) {
+  if (count == 0) return {};
+  SPACECDN_EXPECT(!cities.empty(), "synthesize_users: no covered cities to expand");
+
+  const std::size_t base = cities.size();
+  const std::size_t per_city = count / base;
+  const std::size_t remainder = count % base;
+  const std::size_t index_base = data::cities().size();
+
+  std::vector<Shell1Client> users;
+  users.reserve(count);
+  std::size_t ordinal = 0;
+  for (std::size_t c = 0; c < base; ++c) {
+    const Shell1Client& anchor = cities[c];
+    const geo::GeoPoint center = client_location(anchor);
+    const std::size_t n = per_city + (c < remainder ? 1 : 0);
+    for (std::size_t u = 0; u < n; ++u, ++ordinal) {
+      // One decorrelated stream per user: placement is independent of how
+      // many users other cities received.
+      des::Rng rng(des::mix_seed(seed, index_base + ordinal));
+      users.push_back(Shell1Client{anchor.city, index_base + ordinal,
+                                   scatter_around(center, scatter_radius, rng)});
+    }
+  }
+  return users;
+}
+
+}  // namespace spacecdn::sim

@@ -23,24 +23,28 @@ ContentPlacement::ContentPlacement(const orbit::WalkerConstellation& constellati
                                    PlacementConfig config)
     : constellation_(&constellation), config_(config) {
   SPACECDN_EXPECT(config.copies_per_plane > 0, "need at least one copy per plane");
-  SPACECDN_EXPECT(config.copies_per_plane <= constellation.design().sats_per_plane,
-                  "cannot place more copies than satellites in a plane");
+  for (const orbit::WalkerDesign& shell : constellation.shells()) {
+    SPACECDN_EXPECT(config.copies_per_plane <= shell.sats_per_plane,
+                    "cannot place more copies than satellites in a plane");
+  }
   SPACECDN_EXPECT(config.plane_stride > 0, "plane stride must be positive");
 }
 
 std::vector<std::uint32_t> ContentPlacement::replicas(cdn::ContentId id) const {
-  const auto& design = constellation_->design();
-  const std::uint32_t s = design.sats_per_plane;
+  // Planes are addressed globally across shells, so every shell of a
+  // multi-shell constellation receives replicas.
+  const std::uint32_t planes = constellation_->plane_count();
   std::vector<std::uint32_t> out;
-  out.reserve((design.planes / config_.plane_stride + 1) * config_.copies_per_plane);
+  out.reserve((planes / config_.plane_stride + 1) * config_.copies_per_plane);
 
-  for (std::uint32_t p = 0; p < design.planes; p += config_.plane_stride) {
+  for (std::uint32_t p = 0; p < planes; p += config_.plane_stride) {
+    const std::uint32_t s = constellation_->plane_size(p);
     // Per-object, per-plane rotation so replicas of different objects do not
     // pile onto the same satellites.
     const auto rotation = static_cast<std::uint32_t>(mix(id * 1315423911ULL + p) % s);
     for (std::uint32_t c = 0; c < config_.copies_per_plane; ++c) {
       const std::uint32_t slot = (rotation + c * s / config_.copies_per_plane) % s;
-      out.push_back(constellation_->id_of({p, slot}));
+      out.push_back(constellation_->plane_sat(p, slot));
     }
   }
   return out;
@@ -56,8 +60,13 @@ void ContentPlacement::place(SatelliteFleet& fleet, const cdn::ContentItem& item
 std::uint32_t ContentPlacement::grid_hop_distance(std::uint32_t a, std::uint32_t b) const {
   const auto ia = constellation_->index_of(a);
   const auto ib = constellation_->index_of(b);
-  const std::uint32_t planes = constellation_->design().planes;
-  const std::uint32_t slots = constellation_->design().sats_per_plane;
+  // Grid ISLs never cross shells, so a replica in another shell is
+  // unreachable over the grid; every shell holds replicas, so the min over
+  // replicas in hops_to_replica stays finite.
+  if (ia.shell != ib.shell) return UINT32_MAX;
+  const orbit::WalkerDesign& shell = constellation_->shell(ia.shell);
+  const std::uint32_t planes = shell.planes;
+  const std::uint32_t slots = shell.sats_per_plane;
   const std::uint32_t dp =
       ia.plane > ib.plane ? ia.plane - ib.plane : ib.plane - ia.plane;
   const std::uint32_t ds =
