@@ -6,7 +6,9 @@
 #include "cdn/cache.hpp"
 #include "data/datasets.hpp"
 #include "des/random.hpp"
+#include "des/sharded.hpp"
 #include "des/simulator.hpp"
+#include "geo/batch.hpp"
 #include "geo/distance.hpp"
 #include "load/capacity.hpp"
 #include "measurement/aim.hpp"
@@ -285,6 +287,56 @@ void BM_LoadLinkQueue(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_LoadLinkQueue);
+
+void BM_ShardedSimulatorWindow(benchmark::State& state) {
+  // One lookahead window over S shards with light cross-shard traffic:
+  // guards the per-window overhead of the conservative barrier (window
+  // selection, run_until per shard, mailbox drain) on the serial path.
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    des::ShardedSimulator sharded(shards, Milliseconds{10.0});
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (int i = 0; i < 32; ++i) {
+        sharded.shard(s).schedule(Milliseconds{static_cast<double>(i % 9)},
+                                  [&fired] { ++fired; });
+      }
+      sharded.post(s, (s + 1) % shards, Milliseconds{15.0}, [&fired] { ++fired; });
+    }
+    sharded.run();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(shards * 33));
+}
+BENCHMARK(BM_ShardedSimulatorWindow)->Arg(1)->Arg(4);
+
+void BM_SlantRangeBatch(benchmark::State& state) {
+  // Batched SoA slant-range kernel over one full constellation snapshot --
+  // the vectorizable inner loop of visibility scans.
+  const orbit::EphemerisSnapshot& snapshot = shell1().snapshot();
+  const geo::Ecef ground = geo::to_ecef_spherical(geo::GeoPoint{48.8566, 2.3522});
+  std::vector<double> out(snapshot.size());
+  for (auto _ : state) {
+    geo::slant_ranges_km(ground, snapshot.xs(), snapshot.ys(), snapshot.zs(), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(snapshot.size()));
+}
+BENCHMARK(BM_SlantRangeBatch);
+
+void BM_DijkstraCsr(benchmark::State& state) {
+  // Single-source Dijkstra over the flattened CSR adjacency (the relaxation
+  // loop every SsspTree build runs); rotates sources to defeat caching.
+  const net::Graph& graph = shell1().isl().graph();
+  std::uint32_t src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::shortest_distances(graph, src));
+    src = (src + 37) % static_cast<std::uint32_t>(graph.node_count());
+  }
+}
+BENCHMARK(BM_DijkstraCsr);
 
 void BM_AimCountryCampaign(benchmark::State& state) {
   const auto& net = shell1();

@@ -1,0 +1,103 @@
+#include "des/sharded.hpp"
+
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace spacecdn::des {
+
+ShardedSimulator::ShardedSimulator(std::size_t shards, Milliseconds lookahead)
+    : outboxes_(shards), lookahead_(lookahead) {
+  SPACECDN_EXPECT(shards > 0, "sharded simulator needs at least one shard");
+  SPACECDN_EXPECT(lookahead.value() > 0.0, "lookahead window must be positive");
+  engines_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    engines_.push_back(std::make_unique<Simulator>());
+  }
+}
+
+Simulator& ShardedSimulator::shard(std::size_t s) {
+  SPACECDN_EXPECT(s < engines_.size(), "shard index out of range");
+  return *engines_[s];
+}
+
+const Simulator& ShardedSimulator::shard(std::size_t s) const {
+  SPACECDN_EXPECT(s < engines_.size(), "shard index out of range");
+  return *engines_[s];
+}
+
+void ShardedSimulator::post(std::size_t src, std::size_t dst, Milliseconds when,
+                            Simulator::Action action) {
+  SPACECDN_EXPECT(src < engines_.size() && dst < engines_.size(),
+                  "post shard index out of range");
+  // The conservative contract: a cross-shard event may not land inside the
+  // window that is currently executing, otherwise the destination shard
+  // could already have advanced past `when`.  Model delays >= lookahead
+  // satisfy this automatically.
+  SPACECDN_EXPECT(when >= window_end_,
+                  "cross-shard post lands inside the executing window "
+                  "(delay shorter than the lookahead)");
+  outboxes_[src].push_back(Post{dst, when, std::move(action)});
+}
+
+void ShardedSimulator::deliver_mailboxes() {
+  // (window, source shard, post sequence) order: outboxes drain in shard
+  // order and each preserves post order, so delivery — and therefore the
+  // destination engines' tie-breaking sequence numbers — is a pure function
+  // of the model, independent of which worker ran which shard.
+  for (std::vector<Post>& outbox : outboxes_) {
+    for (Post& post : outbox) {
+      engines_[post.dst]->schedule_at(post.when, std::move(post.action));
+      ++posts_;
+    }
+    outbox.clear();  // capacity kept: steady-state posting is allocation-free
+  }
+}
+
+void ShardedSimulator::run(ThreadPool* pool) {
+  deliver_mailboxes();  // posts made before run() become initial events
+  const std::size_t shards = engines_.size();
+  for (;;) {
+    // Earliest live event anywhere decides the next window; empty grid
+    // cells are skipped entirely instead of ticking through them.
+    std::optional<Milliseconds> next;
+    for (auto& engine : engines_) {
+      const auto t = engine->next_event_time();
+      if (t && (!next || *t < *next)) next = t;
+    }
+    if (!next) return;  // every shard drained, no posts pending
+
+    // Window k covers ((k-1)*W, k*W]: an event exactly on a boundary
+    // belongs to the window that ends there, matching run_until's
+    // inclusive semantics.
+    const double w = lookahead_.value();
+    const double k = std::ceil(next->value() / w);
+    Milliseconds window_end{k * w};
+    if (window_end < *next) window_end = *next;  // fp guard: never exclude it
+    window_end_ = window_end;
+
+    auto advance = [this, window_end](std::size_t s) {
+      engines_[s]->run_until(window_end);
+    };
+    if (pool != nullptr && pool->thread_count() > 1 && shards > 1) {
+      // Each shard is one index: parallel_for hands an index to exactly one
+      // worker, and its barrier orders every shard's writes before the
+      // mailbox merge below.
+      pool->parallel_for(shards, advance);
+    } else {
+      for (std::size_t s = 0; s < shards; ++s) advance(s);
+    }
+    deliver_mailboxes();
+    ++windows_;
+  }
+}
+
+std::uint64_t ShardedSimulator::processed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& engine : engines_) total += engine->processed_events();
+  return total;
+}
+
+}  // namespace spacecdn::des

@@ -1,0 +1,106 @@
+// Sharded, conservatively-synchronised parallel discrete-event engine.
+//
+// The serial des::Simulator stays the oracle: ShardedSimulator partitions a
+// model into S shards, each owning a private Simulator (slot-pool event
+// storage, same semantics), and advances all shards concurrently inside
+// time windows of width `lookahead`.  The classic conservative-PDES
+// argument (Chandy/Misra null-message lookahead, specialised to a global
+// barrier) makes this safe: when every cross-shard interaction carries at
+// least `lookahead` of simulated delay, an event executing anywhere inside
+// window k can only affect other shards at or after the window's end, so
+// shards never need to peek at each other mid-window.
+//
+// Cross-shard events go through per-source mailboxes: post() appends to the
+// posting shard's outbox (shard-confined, no locks, capacity reused across
+// windows) and the barrier drains outboxes in (window, source shard, post
+// sequence) order.  That order is a pure function of the model, never of
+// the worker count, so a run's results are bit-identical at any --threads —
+// the same determinism rule the sweep-level parallel_for sharding follows,
+// pushed down into one simulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace spacecdn::des {
+
+/// S shard-local Simulators advanced in lockstep lookahead windows.
+///
+/// Usage: build the model against shard(s) engines (each shard's actions
+/// must touch only that shard's state), express cross-shard interactions as
+/// post() with at least lookahead() of delay, then run().  Results are
+/// bit-identical for any worker count, including the serial pool==nullptr
+/// path, by construction.
+class ShardedSimulator {
+ public:
+  /// @param shards     number of shard-local engines (>= 1).
+  /// @param lookahead  window width == minimum cross-shard delay (> 0).
+  /// @throws spacecdn::ConfigError on a zero shard count or non-positive
+  /// lookahead.
+  ShardedSimulator(std::size_t shards, Milliseconds lookahead);
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return engines_.size(); }
+  [[nodiscard]] Milliseconds lookahead() const noexcept { return lookahead_; }
+
+  /// Shard `s`'s private engine.  Schedule shard-local events directly on
+  /// it; never touch another shard's engine from inside an action.
+  [[nodiscard]] Simulator& shard(std::size_t s);
+  [[nodiscard]] const Simulator& shard(std::size_t s) const;
+
+  /// Schedules `action` on shard `dst` at absolute time `when`.  Safe to
+  /// call before run() (initial events) or from an action executing on
+  /// shard `src`.  Delivery happens at the next window barrier, in
+  /// (source shard, post order) sequence; at the same destination instant,
+  /// previously-scheduled local events fire first.
+  /// @throws spacecdn::ConfigError when `when` lies inside the current
+  /// window (a cross-shard delay shorter than the lookahead breaks the
+  /// conservative synchronisation contract).
+  void post(std::size_t src, std::size_t dst, Milliseconds when,
+            Simulator::Action action);
+
+  /// Runs windows until every shard drains and no posts are pending.
+  /// `pool` distributes shards across workers; nullptr (or a single-worker
+  /// pool) advances them serially in shard order — results are identical
+  /// either way.
+  void run(ThreadPool* pool = nullptr);
+
+  /// Windows executed (grid cells that contained at least one event).
+  [[nodiscard]] std::uint64_t windows_executed() const noexcept { return windows_; }
+  /// Cross-shard events delivered through the mailboxes.
+  [[nodiscard]] std::uint64_t cross_shard_posts() const noexcept { return posts_; }
+  /// Total events processed across every shard.
+  [[nodiscard]] std::uint64_t processed_events() const;
+
+ private:
+  struct Post {
+    std::size_t dst = 0;
+    Milliseconds when{0.0};
+    Simulator::Action action;
+  };
+
+  /// Drains every outbox into the destination engines in (src, seq) order.
+  void deliver_mailboxes();
+
+  std::vector<std::unique_ptr<Simulator>> engines_;
+  /// outboxes_[src]: posts made by shard `src` this window, in post order.
+  /// Shard-confined between barriers, so no synchronisation is needed;
+  /// clear() keeps the capacity, making steady-state posting allocation-free.
+  std::vector<std::vector<Post>> outboxes_;
+  Milliseconds lookahead_;
+  /// End of the window currently executing (post() validates against it);
+  /// 0 before the first window.
+  Milliseconds window_end_{0.0};
+  std::uint64_t windows_ = 0;
+  std::uint64_t posts_ = 0;
+};
+
+}  // namespace spacecdn::des

@@ -7,10 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <optional>
 #include <queue>
 #include <vector>
 
+#include "util/inline_function.hpp"
 #include "util/units.hpp"
 
 namespace spacecdn::des {
@@ -24,7 +25,9 @@ using EventId = std::uint64_t;
 /// Actions may schedule further events; time never moves backwards.
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  /// Small-buffer-optimised: typical load-engine captures live inside the
+  /// event slot itself, so steady-state scheduling never heap-allocates.
+  using Action = InlineFunction;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -53,6 +56,11 @@ class Simulator {
 
   /// Runs exactly one event if any is pending; returns whether one ran.
   bool step();
+
+  /// Timestamp of the earliest live pending event, or nullopt when drained.
+  /// Prunes cancelled queue entries encountered on the way (hence
+  /// non-const); the sharded engine uses this to pick the next time window.
+  [[nodiscard]] std::optional<Milliseconds> next_event_time();
 
  private:
   struct Entry {

@@ -1,0 +1,81 @@
+#include "geo/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/earth.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::geo {
+
+namespace {
+
+// Pass 1 of the elevation kernel: the clamped sine of the elevation angle,
+// or the sentinel for the degenerate ground==satellite case.  Everything
+// here is mul/add/div/sqrt/min/max -- the autovectorizable part.
+// 2.0 is outside clamp's [-1, 1] range, so it is unambiguous.
+constexpr double kDegenerate = 2.0;
+
+inline double elevation_sine(const Ecef& g, double g_norm, double sx, double sy,
+                             double sz) noexcept {
+  // Identical expression sequence to elevation_angle_deg(): los, |los|,
+  // dot / (|los| |g|), clamp.  Do not reorder or reassociate.
+  const double dx = sx - g.x;
+  const double dy = sy - g.y;
+  const double dz = sz - g.z;
+  const double range = std::sqrt(dx * dx + dy * dy + dz * dz);
+  if (range < 1e-9) return kDegenerate;
+  const double dot = (dx * g.x + dy * g.y + dz * g.z) / (range * g_norm);
+  return std::clamp(dot, -1.0, 1.0);
+}
+
+// Pass 2: the scalar-libm tail shared by both elevation entry points.
+inline void sines_to_degrees(std::span<double> out) noexcept {
+  for (double& v : out) {
+    v = v > 1.5 ? 90.0 : rad_to_deg(std::asin(v));
+  }
+}
+
+}  // namespace
+
+void elevation_angles_deg(const Ecef& ground, std::span<const double> xs,
+                          std::span<const double> ys, std::span<const double> zs,
+                          std::span<double> out) noexcept {
+  const std::size_t n = out.size();
+  // g_norm is loop-invariant in the scalar path too (same call, same
+  // argument), so hoisting it cannot change any element's result.
+  const double g_norm = norm(ground).value();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = elevation_sine(ground, g_norm, xs[i], ys[i], zs[i]);
+  }
+  sines_to_degrees(out);
+}
+
+void elevation_angles_deg(const Ecef& ground, std::span<const double> xs,
+                          std::span<const double> ys, std::span<const double> zs,
+                          std::span<const std::uint32_t> ids,
+                          std::span<double> out) noexcept {
+  const std::size_t n = out.size();
+  const double g_norm = norm(ground).value();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t id = ids[i];
+    out[i] = elevation_sine(ground, g_norm, xs[id], ys[id], zs[id]);
+  }
+  sines_to_degrees(out);
+}
+
+void slant_ranges_km(const Ecef& ground, std::span<const double> xs,
+                     std::span<const double> ys, std::span<const double> zs,
+                     std::span<double> out) noexcept {
+  const std::size_t n = out.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Same expression as euclidean_distance(): difference then sum of
+    // squares then sqrt.
+    const double dx = ground.x - xs[i];
+    const double dy = ground.y - ys[i];
+    const double dz = ground.z - zs[i];
+    out[i] = std::sqrt(dx * dx + dy * dy + dz * dz);
+  }
+}
+
+}  // namespace spacecdn::geo

@@ -1,0 +1,43 @@
+// Batched visibility geometry over struct-of-arrays satellite positions.
+//
+// The per-satellite scalar functions in geo/visibility.hpp are the checked
+// references; these kernels compute the *same per-element expression
+// sequence* over whole position arrays so the compiler can keep the
+// mul/add/div/sqrt/clamp portion in vector registers (the trailing asin is a
+// libm call and stays scalar).  Bit-identity with the scalar path is a hard
+// contract -- serving-satellite selection breaks exact elevation ties by id,
+// and a one-ulp drift could flip a tie and with it a committed run checksum
+// -- so the kernels hoist only values that are loop-invariant anyway (the
+// ground norm) and never reassociate the per-element arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "geo/coordinates.hpp"
+
+namespace spacecdn::geo {
+
+/// Elevation angles (degrees) of satellites (xs[i], ys[i], zs[i]) as seen
+/// from the spherical-ECEF ground point `ground`.  out[i] is bit-identical
+/// to elevation_angle_deg(ground, Ecef{xs[i], ys[i], zs[i]}).
+/// All spans must have equal length.
+void elevation_angles_deg(const Ecef& ground, std::span<const double> xs,
+                          std::span<const double> ys, std::span<const double> zs,
+                          std::span<double> out) noexcept;
+
+/// Gathered variant: satellite `ids[i]` out of the SoA arrays, for spatial-
+/// index candidate lists.  out[i] is bit-identical to
+/// elevation_angle_deg(ground, Ecef{xs[ids[i]], ...}).
+void elevation_angles_deg(const Ecef& ground, std::span<const double> xs,
+                          std::span<const double> ys, std::span<const double> zs,
+                          std::span<const std::uint32_t> ids,
+                          std::span<double> out) noexcept;
+
+/// Slant ranges (km) from `ground` to every satellite; out[i] is
+/// bit-identical to euclidean_distance(ground, Ecef{xs[i], ys[i], zs[i]}).
+void slant_ranges_km(const Ecef& ground, std::span<const double> xs,
+                     std::span<const double> ys, std::span<const double> zs,
+                     std::span<double> out) noexcept;
+
+}  // namespace spacecdn::geo

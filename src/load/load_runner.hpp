@@ -172,14 +172,36 @@ class LoadRunner {
              cdn::CdnDeployment& ground_cdn, std::vector<sim::Shell1Client> clients,
              LoadConfig config);
 
+  /// External-engine variant: the run's events land on `engine` instead of a
+  /// private simulator.  This is the sharded load mode's entry point -- each
+  /// shard's runner targets one ShardedSimulator shard and the caller drives
+  /// the engines (prepare() then the engine's run loop then collect());
+  /// `engine` must outlive the runner.
+  LoadRunner(des::Simulator& engine, lsn::StarlinkNetwork& network,
+             space::SatelliteFleet& fleet, cdn::CdnDeployment& ground_cdn,
+             std::vector<sim::Shell1Client> clients, LoadConfig config);
+
   /// The backpressure hook: fires on every admission rejection.  Install
   /// before run(); e.g. feed a faults-style degradation policy.
   void set_reject_hook(AdmissionController::RejectHook hook);
 
-  /// Runs the whole simulation to completion and aggregates the report.
-  /// Also mirrors the headline numbers into obs::metrics() when a registry
-  /// is installed (single-threaded sinks; benches force --threads=1).
+  /// Stage 1 of a run: prewarms placement, installs the fault schedule and
+  /// observability producers, and schedules every client's first arrival.
+  /// After this the engine is ready to run; call collect() once it drains.
+  void prepare();
+
+  /// Stage 2: aggregates the report after the engine has drained.  Also
+  /// mirrors the headline numbers into obs::metrics() when a registry is
+  /// installed (single-threaded sinks; call from one thread).
+  [[nodiscard]] LoadReport collect();
+
+  /// prepare() + run the engine to completion + collect(), the one-call
+  /// serial path every bench default uses.
   [[nodiscard]] LoadReport run();
+
+  /// The simulator this run schedules on (owned unless the external-engine
+  /// constructor was used).
+  [[nodiscard]] des::Simulator& engine() noexcept { return *sim_; }
 
   [[nodiscard]] const TrafficModel& traffic() const noexcept { return traffic_; }
   [[nodiscard]] const LoadConfig& config() const noexcept { return config_; }
@@ -211,6 +233,9 @@ class LoadRunner {
   /// recorder once per window.
   void note_deadline_miss(Milliseconds now);
 
+  /// Shared tail of both constructors: churn/degradation/hook wiring, the
+  /// per-city streams, and observability setup.
+  void init(lsn::StarlinkNetwork& network, space::SatelliteFleet& fleet);
   /// Engages the recorder / SLO tracker / timeline producers per config
   /// (called from the constructor; no-op when everything is off).
   void setup_observability();
@@ -223,7 +248,10 @@ class LoadRunner {
   space::SatelliteFleet* fleet_;
   LoadConfig config_;
   TrafficModel traffic_;
-  des::Simulator sim_;
+  /// Engine storage for the owning constructor; null in external-engine mode.
+  std::unique_ptr<des::Simulator> owned_sim_;
+  /// The engine every event lands on (owned_sim_ or the caller's shard).
+  des::Simulator* sim_;
   space::SpaceCdnRouter router_;
   AdmissionController admission_;
   /// Applies fault_schedule events mid-run (engaged only when non-empty).

@@ -1,0 +1,135 @@
+#include "load/sharded.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "des/sharded.hpp"
+#include "util/error.hpp"
+
+namespace spacecdn::load {
+
+namespace {
+
+/// Folds shard `s`'s report into the merged one.  Counters sum; sample sets
+/// concatenate (the caller walks shards in order, so the merged sequence is
+/// deterministic); utilization merges element-wise max -- serving sets are
+/// disjoint across groups, so at most one shard is non-zero per satellite.
+void merge_report(LoadReport& merged, const LoadReport& shard) {
+  merged.offered += shard.offered;
+  merged.completed += shard.completed;
+  merged.rejected += shard.rejected;
+  merged.no_coverage += shard.no_coverage;
+  merged.failed += shard.failed;
+  merged.deadline_missed += shard.deadline_missed;
+  merged.abandoned += shard.abandoned;
+  merged.shed_to_ground += shard.shed_to_ground;
+  merged.retries += shard.retries;
+  merged.hedged += shard.hedged;
+  merged.hedge_won += shard.hedge_won;
+  merged.breaker_short_circuits += shard.breaker_short_circuits;
+  merged.hot_marks += shard.hot_marks;
+  for (std::size_t t = 0; t < merged.tier.size(); ++t) merged.tier[t] += shard.tier[t];
+  merged.latency_ms.add_all(shard.latency_ms.raw());
+  merged.queue_wait_ms.add_all(shard.queue_wait_ms.raw());
+  merged.delivered += shard.delivered;
+  // Peaks in different shard groups are concurrent contention on disjoint
+  // resources; the merged "peak" is the max, not the sum.
+  merged.peak_queue_depth = std::max(merged.peak_queue_depth, shard.peak_queue_depth);
+  merged.peak_active_transfers =
+      std::max(merged.peak_active_transfers, shard.peak_active_transfers);
+  if (merged.satellite_utilization.size() < shard.satellite_utilization.size()) {
+    merged.satellite_utilization.resize(shard.satellite_utilization.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < shard.satellite_utilization.size(); ++i) {
+    merged.satellite_utilization[i] =
+        std::max(merged.satellite_utilization[i], shard.satellite_utilization[i]);
+  }
+  merged.max_utilization = std::max(merged.max_utilization, shard.max_utilization);
+}
+
+}  // namespace
+
+std::vector<std::vector<sim::Shell1Client>> partition_clients_by_serving(
+    const lsn::StarlinkNetwork& network, const std::vector<sim::Shell1Client>& clients,
+    std::size_t shards) {
+  SPACECDN_EXPECT(shards > 0, "client partition needs at least one shard");
+  std::vector<std::vector<sim::Shell1Client>> groups(shards);
+  if (shards == 1) {
+    groups[0] = clients;
+    return groups;
+  }
+  const double min_elev = network.config().user_min_elevation_deg;
+  const orbit::EphemerisSnapshot& snapshot = network.snapshot();
+  for (const sim::Shell1Client& client : clients) {
+    const auto serving =
+        snapshot.serving_satellite(sim::client_location(client), min_elev);
+    const std::uint64_t key = serving ? *serving : client.dataset_index;
+    groups[key % shards].push_back(client);
+  }
+  return groups;
+}
+
+ShardedLoadOutcome run_sharded_load(
+    lsn::StarlinkNetwork& network, const std::vector<sim::Shell1Client>& clients,
+    const LoadConfig& config, const ShardedLoadOptions& options,
+    const std::function<space::SatelliteFleet()>& make_fleet,
+    const std::function<cdn::CdnDeployment()>& make_ground, ThreadPool* pool) {
+  SPACECDN_EXPECT(options.shards > 0, "sharded load needs at least one shard");
+  // The fault timeline, series recorder, and incident timeline are per-run
+  // global producers; their semantics (one fault hitting every client, one
+  // merged series) do not decompose across independent shard groups.
+  SPACECDN_EXPECT(config.fault_schedule.empty(),
+                  "sharded load mode does not support fault schedules");
+  SPACECDN_EXPECT(config.series_interval.value() <= 0.0 && !config.timeline,
+                  "sharded load mode does not support series/timeline artifacts");
+
+  const Milliseconds lookahead = options.lookahead.value() > 0.0
+                                     ? options.lookahead
+                                     : Milliseconds{config.horizon.value() / 8.0};
+  des::ShardedSimulator sharded(options.shards, lookahead);
+
+  const auto groups = partition_clients_by_serving(network, clients, options.shards);
+
+  // Shard-local worlds: each group's runner owns a private fleet + ground
+  // CDN and schedules exclusively on its own shard engine.  Empty groups
+  // (more shards than serving satellites) simply contribute nothing.
+  struct ShardState {
+    space::SatelliteFleet fleet;
+    cdn::CdnDeployment ground;
+    std::optional<LoadRunner> runner;
+  };
+  std::vector<std::unique_ptr<ShardState>> states(options.shards);
+  for (std::size_t s = 0; s < options.shards; ++s) {
+    if (groups[s].empty()) continue;
+    auto state = std::make_unique<ShardState>(ShardState{make_fleet(), make_ground(), {}});
+    state->runner.emplace(sharded.shard(s), network, state->fleet, state->ground,
+                          groups[s], config);
+    state->runner->prepare();
+    states[s] = std::move(state);
+  }
+
+  // Parallel advancement: shards only write shard-local state (runner,
+  // fleet, ground CDN, engine) and read the shared network through its
+  // thread-safe routing caches, so the window barrier is the only
+  // synchronisation the run needs.
+  sharded.run(pool);
+
+  // Merge at the final barrier, in shard order: the merged report is a pure
+  // function of (clients, config, shard count), never of the worker count.
+  ShardedLoadOutcome outcome;
+  outcome.shard_completed.assign(options.shards, 0);
+  for (std::size_t s = 0; s < options.shards; ++s) {
+    if (!states[s]) continue;
+    const LoadReport shard_report = states[s]->runner->collect();
+    outcome.shard_completed[s] = shard_report.completed;
+    merge_report(outcome.report, shard_report);
+  }
+  outcome.report.goodput_mbps =
+      outcome.report.delivered.megabits() / config.horizon.seconds();
+  outcome.windows = sharded.windows_executed();
+  return outcome;
+}
+
+}  // namespace spacecdn::load

@@ -1,0 +1,87 @@
+// Sharded load mode: one open-loop load run partitioned across the
+// conservatively-synchronised parallel DES.
+//
+// The serial load engine's capacity couplings (shared gateway feeders,
+// shared ISL links, shared satellite caches) make one fully-coupled run
+// impossible to parallelise bit-identically -- charges land synchronously at
+// dispatch, so the cross-shard lookahead would be zero.  The sharded mode
+// instead partitions *clients by their serving satellite* into S shard
+// groups, each owning private fleet / ground-CDN / capacity / admission
+// state, and advances the S shard-local simulations on a ShardedSimulator.
+//
+// What that buys and what it costs:
+//  * S == 1 reproduces the serial engine bit for bit (same runner, same
+//    engine semantics) -- the default, so committed checksums never move.
+//  * At fixed S, results are bit-identical for any --threads value: shards
+//    only touch shard-local state plus read-only world objects, and reports
+//    merge in shard order after the final barrier.
+//  * S > 1 is a documented approximation: couplings *between* shard groups
+//    (a gateway feeder shared by two serving satellites, ISL links crossed
+//    by both groups' tier-ii paths, cache hits on another group's replicas)
+//    are dropped, because each group charges its own private copy.
+//    Admission and the downlink bottleneck -- the dominant contention -- key
+//    on the serving satellite, which the partition keeps exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cdn/deployment.hpp"
+#include "load/load_runner.hpp"
+#include "lsn/starlink.hpp"
+#include "sim/scenario.hpp"
+#include "spacecdn/fleet.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spacecdn::load {
+
+/// Options of one sharded load run.
+struct ShardedLoadOptions {
+  /// Shard-group count; 1 == the serial engine on the sharded scaffolding.
+  std::size_t shards = 1;
+  /// Conservative window width for the ShardedSimulator.  The shard groups
+  /// are independent by construction, so any positive width is safe; 0
+  /// derives horizon/8 (a handful of barriers for progress accounting).
+  Milliseconds lookahead{0.0};
+};
+
+/// A merged run plus the per-shard accounting the barrier merge preserves.
+struct ShardedLoadOutcome {
+  /// Shard reports merged in shard order (counters summed, sample sets
+  /// concatenated shard-by-shard, per-satellite utilization element-wise max
+  /// over the disjoint serving sets).
+  LoadReport report;
+  /// Lookahead windows the sharded engine executed.
+  std::uint64_t windows = 0;
+  /// Per-shard completion counts, in shard order (merge-at-barrier
+  /// accounting detail; sums to report.completed).
+  std::vector<std::uint64_t> shard_completed;
+};
+
+/// Partitions clients into `shards` groups keyed by serving satellite
+/// (serving % shards), so every client contending for one downlink and one
+/// admission slot pool lands in the same group.  Uncovered clients key on
+/// their dataset index instead (they produce no_coverage wherever they
+/// land).  Order inside each group preserves the input order, which makes
+/// the partition -- and everything downstream -- a pure function of the
+/// client list for any shard count.
+[[nodiscard]] std::vector<std::vector<sim::Shell1Client>> partition_clients_by_serving(
+    const lsn::StarlinkNetwork& network, const std::vector<sim::Shell1Client>& clients,
+    std::size_t shards);
+
+/// Runs one sharded load run: partitions `clients`, prepares one LoadRunner
+/// per non-empty shard group (each on its own ShardedSimulator shard, with
+/// its own fleet and ground CDN from the factories), advances all shards on
+/// `pool` (nullptr = serial), and merges the reports in shard order.
+///
+/// Restrictions (the per-run global producers do not split across shards):
+/// no fault schedule, no series recorder, no timeline.
+/// @throws spacecdn::ConfigError when those are configured, or shards == 0.
+[[nodiscard]] ShardedLoadOutcome run_sharded_load(
+    lsn::StarlinkNetwork& network, const std::vector<sim::Shell1Client>& clients,
+    const LoadConfig& config, const ShardedLoadOptions& options,
+    const std::function<space::SatelliteFleet()>& make_fleet,
+    const std::function<cdn::CdnDeployment()>& make_ground, ThreadPool* pool);
+
+}  // namespace spacecdn::load

@@ -9,6 +9,7 @@ namespace spacecdn::net {
 
 NodeId Graph::add_node() {
   adjacency_.emplace_back();
+  csr_dirty_.store(true, std::memory_order_release);
   return static_cast<NodeId>(adjacency_.size() - 1);
 }
 
@@ -18,6 +19,7 @@ void Graph::add_edge(NodeId from, NodeId to, Milliseconds weight) {
   SPACECDN_EXPECT(weight.value() >= 0.0, "edge weight must be non-negative");
   adjacency_[from].push_back(Edge{to, weight});
   ++edges_;
+  csr_dirty_.store(true, std::memory_order_release);
 }
 
 void Graph::add_undirected_edge(NodeId a, NodeId b, Milliseconds weight) {
@@ -34,6 +36,7 @@ std::size_t Graph::remove_edge(NodeId from, NodeId to) {
   const auto removed = static_cast<std::size_t>(adj.end() - removed_begin);
   adj.erase(removed_begin, adj.end());
   edges_ -= removed;
+  if (removed != 0) csr_dirty_.store(true, std::memory_order_release);
   return removed;
 }
 
@@ -49,6 +52,46 @@ std::span<const Edge> Graph::neighbors(NodeId node) const {
 void Graph::clear_edges() noexcept {
   for (auto& adj : adjacency_) adj.clear();
   edges_ = 0;
+  csr_dirty_.store(true, std::memory_order_release);
+}
+
+void Graph::rebuild_csr() const {
+  const std::size_t n = adjacency_.size();
+  csr_offsets_.assign(n + 1, 0);
+  csr_targets_.clear();
+  csr_targets_.reserve(edges_);
+  csr_weights_.clear();
+  csr_weights_.reserve(edges_);
+  double min_weight = kUnreachableWeight;
+  for (std::size_t u = 0; u < n; ++u) {
+    // Flattening preserves per-node edge order, the property the queries
+    // rely on for bit-exact relaxation order.
+    for (const Edge& e : adjacency_[u]) {
+      csr_targets_.push_back(e.to);
+      csr_weights_.push_back(e.weight.value());
+      if (e.weight.value() < min_weight) min_weight = e.weight.value();
+    }
+    csr_offsets_[u + 1] = static_cast<std::uint32_t>(csr_targets_.size());
+  }
+  csr_min_weight_ = min_weight;
+}
+
+CsrView Graph::csr() const {
+  if (csr_dirty_.load(std::memory_order_acquire)) {
+    const std::lock_guard lock(csr_mutex_);
+    if (csr_dirty_.load(std::memory_order_relaxed)) {
+      rebuild_csr();
+      // Publishes the rebuilt arrays: a reader whose acquire load above sees
+      // `false` also sees every write rebuild_csr made.
+      csr_dirty_.store(false, std::memory_order_release);
+    }
+  }
+  return CsrView{csr_offsets_, csr_targets_, csr_weights_};
+}
+
+Milliseconds Graph::min_edge_weight() const {
+  (void)csr();  // ensure csr_min_weight_ is current
+  return Milliseconds{csr_min_weight_};
 }
 
 namespace {
@@ -63,6 +106,7 @@ struct QueueEntry {
 
 std::vector<Milliseconds> shortest_distances(const Graph& g, NodeId source) {
   SPACECDN_EXPECT(source < g.node_count(), "source node out of range");
+  const CsrView csr = g.csr();
   std::vector<double> dist(g.node_count(), kUnreachable);
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
   dist[source] = 0.0;
@@ -71,11 +115,14 @@ std::vector<Milliseconds> shortest_distances(const Graph& g, NodeId source) {
     const auto [d, u] = pq.top();
     pq.pop();
     if (d > dist[u]) continue;  // stale entry
-    for (const Edge& e : g.neighbors(u)) {
-      const double nd = d + e.weight.value();
-      if (nd < dist[e.to]) {
-        dist[e.to] = nd;
-        pq.push({nd, e.to});
+    // CSR edge order == insertion order, so the relaxation sequence (and any
+    // equal-distance tie outcome) matches the adjacency-list loop exactly.
+    for (std::uint32_t ei = csr.offsets[u]; ei < csr.offsets[u + 1]; ++ei) {
+      const NodeId v = csr.targets[ei];
+      const double nd = d + csr.weights[ei];
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        pq.push({nd, v});
       }
     }
   }
@@ -88,6 +135,7 @@ std::vector<Milliseconds> shortest_distances(const Graph& g, NodeId source) {
 std::optional<Path> shortest_path(const Graph& g, NodeId source, NodeId target) {
   SPACECDN_EXPECT(source < g.node_count() && target < g.node_count(),
                   "path endpoints must be existing nodes");
+  const CsrView csr = g.csr();
   std::vector<double> dist(g.node_count(), kUnreachable);
   std::vector<NodeId> prev(g.node_count(), source);
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
@@ -98,12 +146,13 @@ std::optional<Path> shortest_path(const Graph& g, NodeId source, NodeId target) 
     pq.pop();
     if (u == target) break;
     if (d > dist[u]) continue;
-    for (const Edge& e : g.neighbors(u)) {
-      const double nd = d + e.weight.value();
-      if (nd < dist[e.to]) {
-        dist[e.to] = nd;
-        prev[e.to] = u;
-        pq.push({nd, e.to});
+    for (std::uint32_t ei = csr.offsets[u]; ei < csr.offsets[u + 1]; ++ei) {
+      const NodeId v = csr.targets[ei];
+      const double nd = d + csr.weights[ei];
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        prev[v] = u;
+        pq.push({nd, v});
       }
     }
   }
@@ -122,6 +171,7 @@ std::optional<Path> shortest_path(const Graph& g, NodeId source, NodeId target) 
 std::vector<HopDistance> nodes_within_hops(const Graph& g, NodeId source,
                                            std::uint32_t max_hops) {
   SPACECDN_EXPECT(source < g.node_count(), "source node out of range");
+  const CsrView csr = g.csr();
   std::vector<bool> seen(g.node_count(), false);
   std::vector<HopDistance> out;
   std::queue<HopDistance> frontier;
@@ -132,10 +182,11 @@ std::vector<HopDistance> nodes_within_hops(const Graph& g, NodeId source,
     frontier.pop();
     out.push_back(cur);
     if (cur.hops == max_hops) continue;
-    for (const Edge& e : g.neighbors(cur.node)) {
-      if (!seen[e.to]) {
-        seen[e.to] = true;
-        frontier.push({e.to, cur.hops + 1});
+    for (std::uint32_t ei = csr.offsets[cur.node]; ei < csr.offsets[cur.node + 1]; ++ei) {
+      const NodeId v = csr.targets[ei];
+      if (!seen[v]) {
+        seen[v] = true;
+        frontier.push({v, cur.hops + 1});
       }
     }
   }

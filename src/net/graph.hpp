@@ -4,8 +4,10 @@
 // all map onto them).  Edge weights are one-way latencies in milliseconds.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -32,12 +34,47 @@ struct Path {
   }
 };
 
-/// Adjacency-list digraph with latency weights.
+/// Read-only flattened adjacency: three parallel arrays in compressed
+/// sparse row layout.  Node u's outgoing edges occupy indices
+/// [offsets[u], offsets[u+1]), in exactly the order add_edge created them,
+/// so algorithms walking the view relax edges in the same order as the
+/// original adjacency-list loops -- bit-identical results, better locality.
+struct CsrView {
+  std::span<const std::uint32_t> offsets;  // node_count()+1 entries
+  std::span<const NodeId> targets;
+  std::span<const double> weights;  // milliseconds, raw doubles for the hot loop
+};
+
+/// Adjacency-list digraph with latency weights and a lazily-maintained CSR
+/// mirror for query hot paths.
 class Graph {
  public:
   Graph() = default;
   /// Pre-creates `n` nodes (ids 0..n-1).
   explicit Graph(std::size_t n) : adjacency_(n) {}
+
+  // Copies/moves carry the adjacency lists and leave the CSR mirror dirty;
+  // it is a cache, rebuilt on the next query.  (Spelled out because the
+  // mutex/atomic members are not copyable.)
+  Graph(const Graph& other) : adjacency_(other.adjacency_), edges_(other.edges_) {}
+  Graph& operator=(const Graph& other) {
+    if (this != &other) {
+      adjacency_ = other.adjacency_;
+      edges_ = other.edges_;
+      csr_dirty_.store(true, std::memory_order_release);
+    }
+    return *this;
+  }
+  Graph(Graph&& other) noexcept
+      : adjacency_(std::move(other.adjacency_)), edges_(other.edges_) {}
+  Graph& operator=(Graph&& other) noexcept {
+    if (this != &other) {
+      adjacency_ = std::move(other.adjacency_);
+      edges_ = other.edges_;
+      csr_dirty_.store(true, std::memory_order_release);
+    }
+    return *this;
+  }
 
   /// Adds a node; returns its id.
   NodeId add_node();
@@ -66,9 +103,40 @@ class Graph {
   /// recomputed every ephemeris step).
   void clear_edges() noexcept;
 
+  /// The CSR mirror, rebuilding it first if any mutation happened since the
+  /// last query.  The returned spans stay valid until the next mutation.
+  ///
+  /// Thread-safe against concurrent csr() calls (double-checked rebuild
+  /// under an internal mutex), matching the RoutingCache discipline: many
+  /// concurrent readers, never a reader concurrent with a mutation.
+  [[nodiscard]] CsrView csr() const;
+
+  /// Smallest edge weight in the graph, or Milliseconds{infinity} when the
+  /// graph has no edges.  This is the natural conservative lookahead for a
+  /// sharded simulation whose cross-shard interactions traverse the graph:
+  /// no event can influence another shard in less than one edge delay.
+  [[nodiscard]] Milliseconds min_edge_weight() const;
+
  private:
+  /// Flattens adjacency_ into the csr_* arrays; caller holds csr_mutex_.
+  void rebuild_csr() const;
+
   std::vector<std::vector<Edge>> adjacency_;
   std::size_t edges_ = 0;
+
+  // CSR mirror: a cache of adjacency_, rebuilt lazily.  `mutable` + the
+  // dirty-flag dance lets const query paths (shortest_distances & friends
+  // under RoutingCache's parallel sweeps) share one rebuild without a lock
+  // on every query: the release store of `false` publishes the arrays, the
+  // acquire load on the fast path synchronises with it.
+  mutable std::mutex csr_mutex_;
+  mutable std::atomic<bool> csr_dirty_{true};
+  mutable std::vector<std::uint32_t> csr_offsets_;
+  mutable std::vector<NodeId> csr_targets_;
+  mutable std::vector<double> csr_weights_;
+  mutable double csr_min_weight_ = kUnreachableWeight;
+
+  static constexpr double kUnreachableWeight = std::numeric_limits<double>::infinity();
 };
 
 inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();

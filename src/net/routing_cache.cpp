@@ -19,6 +19,10 @@ struct QueueEntry {
 
 SsspTree::SsspTree(const Graph& graph, NodeId source) : source_(source) {
   SPACECDN_EXPECT(source < graph.node_count(), "source node out of range");
+  // CSR keeps the relaxation order of the adjacency-list loop (per-node edge
+  // order is insertion order), so cached trees are bit-identical to the
+  // direct shortest_path/shortest_distances results they memoise.
+  const CsrView csr = graph.csr();
   std::vector<double> dist(graph.node_count(), kUnreachable);
   parents_.assign(graph.node_count(), source);
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
@@ -28,12 +32,13 @@ SsspTree::SsspTree(const Graph& graph, NodeId source) : source_(source) {
     const auto [d, u] = pq.top();
     pq.pop();
     if (d > dist[u]) continue;  // stale entry
-    for (const Edge& e : graph.neighbors(u)) {
-      const double nd = d + e.weight.value();
-      if (nd < dist[e.to]) {
-        dist[e.to] = nd;
-        parents_[e.to] = u;
-        pq.push({nd, e.to});
+    for (std::uint32_t ei = csr.offsets[u]; ei < csr.offsets[u + 1]; ++ei) {
+      const NodeId v = csr.targets[ei];
+      const double nd = d + csr.weights[ei];
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        parents_[v] = u;
+        pq.push({nd, v});
       }
     }
   }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "geo/batch.hpp"
 #include "obs/profile.hpp"
 #include "util/error.hpp"
 
@@ -14,6 +15,14 @@ namespace {
 std::uint64_t next_epoch() {
   static std::atomic<std::uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+// Per-thread elevation buffer for the batched kernels: queries run inside
+// parallel routing sweeps, and thread_local keeps them allocation-free
+// without sharing.
+std::vector<double>& elevation_scratch() {
+  thread_local std::vector<double> scratch;
+  return scratch;
 }
 
 }  // namespace
@@ -54,10 +63,15 @@ std::vector<std::uint32_t> EphemerisSnapshot::visible_satellites(
   index_.candidates(ground, query_psi_deg(min_elevation_deg), out);
   std::sort(out.begin(), out.end());
 
+  // Batched gather over the SoA arrays: bit-identical per-element math to
+  // the scalar is_visible loop, so the kept set cannot differ.
   const geo::Ecef g = geo::to_ecef_spherical(ground);
+  std::vector<double>& elev = elevation_scratch();
+  elev.resize(out.size());
+  geo::elevation_angles_deg(g, x_, y_, z_, out, elev);
   std::size_t kept = 0;
-  for (const std::uint32_t id : out) {
-    if (geo::is_visible(g, position(id), min_elevation_deg)) out[kept++] = id;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (elev[i] >= min_elevation_deg) out[kept++] = out[i];
   }
   out.resize(kept);
   return out;
@@ -72,15 +86,18 @@ std::optional<std::uint32_t> EphemerisSnapshot::serving_satellite(
   index_.candidates(ground, query_psi_deg(min_elevation_deg), scratch);
 
   const geo::Ecef g = geo::to_ecef_spherical(ground);
+  std::vector<double>& elev = elevation_scratch();
+  elev.resize(scratch.size());
+  geo::elevation_angles_deg(g, x_, y_, z_, scratch, elev);
   std::optional<std::uint32_t> best;
   double best_elev = min_elevation_deg;
-  for (const std::uint32_t id : scratch) {
-    const double elev = geo::elevation_angle_deg(g, position(id));
-    if (elev < best_elev) continue;
+  for (std::size_t i = 0; i < scratch.size(); ++i) {
+    const std::uint32_t id = scratch[i];
+    if (elev[i] < best_elev) continue;
     // Strictly-better elevation wins; an exact tie goes to the lowest id, so
     // the result does not depend on bucket enumeration order.
-    if (!best || elev > best_elev || id < *best) {
-      best_elev = elev;
+    if (!best || elev[i] > best_elev || id < *best) {
+      best_elev = elev[i];
       best = id;
     }
   }
@@ -89,10 +106,15 @@ std::optional<std::uint32_t> EphemerisSnapshot::serving_satellite(
 
 std::vector<std::uint32_t> EphemerisSnapshot::visible_satellites_scan(
     const geo::GeoPoint& ground, double min_elevation_deg) const {
+  // Contiguous batch over the full SoA arrays: the whole-constellation scan
+  // is exactly the shape the vectorized kernel is for.
   std::vector<std::uint32_t> out;
   const geo::Ecef g = geo::to_ecef_spherical(ground);
+  std::vector<double>& elev = elevation_scratch();
+  elev.resize(x_.size());
+  geo::elevation_angles_deg(g, x_, y_, z_, elev);
   for (std::uint32_t id = 0; id < size(); ++id) {
-    if (geo::is_visible(g, position(id), min_elevation_deg)) out.push_back(id);
+    if (elev[id] >= min_elevation_deg) out.push_back(id);
   }
   return out;
 }
@@ -100,13 +122,15 @@ std::vector<std::uint32_t> EphemerisSnapshot::visible_satellites_scan(
 std::optional<std::uint32_t> EphemerisSnapshot::serving_satellite_scan(
     const geo::GeoPoint& ground, double min_elevation_deg) const {
   const geo::Ecef g = geo::to_ecef_spherical(ground);
+  std::vector<double>& elev = elevation_scratch();
+  elev.resize(x_.size());
+  geo::elevation_angles_deg(g, x_, y_, z_, elev);
   std::optional<std::uint32_t> best;
   double best_elev = min_elevation_deg;
   for (std::uint32_t id = 0; id < size(); ++id) {
-    const double elev = geo::elevation_angle_deg(g, position(id));
-    if (elev < best_elev) continue;
-    if (!best || elev > best_elev) {  // ascending ids: ties keep the lowest id
-      best_elev = elev;
+    if (elev[id] < best_elev) continue;
+    if (!best || elev[id] > best_elev) {  // ascending ids: ties keep the lowest id
+      best_elev = elev[id];
       best = id;
     }
   }

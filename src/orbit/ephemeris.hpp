@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "geo/visibility.hpp"
@@ -41,6 +42,12 @@ class EphemerisSnapshot {
   }
 
   [[nodiscard]] geo::Ecef position(std::uint32_t sat_id) const;
+
+  /// SoA position columns (ECEF km, indexed by satellite id), the inputs the
+  /// batched geometry kernels (geo/batch.hpp) stream over.
+  [[nodiscard]] std::span<const double> xs() const noexcept { return x_; }
+  [[nodiscard]] std::span<const double> ys() const noexcept { return y_; }
+  [[nodiscard]] std::span<const double> zs() const noexcept { return z_; }
 
   /// Re-propagate all orbits to time `t`, reusing the position buffers and
   /// rebuilding the visibility index.  Positions equal a freshly-constructed

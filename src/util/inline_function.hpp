@@ -1,0 +1,134 @@
+// Small-buffer-optimised move-only callable for hot event paths.
+//
+// des::Simulator stores one action per scheduled event; with std::function
+// every capture beyond two pointers heap-allocates, and an open-loop load
+// sweep schedules millions of events.  InlineFunction keeps captures up to
+// kInlineFunctionBuffer bytes inside the object itself (the event slot pool
+// then recycles them allocation-free) and falls back to the heap only for
+// oversized captures, preserving correctness for rare fat closures.
+//
+// Deliberately minimal: void() signature, move-only, no target_type/RTTI.
+// Everything the simulator needs, nothing that would grow the per-slot
+// footprint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace spacecdn {
+
+/// Inline capture capacity in bytes.  Sized for the load engine's hottest
+/// closures (this + a couple of scalars, or one nested completion lambda);
+/// larger captures transparently spill to the heap.
+inline constexpr std::size_t kInlineFunctionBuffer = 48;
+
+/// Move-only `void()` callable with a fixed inline buffer.
+class InlineFunction {
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineFunctionBuffer &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      // Oversized or over-aligned capture: spill to the heap, storing the
+      // pointer in the buffer.  Rare by construction; correctness first.
+      ::new (static_cast<void*>(buffer_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buffer_, buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buffer_, buffer_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buffer_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char* storage);
+    /// Move-constructs into `to` and destroys the source (slots never hold
+    /// moved-from shells, so one fused operation suffices).
+    void (*relocate)(unsigned char* from, unsigned char* to) noexcept;
+    void (*destroy)(unsigned char* storage) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](unsigned char* storage) { (*std::launder(reinterpret_cast<Fn*>(storage)))(); },
+      [](unsigned char* from, unsigned char* to) noexcept {
+        Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+        ::new (static_cast<void*>(to)) Fn(std::move(*src));
+        src->~Fn();
+      },
+      [](unsigned char* storage) noexcept {
+        std::launder(reinterpret_cast<Fn*>(storage))->~Fn();
+      },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](unsigned char* storage) {
+        (**std::launder(reinterpret_cast<Fn**>(storage)))();
+      },
+      [](unsigned char* from, unsigned char* to) noexcept {
+        // The stored pointer is trivially destructible: relocation is a copy.
+        ::new (static_cast<void*>(to)) Fn*(*std::launder(reinterpret_cast<Fn**>(from)));
+      },
+      [](unsigned char* storage) noexcept {
+        delete *std::launder(reinterpret_cast<Fn**>(storage));
+      },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[kInlineFunctionBuffer];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace spacecdn

@@ -1,11 +1,15 @@
 #include "util/thread_pool.hpp"
 
-#include <atomic>
-#include <memory>
-
 #include "util/error.hpp"
 
 namespace spacecdn {
+namespace {
+// Set for the duration of every pool task; parallel_for consults it to run
+// nested invocations inline instead of deadlocking in wait_idle.
+thread_local bool t_inside_worker = false;
+}  // namespace
+
+bool ThreadPool::inside_worker() noexcept { return t_inside_worker; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -43,25 +47,8 @@ void ThreadPool::wait_idle() {
   idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
-  // One queue entry per worker, not per index: a shared atomic cursor hands
-  // out indices, so a million-element sweep costs no queue churn.
-  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
-  const std::size_t lanes = std::min(count, workers_.size());
-  for (std::size_t lane = 0; lane < lanes; ++lane) {
-    submit([cursor, count, &fn] {
-      for (std::size_t i = cursor->fetch_add(1, std::memory_order_relaxed); i < count;
-           i = cursor->fetch_add(1, std::memory_order_relaxed)) {
-        fn(i);
-      }
-    });
-  }
-  wait_idle();
-}
-
 void ThreadPool::worker_loop() {
+  t_inside_worker = true;
   for (;;) {
     std::function<void()> task;
     {

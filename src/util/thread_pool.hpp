@@ -7,10 +7,13 @@
 // runs which index never influences results, only wall-clock.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -31,17 +34,70 @@ class ThreadPool {
   [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
 
   /// Enqueues a task.  Tasks must not throw; an escaping exception
-  /// terminates (workers run them bare).
+  /// terminates (workers run them bare).  parallel_for wraps its work with
+  /// exception capture, so prefer it for anything that can fail.
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished executing.
   void wait_idle();
 
-  /// Runs `fn(i)` for every i in [0, count), distributing indices across the
-  /// pool dynamically (atomic work-stealing counter), and blocks until all
-  /// are done.  fn must write its result into caller-owned per-index storage;
-  /// the execution order is unspecified but every index runs exactly once.
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+  /// Runs `fn(i)` for every i in [0, count) and blocks until all are done.
+  /// fn must write its result into caller-owned per-index storage; the
+  /// execution order is unspecified but every index runs exactly once.
+  ///
+  /// - Indices are handed out in contiguous chunks through one atomic
+  ///   cursor (grain scales with count/workers), and `fn` is a template
+  ///   parameter, so a million-index sweep costs neither queue churn nor a
+  ///   std::function indirection per index.
+  /// - Re-entrant: called from inside a worker (a nested parallel_for), it
+  ///   runs every index inline on the calling thread.  The naive
+  ///   alternative -- submitting lanes and blocking in wait_idle while
+  ///   being one of the tasks wait_idle waits for -- deadlocks a
+  ///   single-worker pool.
+  /// - The first exception thrown by any index is captured and rethrown on
+  ///   the calling thread after every lane has stopped; remaining indices
+  ///   are abandoned (no partial-result contract under failure).
+  template <typename Fn>
+  void parallel_for(std::size_t count, const Fn& fn) {
+    if (count == 0) return;
+    if (inside_worker() || workers_.size() <= 1) {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    struct Shared {
+      std::atomic<std::size_t> cursor{0};
+      std::atomic<bool> failed{false};
+      std::mutex mutex;
+      std::exception_ptr error;
+    };
+    auto shared = std::make_shared<Shared>();
+    // Chunks amortise the cursor across many indices while still giving
+    // ~8 hand-outs per worker for dynamic load balance.
+    const std::size_t grain =
+        std::max<std::size_t>(1, count / (workers_.size() * 8));
+    const std::size_t lanes = std::min(count, workers_.size());
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      submit([shared, count, grain, &fn] {
+        for (;;) {
+          if (shared->failed.load(std::memory_order_acquire)) return;
+          const std::size_t begin =
+              shared->cursor.fetch_add(grain, std::memory_order_relaxed);
+          if (begin >= count) return;
+          const std::size_t end = std::min(count, begin + grain);
+          try {
+            for (std::size_t i = begin; i < end; ++i) fn(i);
+          } catch (...) {
+            const std::lock_guard lock(shared->mutex);
+            if (!shared->error) shared->error = std::current_exception();
+            shared->failed.store(true, std::memory_order_release);
+            return;
+          }
+        }
+      });
+    }
+    wait_idle();
+    if (shared->error) std::rethrow_exception(shared->error);
+  }
 
   /// The worker count a `--threads=N` flag resolves to: N itself, or
   /// hardware concurrency when N == 0.
@@ -49,6 +105,9 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// True on a thread currently executing one of this process's pool tasks
+  /// (any pool -- the guard is about re-entrancy, not ownership).
+  [[nodiscard]] static bool inside_worker() noexcept;
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

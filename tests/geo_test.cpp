@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
+#include "geo/batch.hpp"
 #include "geo/coordinates.hpp"
 #include "geo/distance.hpp"
 #include "geo/propagation.hpp"
@@ -195,6 +198,62 @@ TEST(Propagation, KnownDelays) {
               1e-9);
   // 1000 km of fiber: ~4.9 ms.
   EXPECT_NEAR(propagation_delay(Kilometers{1000.0}, Medium::kFiber).value(), 4.9, 0.1);
+}
+
+// Batched SoA kernels must be *bit-identical* to the scalar reference --
+// exact elevation ties break by satellite id, so a one-ulp drift could flip
+// a serving-satellite choice and a committed run checksum.
+TEST(BatchGeometry, ElevationsBitIdenticalToScalar) {
+  const Ecef ground = to_ecef_spherical(GeoPoint{37.7749, -122.4194});
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<double> zs;
+  for (int i = 0; i < 64; ++i) {
+    // A ring of positions from zenith to well below the horizon, plus the
+    // degenerate coincident point (index 0).
+    const double lat = -80.0 + 2.5 * i;
+    const double lon = -170.0 + 5.0 * i;
+    const Ecef sat =
+        i == 0 ? ground : to_ecef_spherical(GeoPoint{lat, lon, 300.0 + 20.0 * i});
+    xs.push_back(sat.x);
+    ys.push_back(sat.y);
+    zs.push_back(sat.z);
+  }
+  std::vector<double> batched(xs.size());
+  elevation_angles_deg(ground, xs, ys, zs, batched);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double scalar = elevation_angle_deg(ground, Ecef{xs[i], ys[i], zs[i]});
+    EXPECT_EQ(batched[i], scalar) << "elevation drifted at index " << i;
+  }
+  EXPECT_EQ(batched[0], 90.0);  // coincident point: straight up by convention
+
+  // Gathered variant: a shuffled id subset reads the same values.
+  const std::vector<std::uint32_t> ids{63, 0, 17, 17, 4};
+  std::vector<double> gathered(ids.size());
+  elevation_angles_deg(ground, xs, ys, zs, ids, gathered);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(gathered[i], batched[ids[i]]);
+  }
+}
+
+TEST(BatchGeometry, SlantRangesBitIdenticalToEuclidean) {
+  const Ecef ground = to_ecef_spherical(GeoPoint{51.5074, -0.1278});
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<double> zs;
+  for (int i = 0; i < 33; ++i) {
+    const Ecef sat =
+        to_ecef_spherical(GeoPoint{-60.0 + 4.0 * i, 11.0 * i, 550.0 + 3.0 * i});
+    xs.push_back(sat.x);
+    ys.push_back(sat.y);
+    zs.push_back(sat.z);
+  }
+  std::vector<double> ranges(xs.size());
+  slant_ranges_km(ground, xs, ys, zs, ranges);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(ranges[i],
+              euclidean_distance(ground, Ecef{xs[i], ys[i], zs[i]}).value());
+  }
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 // anycast.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "des/stats.hpp"
 #include "net/anycast.hpp"
 #include "net/dns.hpp"
@@ -47,6 +49,45 @@ TEST(Graph, ClearEdgesKeepsNodes) {
   g.clear_edges();
   EXPECT_EQ(g.node_count(), 4u);
   EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Csr, ViewMatchesAdjacencyInInsertionOrder) {
+  const Graph g = diamond();
+  const CsrView csr = g.csr();
+  ASSERT_EQ(csr.offsets.size(), g.node_count() + 1);
+  EXPECT_EQ(csr.targets.size(), g.edge_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto& adj = g.neighbors(u);
+    ASSERT_EQ(csr.offsets[u + 1] - csr.offsets[u], adj.size());
+    for (std::size_t k = 0; k < adj.size(); ++k) {
+      // Per-node edge order is insertion order: Dijkstra's relaxation
+      // sequence over the flat view is bit-identical to the nested one.
+      EXPECT_EQ(csr.targets[csr.offsets[u] + k], adj[k].to);
+      EXPECT_EQ(csr.weights[csr.offsets[u] + k], adj[k].weight.value());
+    }
+  }
+}
+
+TEST(Csr, RebuildsAfterMutationAndTracksMinWeight) {
+  Graph g = diamond();
+  EXPECT_EQ(g.min_edge_weight().value(), 1.0);
+  g.add_undirected_edge(1, 2, Milliseconds{0.25});
+  const CsrView csr = g.csr();  // lazily rebuilt after the mutation
+  EXPECT_EQ(csr.targets.size(), g.edge_count());
+  EXPECT_EQ(g.min_edge_weight().value(), 0.25);
+  g.clear_edges();
+  EXPECT_EQ(g.csr().targets.size(), 0u);
+  EXPECT_TRUE(std::isinf(g.min_edge_weight().value()));  // no edges
+}
+
+TEST(Csr, CopiedGraphHasIndependentView) {
+  Graph original = diamond();
+  (void)original.csr();
+  Graph copy = original;
+  copy.add_undirected_edge(0, 3, Milliseconds{0.5});
+  EXPECT_EQ(copy.csr().targets.size(), original.csr().targets.size() + 2);
+  EXPECT_EQ(original.min_edge_weight().value(), 1.0);
+  EXPECT_EQ(copy.min_edge_weight().value(), 0.5);
 }
 
 TEST(Dijkstra, FindsShortestPath) {

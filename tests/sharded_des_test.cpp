@@ -1,0 +1,262 @@
+// Tests for the sharded, conservatively-synchronised parallel DES
+// (des::ShardedSimulator) and the serial engine's ordering invariants it
+// relies on, plus the ThreadPool edges the window barrier exercises.
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/random.hpp"
+#include "des/sharded.hpp"
+#include "des/simulator.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace spacecdn;
+
+// ------------------------------------------- serial ordering invariants
+
+TEST(SimulatorOrdering, ScheduleAtNowFromActionRunsAfterQueuedPeers) {
+  des::Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(Milliseconds{5.0}, [&] {
+    order.push_back(0);
+    // Scheduled *at the current instant* from inside an action: it must run
+    // after every event already queued for t=5 (stable FIFO by sequence).
+    sim.schedule_at(sim.now(), [&] { order.push_back(3); });
+  });
+  sim.schedule_at(Milliseconds{5.0}, [&] { order.push_back(1); });
+  sim.schedule_at(Milliseconds{5.0}, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SimulatorOrdering, CancelInsideActionSuppressesSameInstantPeer) {
+  des::Simulator sim;
+  std::vector<int> order;
+  des::EventId victim = 0;
+  sim.schedule_at(Milliseconds{2.0}, [&] {
+    order.push_back(0);
+    EXPECT_TRUE(sim.cancel(victim));   // not yet fired: cancellable
+    EXPECT_FALSE(sim.cancel(victim));  // second cancel is a stale no-op
+  });
+  victim = sim.schedule_at(Milliseconds{2.0}, [&] { order.push_back(99); });
+  sim.schedule_at(Milliseconds{2.0}, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+// --------------------------------------------------- sharded simulator
+
+TEST(ShardedSimulator, RejectsDegenerateConfigs) {
+  EXPECT_THROW(des::ShardedSimulator(0, Milliseconds{1.0}), ConfigError);
+  EXPECT_THROW(des::ShardedSimulator(2, Milliseconds{0.0}), ConfigError);
+  EXPECT_THROW(des::ShardedSimulator(2, Milliseconds{-1.0}), ConfigError);
+}
+
+TEST(ShardedSimulator, SingleShardMatchesSerialSimulator) {
+  // The same three-event chain on the oracle and on a 1-shard sharded
+  // engine: identical execution order and timestamps.
+  auto drive = [](des::Simulator& sim, std::vector<double>& log) {
+    sim.schedule_at(Milliseconds{3.0}, [&sim, &log] {
+      log.push_back(sim.now().value());
+      sim.schedule(Milliseconds{4.0}, [&sim, &log] { log.push_back(sim.now().value()); });
+    });
+    sim.schedule_at(Milliseconds{3.0}, [&sim, &log] { log.push_back(-sim.now().value()); });
+  };
+  des::Simulator oracle;
+  std::vector<double> oracle_log;
+  drive(oracle, oracle_log);
+  oracle.run();
+
+  des::ShardedSimulator sharded(1, Milliseconds{2.0});
+  std::vector<double> sharded_log;
+  drive(sharded.shard(0), sharded_log);
+  sharded.run();
+
+  EXPECT_EQ(oracle_log, sharded_log);
+  EXPECT_EQ(sharded.processed_events(), oracle.processed_events());
+  EXPECT_EQ(sharded.cross_shard_posts(), 0u);
+}
+
+TEST(ShardedSimulator, MailboxDeliversInSourceThenSequenceOrder) {
+  des::ShardedSimulator sharded(3, Milliseconds{10.0});
+  std::vector<std::string> order;
+  // A local event queued first at t=5, then posts from shards 2 and 1 for
+  // the same instant.  The barrier drains outboxes in source-shard order
+  // (1 before 2) and each outbox in post order, and locally queued events
+  // keep their earlier sequence numbers, so the tie resolves local,
+  // s1-first-post, s1-second-post, s2.
+  sharded.shard(0).schedule_at(Milliseconds{5.0}, [&] { order.push_back("local"); });
+  sharded.post(2, 0, Milliseconds{5.0}, [&] { order.push_back("from-s2"); });
+  sharded.post(1, 0, Milliseconds{5.0}, [&] { order.push_back("from-s1-a"); });
+  sharded.post(1, 0, Milliseconds{5.0}, [&] { order.push_back("from-s1-b"); });
+  sharded.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"local", "from-s1-a", "from-s1-b", "from-s2"}));
+  EXPECT_EQ(sharded.cross_shard_posts(), 3u);
+}
+
+TEST(ShardedSimulator, PostInsideExecutingWindowThrows) {
+  des::ShardedSimulator sharded(2, Milliseconds{10.0});
+  sharded.shard(0).schedule_at(Milliseconds{4.0}, [&] {
+    // t=4 lies inside window (0, 10]; a post landing at t=6 would arrive
+    // after shard 1 may already have advanced past it.
+    sharded.post(0, 1, Milliseconds{6.0}, [] {});
+  });
+  EXPECT_THROW(sharded.run(), ConfigError);
+}
+
+TEST(ShardedSimulator, BoundaryEventBelongsToTheWindowThatEndsThere) {
+  // An event exactly at t=W runs in window 1 ((0, W]); a post made from it
+  // at t=W+lookahead is legal and lands in a later window.
+  des::ShardedSimulator sharded(2, Milliseconds{10.0});
+  std::vector<double> log;
+  sharded.shard(0).schedule_at(Milliseconds{10.0}, [&] {
+    sharded.post(0, 1, Milliseconds{20.0},
+                 [&] { log.push_back(sharded.shard(1).now().value()); });
+  });
+  sharded.run();
+  EXPECT_EQ(log, (std::vector<double>{20.0}));
+  EXPECT_EQ(sharded.windows_executed(), 2u);
+}
+
+// ------------------------- randomized serial-vs-parallel equivalence
+
+/// Shard-confined trace: every event folds (shard-local sequence, now, tag)
+/// into an FNV-1a accumulator, so two runs agree iff every shard executed
+/// the same events, in the same order, at the same times.
+struct GraphState {
+  des::ShardedSimulator* engine = nullptr;
+  std::vector<std::uint64_t> hash;
+  std::vector<std::uint64_t> count;
+  std::vector<des::Rng> rng;
+};
+
+void note(GraphState& st, std::size_t shard, double now, std::uint64_t tag) {
+  std::uint64_t h = st.hash[shard];
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &now, sizeof(bits));
+  for (const std::uint64_t v : {st.count[shard], bits, tag}) {
+    h = (h ^ v) * 0x100000001b3ULL;
+  }
+  st.hash[shard] = h;
+  ++st.count[shard];
+}
+
+constexpr double kGraphLookaheadMs = 8.0;
+
+/// One event of the random graph: traces itself, then (seeded, per-shard
+/// stream) fans out into local follow-ups and/or a cross-shard post with at
+/// least one full lookahead of delay.
+void run_graph_event(const std::shared_ptr<GraphState>& st, std::size_t shard,
+                     std::uint64_t tag, int depth) {
+  des::Simulator& eng = st->engine->shard(shard);
+  note(*st, shard, eng.now().value(), tag);
+  if (depth <= 0) return;
+  des::Rng& rng = st->rng[shard];
+  const std::uint64_t children = rng.uniform_int(0, 2);
+  for (std::uint64_t c = 0; c < children; ++c) {
+    const double delay = rng.uniform(0.0, 2.5 * kGraphLookaheadMs);
+    eng.schedule(Milliseconds{delay}, [st, shard, tag, depth, c] {
+      run_graph_event(st, shard, tag * 7 + c + 1, depth - 1);
+    });
+  }
+  if (rng.chance(0.4)) {
+    const std::size_t dst = rng.uniform_int(0, st->engine->shard_count() - 1);
+    // now > (k-1)W inside window k, so now + W > kW == window_end: always a
+    // legal post.
+    const Milliseconds when = eng.now() + Milliseconds{kGraphLookaheadMs} +
+                              Milliseconds{rng.uniform(0.0, kGraphLookaheadMs)};
+    st->engine->post(shard, dst, when, [st, dst, tag, depth] {
+      run_graph_event(st, dst, tag * 13 + 5, depth - 1);
+    });
+  }
+}
+
+GraphState run_random_graph(std::size_t shards, std::uint64_t seed, ThreadPool* pool) {
+  des::ShardedSimulator sharded(shards, Milliseconds{kGraphLookaheadMs});
+  auto st = std::make_shared<GraphState>();
+  st->engine = &sharded;
+  st->hash.assign(shards, 0xcbf29ce484222325ULL);
+  st->count.assign(shards, 0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    st->rng.emplace_back(des::mix_seed(seed, s));
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::uint64_t roots = 2 + s % 3;
+    for (std::uint64_t r = 0; r < roots; ++r) {
+      sharded.shard(s).schedule_at(Milliseconds{static_cast<double>(r)},
+                                   [st, s, r] { run_graph_event(st, s, r + 1, 6); });
+    }
+  }
+  sharded.run(pool);
+  GraphState out = *st;
+  out.engine = nullptr;  // the engine dies with this scope
+  return out;
+}
+
+TEST(ShardedSimulator, RandomEventGraphBitIdenticalAcrossThreadCounts) {
+  for (const std::uint64_t seed : {1ULL, 42ULL, 977ULL}) {
+    const GraphState serial = run_random_graph(4, seed, nullptr);
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : serial.count) total += c;
+    ASSERT_GT(total, 50u) << "seed " << seed << " produced a trivial graph";
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      ThreadPool pool(threads);
+      const GraphState parallel = run_random_graph(4, seed, &pool);
+      EXPECT_EQ(serial.hash, parallel.hash) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(serial.count, parallel.count) << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// ------------------------------------------------- thread-pool edges
+
+TEST(ThreadPoolEdges, SingleWorkerPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;  // no atomics needed: inline execution is serial
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolEdges, FirstExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(256,
+                        [&](std::size_t i) {
+                          ran.fetch_add(1, std::memory_order_relaxed);
+                          if (i == 17) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Lanes stop at the failure flag; not every index needs to have run.
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 256);
+  // The pool survives a failed sweep.
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolEdges, NestedParallelForRunsInlineInsteadOfDeadlocking) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    // From a worker thread, a nested sweep must not re-enter the queue and
+    // block on its own completion.
+    pool.parallel_for(8, [&](std::size_t j) {
+      inner_total.fetch_add(static_cast<int>(j) + 1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 36);
+}
+
+}  // namespace
