@@ -18,6 +18,7 @@
 #include "orbit/walker.hpp"
 #include "sim/world.hpp"
 #include "spacecdn/lookup.hpp"
+#include "spacecdn/placement_map.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -348,6 +349,38 @@ void BM_AimCountryCampaign(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AimCountryCampaign);
+
+// --- Jump-hash placement map: per-object lookup and churn rebalance ---
+//
+// BM_PlacementMapLookup is the router's tier-(ii) holder resolution (one
+// replicas() call); BM_PlacementMapRebalance is the delta a repair scan
+// computes per object after one membership flip (replicas under the old and
+// the new snapshot).
+
+void BM_PlacementMapLookup(benchmark::State& state) {
+  const orbit::WalkerConstellation& shell = sim::shared_world().constellation();
+  const space::PlacementMap map(shell, {});
+  cdn::ContentId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.replicas(id));
+    id = (id + 1) % 10'000;
+  }
+}
+BENCHMARK(BM_PlacementMapLookup);
+
+void BM_PlacementMapRebalance(benchmark::State& state) {
+  const orbit::WalkerConstellation& shell = sim::shared_world().constellation();
+  space::PlacementMap map(shell, {});
+  const std::vector<bool> before = map.membership().bitmap();
+  (void)map.membership().set_live(417, false);
+  cdn::ContentId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.replicas_under(id, before));
+    benchmark::DoNotOptimize(map.replicas(id));
+    id = (id + 1) % 10'000;
+  }
+}
+BENCHMARK(BM_PlacementMapRebalance);
 
 }  // namespace
 

@@ -28,6 +28,10 @@ ContentPlacement::ContentPlacement(const orbit::WalkerConstellation& constellati
                     "cannot place more copies than satellites in a plane");
   }
   SPACECDN_EXPECT(config.plane_stride > 0, "plane stride must be positive");
+  // A stride past the plane count would silently collapse the placement to
+  // plane 0 only, losing all plane diversity.
+  SPACECDN_EXPECT(config.plane_stride <= constellation.plane_count(),
+                  "plane stride cannot exceed the plane count");
 }
 
 std::vector<std::uint32_t> ContentPlacement::replicas(cdn::ContentId id) const {

@@ -30,7 +30,8 @@ struct PlacementConfig {
 /// Computes replica locations and pushes objects into the fleet.
 class ContentPlacement {
  public:
-  /// @throws spacecdn::ConfigError on zero copies or stride.
+  /// @throws spacecdn::ConfigError on zero copies, a zero stride, or a
+  /// stride larger than the constellation's plane count.
   ContentPlacement(const orbit::WalkerConstellation& constellation,
                    PlacementConfig config);
 

@@ -32,6 +32,19 @@ ChurnController::ChurnController(lsn::StarlinkNetwork& network, SatelliteFleet& 
                   "fleet must match the constellation");
 }
 
+void ChurnController::set_membership(MembershipMap* membership) {
+  membership_ = membership;
+  if (membership_ == nullptr) return;
+  SPACECDN_EXPECT(membership_->size() == fleet_->size(),
+                  "membership map must match the fleet");
+  for (std::uint32_t sat = 0; sat < fleet_->size(); ++sat) sync_membership(sat);
+}
+
+void ChurnController::sync_membership(std::uint32_t sat) {
+  if (membership_ == nullptr) return;
+  (void)membership_->set_live(sat, fleet_->cache_enabled(sat));
+}
+
 void ChurnController::sync_isl(std::uint32_t sat) {
   const bool want_failed = sat_down_[sat] || isl_flapped_[sat];
   if (want_failed && !network_->isl().is_failed(sat)) {
@@ -54,6 +67,7 @@ void ChurnController::apply(const faults::FaultEvent& event) {
       sats_down_ += fail ? 1 : -1;
       fleet_->set_online(sat, !fail);
       sync_isl(sat);
+      sync_membership(sat);
       (fail ? counters_.satellite_failures : counters_.satellite_recoveries) += 1;
       count_fault("satellite", fail);
       if (auto* m = obs::metrics()) {
@@ -85,6 +99,7 @@ void ChurnController::apply(const faults::FaultEvent& event) {
         fleet_->restore_cache(event.target);
         ++counters_.cache_restores;
       }
+      sync_membership(event.target);
       count_fault("cache-node", fail);
       return;
     }
@@ -100,6 +115,9 @@ RepairReport& RepairReport::operator+=(const RepairReport& other) noexcept {
   re_replicated += other.re_replicated;
   ground_refills += other.ground_refills;
   unrepairable += other.unrepairable;
+  moved += other.moved;
+  evicted_stale += other.evicted_stale;
+  bytes_moved_mb += other.bytes_moved_mb;
   return *this;
 }
 
@@ -113,22 +131,39 @@ RepairDaemon::RepairDaemon(SatelliteFleet& fleet, const ContentPlacement& placem
                   "repair scan interval must be positive");
 }
 
+RepairDaemon::RepairDaemon(SatelliteFleet& fleet, const PlacementMap& map,
+                           std::vector<cdn::ContentItem> catalog, RepairConfig config)
+    : fleet_(&fleet),
+      map_(&map),
+      catalog_(std::move(catalog)),
+      config_(config),
+      synced_live_(map.membership().bitmap()),
+      synced_version_(map.membership().version()) {
+  SPACECDN_EXPECT(config_.scan_interval.value() > 0.0,
+                  "repair scan interval must be positive");
+  SPACECDN_EXPECT(map.membership().size() == fleet.size(),
+                  "placement map must cover the fleet");
+}
+
 void RepairDaemon::note_crash(std::uint32_t sat, Milliseconds at) {
   open_crashes_.emplace_back(sat, at);
+}
+
+std::vector<std::uint32_t> RepairDaemon::current_replicas(cdn::ContentId id) const {
+  return map_ != nullptr ? map_->replicas(id) : placement_->replicas(id);
 }
 
 bool RepairDaemon::fully_replicated_on(std::uint32_t sat) const {
   if (!fleet_->cache_enabled(sat)) return false;
   for (const cdn::ContentItem& item : catalog_) {
-    const auto replicas = placement_->replicas(item.id);
+    const auto replicas = current_replicas(item.id);
     if (std::find(replicas.begin(), replicas.end(), sat) == replicas.end()) continue;
     if (!fleet_->cache(sat).contains(item.id)) return false;
   }
   return true;
 }
 
-RepairReport RepairDaemon::run_once(Milliseconds now) {
-  RepairReport report;
+void RepairDaemon::audit_placement(Milliseconds now, RepairReport& report) {
   for (const cdn::ContentItem& item : catalog_) {
     ++report.objects_scanned;
     const auto replicas = placement_->replicas(item.id);
@@ -148,10 +183,71 @@ RepairReport RepairDaemon::run_once(Milliseconds now) {
           });
       if (fleet_->cache(slot).insert(item, now)) {
         (space_source ? report.re_replicated : report.ground_refills) += 1;
+        report.bytes_moved_mb += item.size.value();
       } else {
         ++report.unrepairable;  // object larger than the slot's cache
       }
     }
+  }
+}
+
+void RepairDaemon::audit_map(Milliseconds now, RepairReport& report) {
+  const MembershipMap& membership = map_->membership();
+  // The map only ever assigns live satellites, so there are no dark slots to
+  // defer: a failed satellite's objects are re-routed the moment membership
+  // flips, and flow back just as minimally on recovery.
+  const bool delta = membership.version() != synced_version_;
+  for (const cdn::ContentItem& item : catalog_) {
+    ++report.objects_scanned;
+    const auto now_set = map_->replicas(item.id);
+    std::vector<std::uint32_t> old_set;
+    if (delta) old_set = map_->replicas_under(item.id, synced_live_);
+
+    cdn::ContentItem stored = item;
+    stored.size = map_->stored_bytes(item);
+    for (const std::uint32_t slot : now_set) {
+      if (fleet_->holds(slot, item.id)) continue;
+      if (!fleet_->cache_enabled(slot)) {
+        // Membership lag (flip not yet mirrored into the map): skip until a
+        // later scan sees a consistent view.
+        ++report.unrepairable;
+        continue;
+      }
+      ++report.under_replicated;
+      const bool is_move =
+          delta && std::find(old_set.begin(), old_set.end(), slot) == old_set.end();
+      const bool space_source =
+          std::any_of(now_set.begin(), now_set.end(), [&](std::uint32_t other) {
+            return other != slot && fleet_->holds(other, item.id);
+          });
+      if (fleet_->cache(slot).insert(stored, now)) {
+        (space_source ? report.re_replicated : report.ground_refills) += 1;
+        if (is_move) ++report.moved;
+        report.bytes_moved_mb += stored.size.value();
+      } else {
+        ++report.unrepairable;  // fragment/object larger than the slot's cache
+      }
+    }
+    if (delta) {
+      // Capacity follows the map: drop copies from satellites this object no
+      // longer lives on (a local delete -- no repair traffic).
+      for (const std::uint32_t slot : old_set) {
+        if (std::find(now_set.begin(), now_set.end(), slot) != now_set.end()) continue;
+        if (!fleet_->cache_enabled(slot)) continue;
+        if (fleet_->cache(slot).erase(item.id)) ++report.evicted_stale;
+      }
+    }
+  }
+  synced_live_ = membership.bitmap();
+  synced_version_ = membership.version();
+}
+
+RepairReport RepairDaemon::run_once(Milliseconds now) {
+  RepairReport report;
+  if (map_ != nullptr) {
+    audit_map(now, report);
+  } else {
+    audit_placement(now, report);
   }
   ++scans_;
   totals_ += report;
@@ -161,6 +257,8 @@ RepairReport RepairDaemon::run_once(Milliseconds now) {
     m->counter("spacecdn_repair_re_replicated_total").inc(report.re_replicated);
     m->counter("spacecdn_repair_ground_refills_total").inc(report.ground_refills);
     m->counter("spacecdn_repair_unrepairable_total").inc(report.unrepairable);
+    m->counter("spacecdn_repair_moved_total").inc(report.moved);
+    m->counter("spacecdn_repair_bytes_moved_mb_total").inc(report.bytes_moved_mb);
     m->gauge("spacecdn_repair_open_crashes").set(static_cast<double>(open_crashes_.size()));
   }
   // An audit that found replica slots it cannot repair is a tripped

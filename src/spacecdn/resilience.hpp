@@ -9,11 +9,16 @@
 //    fault processes (a laser flap during a whole-satellite outage) compose
 //    correctly.
 //
-//  * RepairDaemon periodically audits the k-copies-per-plane placement
-//    invariant and re-replicates under-replicated objects from surviving
-//    space holders (or the ground origin as a last resort), restoring the
-//    redundancy a cache crash destroyed.  It reports time-to-repair so churn
-//    experiments can quantify how long the constellation runs degraded.
+//  * RepairDaemon periodically audits the placement invariant and
+//    re-replicates under-replicated objects from surviving space holders (or
+//    the ground origin as a last resort), restoring the redundancy a cache
+//    crash destroyed.  It reports time-to-repair so churn experiments can
+//    quantify how long the constellation runs degraded.  Against the legacy
+//    ContentPlacement it re-audits every slot each scan; against a
+//    PlacementMap it runs in *delta* mode -- diff the membership snapshot it
+//    last synced against the current one and move only the changed
+//    assignments, which is the bytes-moved metric bench/ablation_placement_map
+//    compares across policies.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +30,7 @@
 #include "lsn/starlink.hpp"
 #include "spacecdn/fleet.hpp"
 #include "spacecdn/placement.hpp"
+#include "spacecdn/placement_map.hpp"
 
 namespace spacecdn::space {
 
@@ -51,6 +57,12 @@ class ChurnController {
   /// @throws spacecdn::ConfigError on an out-of-range target.
   void apply(const faults::FaultEvent& event);
 
+  /// Mirrors per-satellite cache liveness (online AND cache process up AND
+  /// duty-enabled) into a placement membership map on every satellite or
+  /// cache-node transition.  The map is synced in full on attach; pass
+  /// nullptr to detach.
+  void set_membership(MembershipMap* membership);
+
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
 
   /// Satellites currently fully offline (power fault, not just a flap).
@@ -58,9 +70,11 @@ class ChurnController {
 
  private:
   void sync_isl(std::uint32_t sat);
+  void sync_membership(std::uint32_t sat);
 
   lsn::StarlinkNetwork* network_;
   SatelliteFleet* fleet_;
+  MembershipMap* membership_ = nullptr;
   std::vector<bool> sat_down_;
   std::vector<bool> isl_flapped_;
   std::uint32_t sats_down_ = 0;
@@ -81,6 +95,15 @@ struct RepairReport {
   std::uint64_t re_replicated = 0;     ///< restored from a surviving space holder
   std::uint64_t ground_refills = 0;    ///< restored from the ground origin
   std::uint64_t unrepairable = 0;      ///< slot offline; deferred to a later scan
+  /// Copies re-positioned because a membership delta re-routed their
+  /// assignment (map mode; subset of re_replicated + ground_refills).
+  std::uint64_t moved = 0;
+  /// Stale copies dropped from satellites an object no longer maps to (map
+  /// mode; local deletes, no network cost).
+  std::uint64_t evicted_stale = 0;
+  /// Repair traffic injected into the constellation: megabytes of every
+  /// copy (or erasure fragment) the daemon installed.
+  double bytes_moved_mb = 0.0;
 
   RepairReport& operator+=(const RepairReport& other) noexcept;
 };
@@ -91,6 +114,14 @@ class RepairDaemon {
   /// @param catalog  the objects whose placement invariant the daemon
   /// guards; copied so the daemon owns its audit list.
   RepairDaemon(SatelliteFleet& fleet, const ContentPlacement& placement,
+               std::vector<cdn::ContentItem> catalog, RepairConfig config = {});
+
+  /// Map-mode daemon: audits a PlacementMap in delta mode.  Each scan moves
+  /// only the (object, slot) assignments that changed since the membership
+  /// snapshot it last synced -- plus crash-lost copies -- and evicts stale
+  /// copies from satellites an object no longer maps to.  The map must
+  /// outlive the daemon.
+  RepairDaemon(SatelliteFleet& fleet, const PlacementMap& map,
                std::vector<cdn::ContentItem> catalog, RepairConfig config = {});
 
   /// Records a cache crash (the churn controller calls this) so the next
@@ -118,18 +149,32 @@ class RepairDaemon {
   }
   [[nodiscard]] const RepairConfig& config() const noexcept { return config_; }
 
+  /// Total repair megabytes installed so far (totals().bytes_moved_mb).
+  [[nodiscard]] Megabytes bytes_moved() const noexcept {
+    return Megabytes{totals_.bytes_moved_mb};
+  }
+
  private:
   /// Whether every object with `sat` in its replica set is present there.
   [[nodiscard]] bool fully_replicated_on(std::uint32_t sat) const;
+  /// Holders of `id` under the daemon's current placement source.
+  [[nodiscard]] std::vector<std::uint32_t> current_replicas(cdn::ContentId id) const;
+  void audit_placement(Milliseconds now, RepairReport& report);
+  void audit_map(Milliseconds now, RepairReport& report);
 
   SatelliteFleet* fleet_;
-  const ContentPlacement* placement_;
+  const ContentPlacement* placement_ = nullptr;
+  const PlacementMap* map_ = nullptr;
   std::vector<cdn::ContentItem> catalog_;
   RepairConfig config_;
   RepairReport totals_;
   std::uint64_t scans_ = 0;
   std::vector<std::pair<std::uint32_t, Milliseconds>> open_crashes_;
   des::SampleSet time_to_repair_;
+  // Delta-repair state (map mode): the membership snapshot the fleet's cache
+  // contents were last reconciled against.
+  std::vector<bool> synced_live_;
+  std::uint64_t synced_version_ = 0;
 };
 
 }  // namespace spacecdn::space

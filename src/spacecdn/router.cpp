@@ -117,9 +117,15 @@ std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
   const Milliseconds space_overhead{rng.lognormal_median(
       config_.service_overhead_rtt.value(), config_.service_overhead_sigma)};
 
+  // Under an erasure-coded placement map no single satellite holds a whole
+  // object, so tier (i) and whole-object admission are meaningless: every
+  // space fetch reconstructs from fragments in tier (ii).
+  const bool ec_mode =
+      placement_map_ != nullptr && placement_map_->min_live_for_read() > 1;
+
   // Tier (i): overhead satellite.  A shed-to-ground caller skips the space
   // tiers outright (set_ground_only) -- the degraded bent-pipe-only mode.
-  if (!ground_only_ && fleet_->cache_enabled(serving) &&
+  if (!ground_only_ && !ec_mode && fleet_->cache_enabled(serving) &&
       fleet_->cache(serving).access(item.id, now)) {
     FetchResult result{FetchTier::kServingSatellite, uplink * 2.0 + space_overhead,
                        0, serving, false};
@@ -144,13 +150,15 @@ std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
   // Tier (ii): nearest replica over ISLs.  Offline holders carry no ISL
   // edges and crashed caches are not cache_enabled, so the lookup only ever
   // surfaces live, reachable replicas.
-  if (const auto found = ground_only_
-                             ? std::optional<LookupResult>{}
+  if (const auto found = ground_only_ ? std::optional<LookupResult>{}
+                         : placement_map_ != nullptr
+                             ? map_lookup(serving, item.id)
                              : find_replica(network_->isl(), *fleet_, serving, item.id,
                                             config_.max_isl_hops)) {
     // Register the hit on the holder's cache.
     (void)fleet_->cache(found->satellite).access(item.id, now);
-    const bool admit = config_.admit_on_fetch && fleet_->cache_enabled(serving);
+    const bool admit =
+        config_.admit_on_fetch && !ec_mode && fleet_->cache_enabled(serving);
     if (admit) (void)fleet_->cache(serving).insert(item, now);
     FetchResult result{FetchTier::kIslNeighbor,
                        (uplink + found->isl_latency) * 2.0 + space_overhead,
@@ -223,7 +231,8 @@ std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
   const cdn::ServeResult served =
       ground_cdn_->serve(site, item, client_site_rtt, site_origin_rtt, now);
 
-  const bool admit = config_.admit_on_fetch && fleet_->cache_enabled(serving);
+  const bool admit =
+      config_.admit_on_fetch && !ec_mode && fleet_->cache_enabled(serving);
   if (admit) (void)fleet_->cache(serving).insert(item, now);
   FetchResult result{FetchTier::kGround, served.first_byte, breakdown->isl_hops, 0,
                      served.hit};
@@ -255,6 +264,37 @@ std::optional<FetchResult> SpaceCdnRouter::attempt_from(std::uint32_t serving,
     trace->set_duration(span, result.rtt);
   }
   return result;
+}
+
+std::optional<LookupResult> SpaceCdnRouter::map_lookup(std::uint32_t serving,
+                                                       cdn::ContentId id) const {
+  struct Candidate {
+    Milliseconds latency{0.0};
+    std::uint32_t hops = 0;
+    std::uint32_t sat = 0;
+  };
+  std::vector<Candidate> live;
+  const auto tree = network_->isl().sssp_from(serving);
+  for (const std::uint32_t sat : placement_map_->replicas(id)) {
+    // Holders must actually carry the copy: a freshly restored cache is a
+    // map member again before the repair daemon has refilled it.
+    if (!fleet_->cache_enabled(sat) || !fleet_->cache(sat).contains(id)) continue;
+    if (!tree->reachable(sat)) continue;
+    const std::uint32_t hops = sat == serving ? 0 : tree->hops_to(sat);
+    if (hops > config_.max_isl_hops) continue;
+    live.push_back({tree->distance(sat), hops, sat});
+  }
+  const std::uint32_t need = placement_map_->min_live_for_read();
+  if (live.size() < need) return std::nullopt;
+  // Fragments are fetched in parallel, so the read completes when the
+  // `need`-th nearest holder responds (for whole replicas need == 1: the
+  // nearest holder).  Ties break by satellite id for determinism.
+  std::sort(live.begin(), live.end(), [](const Candidate& a, const Candidate& b) {
+    return a.latency.value() != b.latency.value() ? a.latency.value() < b.latency.value()
+                                                  : a.sat < b.sat;
+  });
+  const Candidate& bound = live[need - 1];
+  return LookupResult{bound.sat, bound.hops, bound.latency};
 }
 
 std::optional<std::uint32_t> SpaceCdnRouter::healthy_serving_satellite(

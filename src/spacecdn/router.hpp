@@ -19,6 +19,7 @@
 #include "spacecdn/circuit_breaker.hpp"
 #include "spacecdn/fleet.hpp"
 #include "spacecdn/lookup.hpp"
+#include "spacecdn/placement_map.hpp"
 
 namespace spacecdn::obs {
 class TraceBuilder;
@@ -165,6 +166,20 @@ class SpaceCdnRouter {
   using ServingFilter = std::function<bool(std::uint32_t satellite)>;
   void set_serving_filter(ServingFilter filter) { serving_filter_ = std::move(filter); }
 
+  /// Directs tier (ii) by a placement map instead of the BFS content
+  /// discovery: holders come from map->replicas(id), so the lookup is one
+  /// SSSP query over a known holder set rather than a frontier expansion.
+  /// Under an erasure-coded map the fetch completes when min_live_for_read
+  /// fragments are reachable and its latency is bounded by the slowest
+  /// needed fragment; tier (i) and pull-through admission are disabled there
+  /// (one satellite holds a fragment, not the object).  nullptr (default)
+  /// keeps the BFS path byte-identical to the published figures.  The map
+  /// must outlive the router.
+  void set_placement_map(const PlacementMap* map) noexcept { placement_map_ = map; }
+  [[nodiscard]] const PlacementMap* placement_map() const noexcept {
+    return placement_map_;
+  }
+
   /// Overrides the configured hedge delay (load callers re-derive it from a
   /// trailing latency p99 while a run is in flight).  <= 0 disables hedging.
   void set_hedge_delay(Milliseconds delay) noexcept {
@@ -202,6 +217,12 @@ class SpaceCdnRouter {
       const geo::GeoPoint& client,
       std::optional<std::uint32_t> exclude = std::nullopt) const;
 
+  /// Tier-(ii) lookup against the installed placement map: the hop-budgeted
+  /// nearest live holder (or, erasure-coded, the min_live_for_read-th
+  /// nearest fragment holder, whose latency bounds the reconstruction).
+  [[nodiscard]] std::optional<LookupResult> map_lookup(std::uint32_t serving,
+                                                       cdn::ContentId id) const;
+
   /// The breaker guarding one gateway's bent pipe, or nullptr when breakers
   /// are disabled.  Lazily sizes the breaker set on first use.
   [[nodiscard]] CircuitBreaker* breaker_for(std::size_t gateway) const;
@@ -225,6 +246,7 @@ class SpaceCdnRouter {
   cdn::CdnDeployment* ground_cdn_;
   RouterConfig config_;
   ServingFilter serving_filter_;
+  const PlacementMap* placement_map_ = nullptr;
   bool ground_only_ = false;
   /// Per-gateway bent-pipe breakers, lazily sized on first use; stays empty
   /// while breakers are disabled so the default path costs nothing.

@@ -19,6 +19,21 @@
 
 namespace spacecdn::space {
 
+/// Erasure-code geometry for fragment-striped placement (PlacementMap's
+/// jump-ec mode): an object splits into `data` fragments of size/data each
+/// plus `parity` coded fragments of the same size, one satellite per
+/// fragment; any `data` of the data+parity fragments reconstruct it.
+struct ErasureProfile {
+  std::uint32_t data = 4;
+  std::uint32_t parity = 2;
+  [[nodiscard]] std::uint32_t fragments() const noexcept { return data + parity; }
+  /// Storage expansion over the raw object: (data + parity) / data.
+  [[nodiscard]] double overhead() const noexcept {
+    return data > 0 ? static_cast<double>(data + parity) / static_cast<double>(data)
+                    : 0.0;
+  }
+};
+
 /// One stripe of a striped video: a playback interval bound to the
 /// satellite that will be overhead during it.
 struct StripeAssignment {

@@ -153,6 +153,11 @@ TEST(Placement, RejectsBadConfig) {
   EXPECT_THROW(ContentPlacement(c, cfg), ConfigError);
   cfg.copies_per_plane = 23;  // more than satellites per plane
   EXPECT_THROW(ContentPlacement(c, cfg), ConfigError);
+  cfg = PlacementConfig{};
+  // Regression: a stride past the plane count used to be accepted silently
+  // and collapsed every replica onto plane 0 (stride % planes wraps).
+  cfg.plane_stride = c.plane_count() + 1;
+  EXPECT_THROW(ContentPlacement(c, cfg), ConfigError);
 }
 
 TEST(Lookup, FindsReplicaAtMinimalHops) {

@@ -63,18 +63,23 @@ def extract_benchmarks(doc, label):
 
 
 def compare(baseline, current, tolerance, skip=None):
-    """Returns (regressions, report_lines).
+    """Returns (regressions, unbaselined, report_lines).
 
     A benchmark regresses when its machine-normalized cpu_time ratio exceeds
-    1 + tolerance.  Benchmarks present on only one side are reported but do
-    not fail the gate (renames should not break CI; deletions are visible in
-    review).
+    1 + tolerance.  A benchmark that runs today but has no committed baseline
+    row is returned in `unbaselined` and fails the gate: otherwise a new
+    benchmark silently skates past perf review until someone remembers to
+    re-record (re-record with the command in bench/baselines/ to fix).
+    Benchmarks present in the baseline only are reported but do not fail --
+    deletions are visible in review.
     """
     shared = sorted(set(baseline) & set(current))
+    unbaselined = sorted(set(current) - set(baseline))
     lines = []
     if skip:
         skipped = [name for name in shared if re.search(skip, name)]
         shared = [name for name in shared if not re.search(skip, name)]
+        unbaselined = [name for name in unbaselined if not re.search(skip, name)]
         for name in skipped:
             lines.append(f"     skipped  {name} (matches --skip)")
     if not shared:
@@ -103,11 +108,14 @@ def compare(baseline, current, tolerance, skip=None):
             f"(normalized x{normalized:.2f})"
         )
 
-    for name in sorted(set(current) - set(baseline)):
-        lines.append(f"         new  {name}: {current[name]:.1f} ns (no baseline yet)")
+    for name in unbaselined:
+        lines.append(
+            f"  NO-BASELINE  {name}: {current[name]:.1f} ns "
+            f"(runs in CI but has no committed baseline row)"
+        )
     for name in sorted(set(baseline) - set(current)):
         lines.append(f"     missing  {name}: present in baseline only")
-    return regressions, lines
+    return regressions, unbaselined, lines
 
 
 def self_test(tolerance):
@@ -115,24 +123,42 @@ def self_test(tolerance):
     baseline = {f"BM_Case{i}": 100.0 * (i + 1) for i in range(8)}
 
     # 1) An identical run must pass.
-    regressions, _ = compare(baseline, dict(baseline), tolerance)
-    if regressions:
+    regressions, unbaselined, _ = compare(baseline, dict(baseline), tolerance)
+    if regressions or unbaselined:
         print("self-test FAIL: identical runs flagged as regression", file=sys.stderr)
         return 1
 
     # 2) A uniformly 3x-slower machine must pass (median normalization).
     slower_machine = {name: t * 3.0 for name, t in baseline.items()}
-    regressions, _ = compare(baseline, slower_machine, tolerance)
-    if regressions:
+    regressions, unbaselined, _ = compare(baseline, slower_machine, tolerance)
+    if regressions or unbaselined:
         print("self-test FAIL: uniformly slower machine flagged", file=sys.stderr)
         return 1
 
     # 3) One benchmark 50% past the rest must fail the gate.
     regressed = copy.deepcopy(slower_machine)
     regressed["BM_Case3"] *= 1.0 + tolerance + 0.1
-    regressions, lines = compare(baseline, regressed, tolerance)
+    regressions, _, lines = compare(baseline, regressed, tolerance)
     if regressions != ["BM_Case3"]:
         print(f"self-test FAIL: expected ['BM_Case3'], got {regressions}", file=sys.stderr)
+        return 1
+
+    # 3b) A benchmark that runs today without a committed baseline row must
+    # fail the gate -- unless it matches --skip (the same escape hatch as the
+    # regression check, for rows whose cpu_time is known noise).
+    with_new = dict(baseline)
+    with_new["BM_Unbaselined"] = 42.0
+    regressions, unbaselined, _ = compare(baseline, with_new, tolerance)
+    if regressions or unbaselined != ["BM_Unbaselined"]:
+        print(
+            f"self-test FAIL: expected ['BM_Unbaselined'] unbaselined, got "
+            f"{unbaselined}",
+            file=sys.stderr,
+        )
+        return 1
+    regressions, unbaselined, _ = compare(baseline, with_new, tolerance, skip="Unbaselined")
+    if regressions or unbaselined:
+        print("self-test FAIL: --skip did not exempt the unbaselined row", file=sys.stderr)
         return 1
 
     # 4) The JSON extraction path: round-trip through the google-benchmark shape.
@@ -147,8 +173,9 @@ def self_test(tolerance):
         print("self-test FAIL: JSON extraction mismatch", file=sys.stderr)
         return 1
 
-    print("self-test OK: clean pass, machine-speed invariance, and a synthetic "
-          f"+{tolerance:.0%} regression trips the gate")
+    print("self-test OK: clean pass, machine-speed invariance, a synthetic "
+          f"+{tolerance:.0%} regression trips the gate, and a benchmark with "
+          "no committed baseline row fails")
     print("\n".join(lines[:2]))
     return 0
 
@@ -180,20 +207,29 @@ def main(argv):
     if not args.baseline or not args.current:
         parser.error("baseline and current JSON paths are required (or --self-test)")
 
-    regressions, lines = compare(
+    regressions, unbaselined, lines = compare(
         load_benchmarks(args.baseline),
         load_benchmarks(args.current),
         args.tolerance,
         skip=args.skip,
     )
     print("\n".join(lines))
+    failed = False
     if regressions:
         print(
             f"\nFAIL: {len(regressions)} benchmark(s) regressed past "
             f"+{args.tolerance:.0%}: {', '.join(regressions)}"
         )
+        failed = True
+    if unbaselined:
+        print(
+            f"\nFAIL: {len(unbaselined)} benchmark(s) have no committed baseline "
+            f"row: {', '.join(unbaselined)} -- re-record {args.baseline}"
+        )
+        failed = True
+    if failed:
         return 1
-    print("\nOK: no benchmark regressed past the tolerance")
+    print("\nOK: no regression; every benchmark has a committed baseline row")
     return 0
 
 

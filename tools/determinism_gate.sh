@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Serial-vs-parallel determinism gate shared by every CI bench check.
+#
+# Runs `build/bench/<bench> <args...>` twice -- once with --threads=1 and
+# once with --threads=$PARALLEL_THREADS -- and fails unless the full ordered
+# set of printed `checksum: 0x...` lines is non-empty and bit-identical
+# between the two runs.  Matching on the bare suffix means prefixed lines
+# ("determinism checksum:", "timeline checksum:") are all gated at once.
+#
+# Any argument containing the literal `{T}` is substituted per run with
+# `serial` / `parallel`; after both runs each such file pair is byte-compared
+# with cmp, extending the gate to on-disk artifacts (series/timeline files).
+#
+# Usage: determinism_gate.sh <bench> [args...]
+# Env:   ARTIFACTS         captured-stdout directory (default: artifacts)
+#        LABEL             stem for the captured stdout files (default: bench)
+#        PARALLEL_THREADS  thread count for the parallel run (default: 4)
+set -euo pipefail
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 <bench> [args...]" >&2
+  exit 2
+fi
+
+bench=$1
+shift
+orig_args=("$@")
+artifacts=${ARTIFACTS:-artifacts}
+label=${LABEL:-$bench}
+threads=${PARALLEL_THREADS:-4}
+mkdir -p "$artifacts"
+
+run_one() { # run_one <serial|parallel> <nthreads>
+  local tag=$1 nthreads=$2 arg
+  local args=()
+  for arg in ${orig_args[@]+"${orig_args[@]}"}; do
+    args+=("${arg//\{T\}/$tag}")
+  done
+  echo "=== $label --threads=$nthreads"
+  "build/bench/$bench" ${args[@]+"${args[@]}"} "--threads=$nthreads" \
+    | tee "$artifacts/${label}_${tag}.txt"
+}
+
+run_one serial 1
+run_one parallel "$threads"
+
+serial=$(grep -o 'checksum: 0x[0-9a-f]*' "$artifacts/${label}_serial.txt" || true)
+parallel=$(grep -o 'checksum: 0x[0-9a-f]*' "$artifacts/${label}_parallel.txt" || true)
+echo "serial:   ${serial:-<none>}"
+echo "parallel: ${parallel:-<none>}"
+if [ -z "$serial" ]; then
+  echo "::error::$label printed no 'checksum: 0x...' line -- nothing to gate"
+  exit 1
+fi
+if [ "$serial" != "$parallel" ]; then
+  echo "::error::$label checksums differ between --threads=1 and --threads=$threads"
+  exit 1
+fi
+
+# Byte-compare every {T}-templated output file pair (strip a --flag= prefix).
+for arg in ${orig_args[@]+"${orig_args[@]}"}; do
+  case "$arg" in
+    *"{T}"*)
+      path=${arg#*=}
+      cmp "${path//\{T\}/serial}" "${path//\{T\}/parallel}"
+      echo "byte-identical: ${path//\{T\}/serial} == ${path//\{T\}/parallel}"
+      ;;
+  esac
+done
+
+echo "OK: $label is bit-identical across --threads=1 and --threads=$threads"
